@@ -1,0 +1,119 @@
+package qokit
+
+import (
+	"qokit/internal/classical"
+	"qokit/internal/graphs"
+	"qokit/internal/params"
+	"qokit/internal/sampling"
+)
+
+// Sampler draws measurement outcomes (bitstring indices) from a
+// probability vector in O(1) per shot (Walker's alias method) — the
+// bridge between simulated states and the shot-based quantities a
+// hardware QAOA run produces.
+type Sampler = sampling.Sampler
+
+// NewSampler builds a seeded sampler over probs (unnormalized |ψ|²
+// vectors are accepted).
+func NewSampler(probs []float64, seed int64) (*Sampler, error) {
+	return sampling.NewSampler(probs, seed)
+}
+
+// SampleResult draws k measurement outcomes from an evolved QAOA state.
+func SampleResult(r *Result, k int, seed int64) ([]uint64, error) {
+	s, err := sampling.NewSampler(r.Probabilities(nil, true), seed)
+	if err != nil {
+		return nil, err
+	}
+	return s.SampleN(k), nil
+}
+
+// EstimateExpectation returns the finite-shot estimate (mean ± stderr)
+// of a cost function over samples.
+func EstimateExpectation(samples []uint64, cost func(uint64) float64) (mean, stderr float64) {
+	return sampling.EstimateExpectation(samples, cost)
+}
+
+// BestSample returns the lowest-cost sampled bitstring.
+func BestSample(samples []uint64, cost func(uint64) float64) (argmin uint64, min float64) {
+	return sampling.Best(samples, cost)
+}
+
+// SamplesToSolution converts a ground-state overlap into the expected
+// shot count to observe an optimal solution with the given confidence
+// — the quantum side of the time-to-solution metric in the LABS
+// scaling analysis the paper enables (Refs. [5], [6]).
+func SamplesToSolution(overlap, confidence float64) float64 {
+	return sampling.SamplesToSolution(overlap, confidence)
+}
+
+// Walker is a classical local-search state with incremental single-
+// flip energy deltas; LABS and MaxCut implementations are provided.
+type Walker = classical.Walker
+
+// NewLABSWalker starts a LABS local search at assignment x (O(n)
+// flips via cached autocorrelations).
+func NewLABSWalker(n int, x uint64) Walker { return classical.NewLABSWalker(n, x) }
+
+// NewMaxCutWalker starts a MaxCut local search at assignment x.
+func NewMaxCutWalker(g Graph, x uint64) Walker { return classical.NewMaxCutWalker(g, x) }
+
+// SAOptions configures SimulatedAnnealing.
+type SAOptions = classical.SAOptions
+
+// SAResult reports a simulated-annealing run.
+type SAResult = classical.SAResult
+
+// SimulatedAnnealing minimizes a Walker's energy under a geometric
+// cooling schedule — the classical heuristic baseline of the scaling
+// analysis (`qaoabench scaling`).
+func SimulatedAnnealing(w Walker, opt SAOptions) SAResult {
+	return classical.SimulatedAnnealing(w, opt)
+}
+
+// TabuOptions configures TabuSearch.
+type TabuOptions = classical.TabuOptions
+
+// TabuResult reports a tabu-search run.
+type TabuResult = classical.TabuResult
+
+// TabuSearch minimizes a Walker's energy with best-improvement moves
+// under a recency tabu list.
+func TabuSearch(w Walker, opt TabuOptions) TabuResult {
+	return classical.TabuSearch(w, opt)
+}
+
+// StepsToOptimum runs restarted simulated annealing until the known
+// optimum is reached and returns the flips consumed — the classical
+// time-to-solution.
+func StepsToOptimum(mk func(x uint64) Walker, n int, optimum float64, stepsPerRun int, seed int64, maxRestarts int) (int, error) {
+	return classical.StepsToOptimum(mk, n, optimum, stepsPerRun, seed, maxRestarts)
+}
+
+// Interp extends optimized depth-p QAOA parameters to p+1 by linear
+// interpolation (the INTERP heuristic), preserving the annealing-like
+// ramp shape.
+func Interp(theta []float64) []float64 { return params.Interp(theta) }
+
+// InterpAngles applies Interp to both angle vectors.
+func InterpAngles(gamma, beta []float64) (g, b []float64) {
+	return params.InterpAngles(gamma, beta)
+}
+
+// MaxCutP1Expectation evaluates the exact closed-form p = 1 QAOA
+// expected cut for an arbitrary graph — an analytic oracle needing no
+// state vector.
+func MaxCutP1Expectation(g Graph, gamma, beta float64) float64 {
+	return params.MaxCutP1Expectation(g, gamma, beta)
+}
+
+// P1OptimalTriangleFree returns the analytically optimal p = 1 MaxCut
+// angles for triangle-free d-regular graphs and the expected per-edge
+// cut gain.
+func P1OptimalTriangleFree(d int) (gamma, beta, cutGainPerEdge float64, err error) {
+	return params.P1OptimalTriangleFree(d)
+}
+
+// Petersen returns the Petersen graph (3-regular, triangle-free) —
+// the canonical instance for the p = 1 analytics.
+func Petersen() Graph { return graphs.Petersen() }

@@ -1,0 +1,133 @@
+package qokit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSampleResultAndEstimators(t *testing.T) {
+	n := 8
+	sim, err := NewSimulator(n, LABSTerms(n), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, beta := TQAInit(3, 0.7)
+	res, err := sim.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := SampleResult(res, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 20000 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	cost := func(x uint64) float64 { return float64(LABSEnergy(x, n)) }
+	mean, stderr := EstimateExpectation(samples, cost)
+	exact := res.Expectation()
+	if math.Abs(mean-exact) > 6*stderr+0.05 {
+		t.Errorf("sampled mean %v ± %v vs exact %v", mean, stderr, exact)
+	}
+	arg, min := BestSample(samples, cost)
+	if cost(arg) != min {
+		t.Error("BestSample inconsistent")
+	}
+	if min < sim.MinCost() {
+		t.Errorf("sampled best %v below true optimum %v", min, sim.MinCost())
+	}
+}
+
+func TestSamplesToSolutionFacade(t *testing.T) {
+	if v := SamplesToSolution(0.5, 0.99); v <= 0 || math.IsInf(v, 1) {
+		t.Errorf("SamplesToSolution = %v", v)
+	}
+}
+
+func TestClassicalFacade(t *testing.T) {
+	n := 10
+	optE, _ := LABSOptimalEnergy(n)
+	res := SimulatedAnnealing(NewLABSWalker(n, 0), SAOptions{Steps: 50000, Seed: 1})
+	if int(res.BestEnergy) != optE {
+		t.Errorf("SA best %v, optimum %d", res.BestEnergy, optE)
+	}
+	tres := TabuSearch(NewLABSWalker(n, 0), TabuOptions{Steps: 5000, Seed: 1})
+	if int(tres.BestEnergy) != optE {
+		t.Errorf("tabu best %v, optimum %d", tres.BestEnergy, optE)
+	}
+	g := Petersen()
+	w := NewMaxCutWalker(g, 0)
+	mres := SimulatedAnnealing(w, SAOptions{Steps: 20000, Seed: 2})
+	best, _, err := MaxCutBrute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if -mres.BestEnergy != float64(best) {
+		t.Errorf("SA cut %v, brute-force %d", -mres.BestEnergy, best)
+	}
+	steps, err := StepsToOptimum(func(x uint64) Walker { return NewLABSWalker(n, x) },
+		n, float64(optE), 30000, 3, 50)
+	if err != nil || steps <= 0 {
+		t.Errorf("StepsToOptimum = %d, %v", steps, err)
+	}
+}
+
+func TestParamsFacade(t *testing.T) {
+	g := Petersen()
+	gamma, beta, gain, err := P1OptimalTriangleFree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(g.NumEdges()) * (0.5 + gain)
+	if got := MaxCutP1Expectation(g, gamma, beta); math.Abs(got-want) > 1e-12 {
+		t.Errorf("analytic cut %v, want %v", got, want)
+	}
+	g2, b2 := InterpAngles([]float64{0.3}, []float64{0.5})
+	if len(g2) != 2 || len(b2) != 2 {
+		t.Fatal("InterpAngles lengths")
+	}
+	if out := Interp([]float64{1, 3}); len(out) != 3 || out[1] != 2 {
+		t.Errorf("Interp midpoint = %v", out)
+	}
+}
+
+func TestOptimizeParametersInterpLadder(t *testing.T) {
+	n := 8
+	g, err := RandomRegular(n, 3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(n, MaxCutTerms(g), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, beta, energy, evals, err := OptimizeParametersInterp(sim, 3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gamma) != 3 || len(beta) != 3 {
+		t.Fatalf("final depth %d/%d", len(gamma), len(beta))
+	}
+	if evals < 10 {
+		t.Errorf("evals = %d", evals)
+	}
+	// The ladder must beat the raw p=1 TQA starting point.
+	g1, b1 := TQAInit(1, 0.75)
+	r1, err := sim.SimulateQAOA(g1, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if energy > r1.Expectation()+1e-9 {
+		t.Errorf("INTERP ladder energy %v worse than p=1 start %v", energy, r1.Expectation())
+	}
+	r, err := sim.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Expectation()-energy) > 1e-9 {
+		t.Error("reported ladder energy does not reproduce")
+	}
+	if _, _, _, _, err := OptimizeParametersInterp(sim, 0, 10); err == nil {
+		t.Error("pmax=0 accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunnersSmoke executes every experiment at the smallest sensible
+// size, checking that each produces its headline output — the harness
+// is part of the deliverable, so it is tested like one.
+func TestRunnersSmoke(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(w io.Writer, args []string) error
+		args []string
+		want []string
+	}{
+		{"fig2", runFig2, []string{"-nmin", "6", "-nmax", "8", "-reps", "1", "-p", "2"},
+			[]string{"qokit-cpu", "qiskit-analog", "Speedup"}},
+		{"fig3", runFig3, []string{"-nmin", "6", "-nmax", "8", "-tnmax", "6", "-reps", "1"},
+			[]string{"qokit-soa-fused", "tn-size", "Derived ratios"}},
+		{"fig4", runFig4, []string{"-n", "8", "-pmax", "16", "-reps", "1"},
+			[]string{"crossover", "additivity check", "gates"}},
+		{"fig5", runFig5, []string{"-local", "8", "-kmax", "4", "-reps", "1"},
+			[]string{"pairwise", "transpose", "modeled"}},
+		{"opt", runOpt, []string{"-n", "8", "-p", "2", "-evals", "10"},
+			[]string{"speedup", "gate-based"}},
+		{"memory", runMemory, []string{"-n", "8"},
+			[]string{"12.5%", "uint16 store exact: true"}},
+		{"gates", runGates, []string{"-nmax", "13"},
+			[]string{"terms/n", "mixer only"}},
+		{"scaling", runScaling, []string{"-nmin", "6", "-nmax", "8", "-p", "3", "-seeds", "1", "-sasteps", "5000"},
+			[]string{"fitted growth", "SA flips"}},
+		{"precision", runPrecision, []string{"-n", "8", "-pmax", "16"},
+			[]string{"float64", "norm−1", "extra qubit"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := tc.run(&out, tc.args); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("%s output missing %q:\n%s", tc.name, want, out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestRunnersRejectBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := runFig2(&out, []string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"qokit/internal/benchutil"
+	"qokit/internal/core"
+	"qokit/internal/gatesim"
+	"qokit/internal/optimize"
+	"qokit/internal/problems"
+	"qokit/internal/statevec"
+)
+
+// runOpt reproduces the headline claim ("we reduce the time for a
+// typical QAOA parameter optimization by eleven times for n = 26"): a
+// full Nelder–Mead optimization of the 2p QAOA parameters on the LABS
+// problem, run once on the precomputed-diagonal simulator and once on
+// the gate-based baseline, with the identical evaluation budget and
+// starting point. The precomputation is paid once; the gate-based
+// baseline re-simulates the compiled circuit for every objective
+// evaluation — that asymmetry is the entire effect.
+func runOpt(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("opt", flag.ContinueOnError)
+	n := fs.Int("n", 14, "qubit count (paper: 26)")
+	p := fs.Int("p", 6, "QAOA depth")
+	evals := fs.Int("evals", 60, "objective-evaluation budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	terms := problems.LABSTerms(*n)
+	g0, b0 := optimize.TQAInit(*p, 0.75)
+	x0 := optimize.JoinAngles(g0, b0)
+	nm := optimize.NMOptions{MaxEvals: *evals}
+
+	// Fast simulator: one construction (includes precompute), then
+	// cheap evaluations.
+	startFast := time.Now()
+	sim, err := core.New(*n, terms, core.Options{Backend: core.BackendSoA})
+	if err != nil {
+		return err
+	}
+	resFast := optimize.NelderMead(func(x []float64) float64 {
+		gg, bb := optimize.SplitAngles(x)
+		r, err := sim.SimulateQAOA(gg, bb)
+		if err != nil {
+			panic(err)
+		}
+		return r.Expectation()
+	}, x0, nm)
+	tFast := time.Since(startFast)
+
+	// Gate-based baseline: every evaluation compiles and simulates the
+	// full circuit, then measures the objective against the diagonal
+	// (computed once — being generous to the baseline).
+	diag := make([]float64, 1<<uint(*n))
+	compiledEval := problems.LABSTerms(*n)
+	for x := range diag {
+		diag[x] = compiledEval.Eval(uint64(x))
+	}
+	startGate := time.Now()
+	resGate := optimize.NelderMead(func(x []float64) float64 {
+		gg, bb := optimize.SplitAngles(x)
+		circ, err := gatesim.BuildQAOA(*n, terms, gg, bb)
+		if err != nil {
+			panic(err)
+		}
+		v, err := gatesim.NewEngine().Simulate(circ)
+		if err != nil {
+			panic(err)
+		}
+		return statevec.ExpectationDiag(v, diag)
+	}, x0, nm)
+	tGate := time.Since(startGate)
+
+	tab := benchutil.NewTable("simulator", "evals", "best-energy", "total(s)", "s/eval")
+	tab.Add("qokit-soa", fmt.Sprint(resFast.Evals), fmt.Sprintf("%.4f", resFast.F),
+		benchutil.Seconds(tFast), benchutil.Seconds(tFast/time.Duration(maxInt(resFast.Evals, 1))))
+	tab.Add("gate-based", fmt.Sprint(resGate.Evals), fmt.Sprintf("%.4f", resGate.F),
+		benchutil.Seconds(tGate), benchutil.Seconds(tGate/time.Duration(maxInt(resGate.Evals, 1))))
+
+	fmt.Fprintf(w, "Parameter optimization, LABS n=%d p=%d, Nelder–Mead budget %d evals\n", *n, *p, *evals)
+	tab.Fprint(w)
+	fmt.Fprintf(w, "\nspeedup: %.1f× (paper: 11× at n=26 vs cuQuantum-based gates)\n", tGate.Seconds()/tFast.Seconds())
+	if math.Abs(resFast.F-resGate.F) > 1e-6 {
+		fmt.Fprintf(w, "note: trajectories diverged (ΔE = %g); both optima reported above\n", resFast.F-resGate.F)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

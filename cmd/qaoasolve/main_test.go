@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+// TestSolverSmoke runs the end-to-end solver on every problem family
+// at tiny sizes; the CLI is a deliverable and gets tested like one.
+func TestSolverSmoke(t *testing.T) {
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"labs", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "soa", 0) }},
+		{"maxcut", func() error { return run("maxcut", 8, 2, 3, 3, 20, 0, 1, 30, "serial", 0) }},
+		{"sat", func() error { return run("sat", 8, 2, 3, 3, 20, 0, 1, 30, "parallel", 0) }},
+		{"portfolio", func() error { return run("portfolio", 8, 2, 3, 3, 20, 3, 1, 30, "auto", 0) }},
+		{"distributed", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.call(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSolverErrors(t *testing.T) {
+	if err := run("unknown-problem", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 0); err == nil {
+		t.Error("unknown problem accepted")
+	}
+	if err := run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "not-a-backend", 0); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if err := run("portfolio", 8, 2, 3, 3, 20, 4, 1, 30, "auto", 2); err == nil {
+		t.Error("distributed xy mixer accepted")
+	}
+}

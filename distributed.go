@@ -1,0 +1,48 @@
+package qokit
+
+import (
+	"qokit/internal/cluster"
+	"qokit/internal/distsim"
+)
+
+// AlltoallAlgo selects the distributed all-to-all implementation.
+type AlltoallAlgo = cluster.AlltoallAlgo
+
+// All-to-all algorithms: Pairwise is the classic MPI exchange (the
+// paper's custom MPI_Alltoall backend); Transpose is the direct
+// peer-to-peer block transpose (the cuStateVec distributed index-swap
+// analogue, the faster backend in Fig. 5).
+const (
+	Pairwise  = cluster.Pairwise
+	Transpose = cluster.Transpose
+)
+
+// CommCounters reports a distributed run's traffic (bytes, messages,
+// synchronizations) and communication wall time.
+type CommCounters = cluster.Counters
+
+// NetworkModel converts traffic counters into modeled fabric time for
+// reporting at scales the host cannot physically reproduce.
+type NetworkModel = cluster.NetworkModel
+
+// DefaultNetworkModel approximates a Polaris-class interconnect
+// (≈2 µs/message, 25 GB/s).
+func DefaultNetworkModel() NetworkModel { return cluster.DefaultNetworkModel() }
+
+// DistOptions configures a distributed QAOA simulation (§III-C):
+// rank count K (power of two, 2·log2(K) ≤ n), the all-to-all
+// algorithm, and whether to gather the full state.
+type DistOptions = distsim.Options
+
+// DistResult carries the distributed outputs and per-rank counters.
+type DistResult = distsim.Result
+
+// SimulateQAOADistributed runs QAOA with the state vector sharded over
+// K simulated ranks per Algorithm 4: the k = log2(K) global qubits are
+// rotated through two all-to-all transposes per layer, while the
+// diagonal precompute, phase operator, and objective reduction stay
+// local. Equivalent to the mpi-backed QOKit classes ("gpumpi",
+// "cusvmpi") on this package's in-process cluster substrate.
+func SimulateQAOADistributed(n int, terms Terms, gamma, beta []float64, opts DistOptions) (*DistResult, error) {
+	return distsim.SimulateQAOA(n, terms, gamma, beta, opts)
+}

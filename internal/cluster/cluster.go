@@ -1,0 +1,352 @@
+// Package cluster is the simulated multi-node substrate for the
+// distributed simulator (§III-C). K ranks run as goroutines sharing an
+// in-process fabric that implements the collectives Algorithm 4 needs:
+// an in-place MPI_Alltoall-style exchange, sum/min all-reduce, an
+// all-gather, and barriers.
+//
+// Two all-to-all algorithms are provided, mirroring the paper's two
+// communication backends (Fig. 5):
+//
+//	Pairwise  — the classic MPI algorithm: K−1 rounds, partner
+//	            rank⊕round each round, one subchunk swapped per round
+//	            with two synchronization points per round (the Cray-
+//	            MPICH MPI_Alltoall analogue).
+//	Transpose — every rank reads all K subchunks destined for it
+//	            directly from its peers' published buffers between two
+//	            barriers (the cuStateVec direct peer-to-peer analogue).
+//
+// The host machine has no real interconnect, so each communicator also
+// keeps traffic counters (bytes, messages, synchronizations) and a
+// modeled network time derived from a configurable latency/bandwidth
+// model; benchmarks report measured wall time and modeled fabric time
+// side by side (see DESIGN.md on this substitution).
+package cluster
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// AlltoallAlgo selects the all-to-all implementation.
+type AlltoallAlgo int
+
+const (
+	// Pairwise is the XOR-scheduled pairwise-exchange algorithm.
+	Pairwise AlltoallAlgo = iota
+	// Transpose is the direct shared-memory block transpose.
+	Transpose
+)
+
+// String names the algorithm.
+func (a AlltoallAlgo) String() string {
+	switch a {
+	case Pairwise:
+		return "pairwise"
+	case Transpose:
+		return "transpose"
+	default:
+		return fmt.Sprintf("AlltoallAlgo(%d)", int(a))
+	}
+}
+
+// NetworkModel converts traffic counters into modeled fabric time.
+// The defaults approximate a Slingshot-class HPC interconnect as used
+// on Polaris (§V-B): ~2 µs message latency, 25 GB/s per-link
+// bandwidth, ~1 µs per collective synchronization round. The sync term
+// is what separates the two all-to-all algorithms at fixed volume:
+// pairwise pays ~2(K−1) rounds per exchange, transpose pays 2.
+type NetworkModel struct {
+	LatencyPerMsg time.Duration
+	BytesPerSec   float64
+	SyncLatency   time.Duration
+}
+
+// DefaultNetworkModel returns the Polaris-like model.
+func DefaultNetworkModel() NetworkModel {
+	return NetworkModel{
+		LatencyPerMsg: 2 * time.Microsecond,
+		BytesPerSec:   25e9,
+		SyncLatency:   time.Microsecond,
+	}
+}
+
+// Counters accumulates one rank's communication activity.
+type Counters struct {
+	BytesSent int64
+	Messages  int64
+	Syncs     int64
+	// CommWall is wall time spent inside collectives (includes waiting
+	// at barriers — on a single-core host this is scheduling time).
+	CommWall time.Duration
+}
+
+// ModeledTime converts the counters into fabric time under the model.
+func (c Counters) ModeledTime(m NetworkModel) time.Duration {
+	t := time.Duration(c.Messages)*m.LatencyPerMsg + time.Duration(c.Syncs)*m.SyncLatency
+	if m.BytesPerSec > 0 {
+		t += time.Duration(float64(c.BytesSent) / m.BytesPerSec * float64(time.Second))
+	}
+	return t
+}
+
+// Group is the shared fabric connecting K ranks.
+type Group struct {
+	size int
+	algo AlltoallAlgo
+
+	bar *barrier
+
+	// published per-rank pointers, valid between barrier pairs.
+	bufs    [][]complex128
+	scratch [][]complex128
+	floats  []float64
+
+	counters []Counters
+}
+
+// NewGroup creates the fabric for k ranks (k ≥ 1; Pairwise requires a
+// power of two, checked at Alltoall time so mixed use stays possible).
+func NewGroup(k int, algo AlltoallAlgo) (*Group, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: group size %d < 1", k)
+	}
+	return &Group{
+		size:     k,
+		algo:     algo,
+		bar:      newBarrier(k),
+		bufs:     make([][]complex128, k),
+		scratch:  make([][]complex128, k),
+		floats:   make([]float64, k),
+		counters: make([]Counters, k),
+	}, nil
+}
+
+// Size returns the number of ranks.
+func (g *Group) Size() int { return g.size }
+
+// Comm returns rank r's communicator endpoint.
+func (g *Group) Comm(r int) *Comm {
+	if r < 0 || r >= g.size {
+		panic(fmt.Sprintf("cluster: rank %d out of range [0,%d)", r, g.size))
+	}
+	return &Comm{g: g, rank: r}
+}
+
+// Counters returns a copy of rank r's traffic counters.
+func (g *Group) Counters(r int) Counters { return g.counters[r] }
+
+// TotalCounters sums counters across ranks.
+func (g *Group) TotalCounters() Counters {
+	var t Counters
+	for _, c := range g.counters {
+		t.BytesSent += c.BytesSent
+		t.Messages += c.Messages
+		t.Syncs += c.Syncs
+		if c.CommWall > t.CommWall {
+			t.CommWall = c.CommWall // critical path, not sum
+		}
+	}
+	return t
+}
+
+// Run launches fn on k goroutine ranks and waits for all to return,
+// collecting the first non-nil error.
+func (g *Group) Run(fn func(c *Comm) error) error {
+	errs := make([]error, g.size)
+	var wg sync.WaitGroup
+	for r := 0; r < g.size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(g.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm is one rank's endpoint into the group fabric.
+type Comm struct {
+	g    *Group
+	rank int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the group size.
+func (c *Comm) Size() int { return c.g.size }
+
+// Counters returns this rank's traffic counters so far.
+func (c *Comm) Counters() Counters { return c.g.counters[c.rank] }
+
+// Barrier synchronizes all ranks.
+func (c *Comm) Barrier() {
+	start := time.Now()
+	c.g.bar.wait()
+	ctr := &c.g.counters[c.rank]
+	ctr.Syncs++
+	ctr.CommWall += time.Since(start)
+}
+
+// Alltoall performs the in-place all-to-all exchange: buf is split
+// into Size() equal subchunks; subchunk s is sent to rank s, which
+// stores it as its subchunk Rank(). Every rank must call with equal
+// buffer lengths divisible by Size(). This is the collective at the
+// heart of Algorithm 4 — for a state vector it transposes the
+// (rank, top-local-qubits) index pair.
+func (c *Comm) Alltoall(buf []complex128) error {
+	g := c.g
+	k := g.size
+	if len(buf)%k != 0 {
+		return fmt.Errorf("cluster: Alltoall buffer length %d not divisible by %d ranks", len(buf), k)
+	}
+	if g.algo == Pairwise && bits.OnesCount(uint(k)) != 1 {
+		return fmt.Errorf("cluster: pairwise all-to-all requires power-of-two ranks, got %d", k)
+	}
+	start := time.Now()
+	sub := len(buf) / k
+	ctr := &g.counters[c.rank]
+	switch g.algo {
+	case Transpose:
+		// Publish, then read each peer's subchunk destined for us into
+		// scratch, then copy back — two barriers total.
+		g.bufs[c.rank] = buf
+		if g.scratch[c.rank] == nil || len(g.scratch[c.rank]) < len(buf) {
+			g.scratch[c.rank] = make([]complex128, len(buf))
+		}
+		tmp := g.scratch[c.rank][:len(buf)]
+		g.bar.wait()
+		for s := 0; s < k; s++ {
+			copy(tmp[s*sub:(s+1)*sub], g.bufs[s][c.rank*sub:(c.rank+1)*sub])
+			if s != c.rank {
+				ctr.Messages++
+				ctr.BytesSent += int64(sub) * 16
+			}
+		}
+		g.bar.wait()
+		copy(buf, tmp)
+		ctr.Syncs += 2
+	case Pairwise:
+		// K−1 rounds; in round r, exchange subchunks with rank⊕r. Each
+		// round publishes, swaps, and re-synchronizes (the per-round
+		// handshakes are what make this algorithm slower on fabrics
+		// with cheap direct peer access, as in Fig. 5).
+		g.bufs[c.rank] = buf
+		for round := 1; round < k; round++ {
+			partner := c.rank ^ round
+			g.bar.wait()
+			// Read partner's subchunk[c.rank] into scratch.
+			if g.scratch[c.rank] == nil || len(g.scratch[c.rank]) < sub {
+				g.scratch[c.rank] = make([]complex128, len(buf))
+			}
+			tmp := g.scratch[c.rank][:sub]
+			copy(tmp, g.bufs[partner][c.rank*sub:(c.rank+1)*sub])
+			g.bar.wait()
+			copy(buf[partner*sub:(partner+1)*sub], tmp)
+			ctr.Messages++
+			ctr.BytesSent += int64(sub) * 16
+			ctr.Syncs += 2
+		}
+		g.bar.wait()
+		ctr.Syncs++
+	default:
+		return fmt.Errorf("cluster: unknown all-to-all algorithm %v", g.algo)
+	}
+	ctr.CommWall += time.Since(start)
+	return nil
+}
+
+// AllreduceSum returns the sum of x across ranks, on every rank.
+func (c *Comm) AllreduceSum(x float64) float64 {
+	g := c.g
+	g.floats[c.rank] = x
+	c.syncCount(2)
+	g.bar.wait()
+	var s float64
+	for _, v := range g.floats {
+		s += v
+	}
+	g.bar.wait()
+	return s
+}
+
+// AllreduceMin returns the minimum of x across ranks, on every rank.
+func (c *Comm) AllreduceMin(x float64) float64 {
+	g := c.g
+	g.floats[c.rank] = x
+	c.syncCount(2)
+	g.bar.wait()
+	m := g.floats[0]
+	for _, v := range g.floats[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	g.bar.wait()
+	return m
+}
+
+// AllGather concatenates every rank's local buffer in rank order and
+// returns the full vector on every rank (the paper's mpi_gather=True
+// output path).
+func (c *Comm) AllGather(local []complex128) []complex128 {
+	g := c.g
+	g.bufs[c.rank] = local
+	c.syncCount(2)
+	g.bar.wait()
+	total := 0
+	for _, b := range g.bufs {
+		total += len(b)
+	}
+	out := make([]complex128, 0, total)
+	for _, b := range g.bufs {
+		out = append(out, b...)
+	}
+	g.bar.wait()
+	return out
+}
+
+func (c *Comm) syncCount(n int64) {
+	ctr := &c.g.counters[c.rank]
+	ctr.Syncs += n
+}
+
+// barrier is a reusable (cyclic) barrier for a fixed party count.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   uint64
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAlltoallSemantics(t *testing.T) {
+	// Each rank r fills subchunk s with value 100r+s; after all-to-all
+	// rank r's subchunk s must hold 100s+r.
+	for _, algo := range []AlltoallAlgo{Pairwise, Transpose} {
+		for _, k := range []int{1, 2, 4, 8} {
+			g, err := NewGroup(k, algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub := 3
+			if algo == Pairwise {
+				sub = 4 // keep lengths divisible for every k
+			}
+			err = g.Run(func(c *Comm) error {
+				buf := make([]complex128, k*sub)
+				for s := 0; s < k; s++ {
+					for i := 0; i < sub; i++ {
+						buf[s*sub+i] = complex(float64(100*c.Rank()+s), float64(i))
+					}
+				}
+				if err := c.Alltoall(buf); err != nil {
+					return err
+				}
+				for s := 0; s < k; s++ {
+					for i := 0; i < sub; i++ {
+						want := complex(float64(100*s+c.Rank()), float64(i))
+						if buf[s*sub+i] != want {
+							return fmt.Errorf("rank %d subchunk %d elem %d: got %v, want %v", c.Rank(), s, i, buf[s*sub+i], want)
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%v k=%d: %v", algo, k, err)
+			}
+		}
+	}
+}
+
+func TestAlltoallIsInvolution(t *testing.T) {
+	for _, algo := range []AlltoallAlgo{Pairwise, Transpose} {
+		g, err := NewGroup(4, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = g.Run(func(c *Comm) error {
+			buf := make([]complex128, 8)
+			orig := make([]complex128, 8)
+			for i := range buf {
+				buf[i] = complex(float64(c.Rank()*8+i), -float64(i))
+				orig[i] = buf[i]
+			}
+			if err := c.Alltoall(buf); err != nil {
+				return err
+			}
+			if err := c.Alltoall(buf); err != nil {
+				return err
+			}
+			for i := range buf {
+				if buf[i] != orig[i] {
+					return fmt.Errorf("rank %d: double all-to-all changed element %d", c.Rank(), i)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+	}
+}
+
+func TestAlltoallErrors(t *testing.T) {
+	g, _ := NewGroup(3, Pairwise)
+	err := g.Run(func(c *Comm) error {
+		return c.Alltoall(make([]complex128, 6))
+	})
+	if err == nil {
+		t.Error("pairwise with non-power-of-two ranks accepted")
+	}
+	g2, _ := NewGroup(2, Transpose)
+	err = g2.Run(func(c *Comm) error {
+		return c.Alltoall(make([]complex128, 3))
+	})
+	if err == nil {
+		t.Error("indivisible buffer accepted")
+	}
+	if _, err := NewGroup(0, Transpose); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestAllreduceSumAndMin(t *testing.T) {
+	g, err := NewGroup(5, Transpose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.Run(func(c *Comm) error {
+		x := float64(c.Rank() + 1)
+		if got := c.AllreduceSum(x); got != 15 {
+			return fmt.Errorf("rank %d: sum %v, want 15", c.Rank(), got)
+		}
+		if got := c.AllreduceMin(-x); got != -5 {
+			return fmt.Errorf("rank %d: min %v, want -5", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	g, err := NewGroup(3, Transpose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.Run(func(c *Comm) error {
+		local := []complex128{complex(float64(c.Rank()), 0), complex(float64(c.Rank()), 1)}
+		full := c.AllGather(local)
+		if len(full) != 6 {
+			return fmt.Errorf("gathered %d elements", len(full))
+		}
+		for r := 0; r < 3; r++ {
+			if real(full[2*r]) != float64(r) {
+				return fmt.Errorf("rank %d: gathered order wrong at %d", c.Rank(), r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	g, err := NewGroup(4, Transpose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phase atomic.Int64
+	err = g.Run(func(c *Comm) error {
+		phase.Add(1)
+		c.Barrier()
+		if got := phase.Load(); got != 4 {
+			return fmt.Errorf("rank %d passed barrier with phase %d", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	for _, algo := range []AlltoallAlgo{Pairwise, Transpose} {
+		g, err := NewGroup(4, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = g.Run(func(c *Comm) error {
+			return c.Alltoall(make([]complex128, 16))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 4; r++ {
+			ctr := g.Counters(r)
+			// Each rank sends 3 remote subchunks of 4 amplitudes = 192 B.
+			if ctr.BytesSent != 3*4*16 {
+				t.Errorf("%v rank %d: bytes %d, want 192", algo, r, ctr.BytesSent)
+			}
+			if ctr.Messages != 3 {
+				t.Errorf("%v rank %d: messages %d, want 3", algo, r, ctr.Messages)
+			}
+			if ctr.Syncs == 0 {
+				t.Errorf("%v rank %d: no syncs recorded", algo, r)
+			}
+		}
+		if tot := g.TotalCounters(); tot.BytesSent != 4*192 {
+			t.Errorf("%v: total bytes %d, want 768", algo, tot.BytesSent)
+		}
+	}
+}
+
+func TestPairwiseCostsMoreSyncs(t *testing.T) {
+	// The structural reason transpose wins in Fig. 5: pairwise pays
+	// ~2(K−1) synchronizations per all-to-all, transpose pays 2.
+	syncs := map[AlltoallAlgo]int64{}
+	for _, algo := range []AlltoallAlgo{Pairwise, Transpose} {
+		g, _ := NewGroup(8, algo)
+		if err := g.Run(func(c *Comm) error { return c.Alltoall(make([]complex128, 64)) }); err != nil {
+			t.Fatal(err)
+		}
+		syncs[algo] = g.Counters(0).Syncs
+	}
+	if syncs[Pairwise] <= syncs[Transpose] {
+		t.Errorf("pairwise syncs %d not greater than transpose %d", syncs[Pairwise], syncs[Transpose])
+	}
+}
+
+func TestModeledTime(t *testing.T) {
+	m := NetworkModel{LatencyPerMsg: time.Microsecond, BytesPerSec: 1e9, SyncLatency: time.Nanosecond}
+	c := Counters{BytesSent: 1e9, Messages: 10, Syncs: 5}
+	got := c.ModeledTime(m)
+	want := 10*time.Microsecond + time.Second + 5*time.Nanosecond
+	if got != want {
+		t.Errorf("ModeledTime = %v, want %v", got, want)
+	}
+	if d := DefaultNetworkModel(); d.BytesPerSec <= 0 || d.LatencyPerMsg <= 0 || d.SyncLatency <= 0 {
+		t.Error("default model must be positive")
+	}
+	mLat := NetworkModel{LatencyPerMsg: time.Millisecond}
+	if got := (Counters{Messages: 3}).ModeledTime(mLat); got != 3*time.Millisecond {
+		t.Errorf("latency-only model = %v", got)
+	}
+	// The sync term separates the algorithms at equal volume.
+	pairwise := Counters{BytesSent: 100, Messages: 7, Syncs: 15}
+	transpose := Counters{BytesSent: 100, Messages: 7, Syncs: 2}
+	dm := DefaultNetworkModel()
+	if pairwise.ModeledTime(dm) <= transpose.ModeledTime(dm) {
+		t.Error("modeled time must penalize extra synchronization rounds")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	g, _ := NewGroup(2, Transpose)
+	sentinel := fmt.Errorf("boom")
+	err := g.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Errorf("Run error = %v, want sentinel", err)
+	}
+}
+
+func TestGroupSizeOne(t *testing.T) {
+	// K=1 is a degenerate but valid group: all collectives are no-ops.
+	g, err := NewGroup(1, Pairwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.Run(func(c *Comm) error {
+		buf := []complex128{1, 2}
+		if err := c.Alltoall(buf); err != nil {
+			return err
+		}
+		if buf[0] != 1 || buf[1] != 2 {
+			return fmt.Errorf("K=1 all-to-all changed data")
+		}
+		if s := c.AllreduceSum(3.5); s != 3.5 {
+			return fmt.Errorf("K=1 sum %v", s)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(g.Counters(0).BytesSent)) != 0 {
+		t.Error("K=1 sent bytes")
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Variance returns Var(Ĉ) = ⟨Ĉ²⟩ − ⟨Ĉ⟩² over the evolved state,
+// computed from the cached diagonal in one pass. The variance is the
+// standard diagnostic for parameter-optimization landscapes (it
+// vanishes exactly on eigenstates, so small variance near a low
+// expectation signals concentration on good solutions).
+func (r *Result) Variance() float64 {
+	s := r.sim
+	probs := r.Probabilities(nil, true)
+	var mean, second float64
+	for x, p := range probs {
+		c := s.diag[x]
+		mean += p * c
+		second += p * c * c
+	}
+	v := second - mean*mean
+	if v < 0 {
+		return 0 // numerical guard
+	}
+	return v
+}
+
+// CVaR returns the Conditional Value at Risk objective at level
+// α ∈ (0, 1]: the expected cost over the best (lowest-cost) α-fraction
+// of the measurement distribution. CVaR(1) equals the plain
+// expectation; small α rewards states whose low-cost tail is heavy —
+// the standard trick for making QAOA optimization target the solution
+// quality a sampler would actually deliver. The per-call cost is one
+// pass over the diagonal's precomputed sort order, which the simulator
+// builds lazily on first use and caches (one more reuse of the §III-A
+// precomputation idea).
+func (r *Result) CVaR(alpha float64) (float64, error) {
+	if alpha <= 0 || alpha > 1 {
+		return 0, fmt.Errorf("core: CVaR level %v outside (0,1]", alpha)
+	}
+	s := r.sim
+	order := s.costOrder()
+	probs := r.Probabilities(nil, true)
+	remaining := alpha
+	var acc float64
+	for _, x := range order {
+		p := probs[x]
+		if p <= 0 {
+			continue
+		}
+		if p >= remaining {
+			acc += remaining * s.diag[x]
+			remaining = 0
+			break
+		}
+		acc += p * s.diag[x]
+		remaining -= p
+	}
+	// remaining > 0 can only stem from normalization rounding; treat
+	// the shortfall as mass at the largest visited cost.
+	if remaining > 1e-12 && len(order) > 0 {
+		acc += remaining * s.diag[order[len(order)-1]]
+	}
+	return acc / alpha, nil
+}
+
+// costOrder returns (building and caching on first use) the basis
+// states sorted by ascending cost.
+func (s *Simulator) costOrder() []uint64 {
+	if s.sortedCosts != nil {
+		return s.sortedCosts
+	}
+	order := make([]uint64, len(s.diag))
+	for i := range order {
+		order[i] = uint64(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return s.diag[order[a]] < s.diag[order[b]] })
+	s.sortedCosts = order
+	return order
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"qokit/internal/statevec"
+)
+
+// Result is the evolved QAOA state together with the simulator that
+// produced it. Mirroring QOKit, the underlying representation depends
+// on the backend (complex128 vector or SoA pair); portable consumers
+// should use the output methods (Expectation, Overlap, StateVector,
+// Probabilities) rather than reach into the representation.
+type Result struct {
+	sim   *Simulator
+	vec   statevec.Vec    // non-nil for Serial/Parallel backends
+	soa   *statevec.SoA   // non-nil for the SoA backend
+	soa32 *statevec.SoA32 // non-nil for the SoA backend in single precision
+}
+
+// SimulateQAOA runs Algorithm 3: it initializes the state, then for
+// each layer l applies the phase operator e^{−iγ_l Ĉ} from the cached
+// diagonal followed by the mixer e^{−iβ_l M}. gamma and beta must have
+// equal length p ≥ 0; p = 0 returns the initial state.
+func (s *Simulator) SimulateQAOA(gamma, beta []float64) (*Result, error) {
+	if len(gamma) != len(beta) {
+		return nil, fmt.Errorf("core: len(gamma)=%d != len(beta)=%d", len(gamma), len(beta))
+	}
+	r := &Result{sim: s}
+	switch {
+	case s.backend == BackendSoA && s.opts.SinglePrecision:
+		r.soa32 = statevec.SoA32FromVec(s.initial)
+	case s.backend == BackendSoA:
+		r.soa = statevec.SoAFromVec(s.initial)
+	default:
+		r.vec = s.initial.Clone()
+	}
+	for l := range gamma {
+		s.applyPhase(r, gamma[l])
+		s.applyMixer(r, beta[l])
+	}
+	return r, nil
+}
+
+// ApplyLayer applies one more QAOA layer to an existing result. It
+// lets callers build up depth incrementally (e.g. the Fig. 4 sweep
+// reuses a single evolution instead of re-simulating prefixes).
+func (s *Simulator) ApplyLayer(r *Result, gamma, beta float64) {
+	s.applyPhase(r, gamma)
+	s.applyMixer(r, beta)
+}
+
+func (s *Simulator) applyPhase(r *Result, gamma float64) {
+	if s.opts.RecomputePhase {
+		s.applyPhaseRecompute(r, gamma)
+		return
+	}
+	switch {
+	case r.soa32 != nil:
+		r.soa32.PhaseDiag(s.pool, s.diag, gamma)
+	case r.soa != nil:
+		// The quantized path tabulates e^{−iγ(Min+Scale·k)} once per γ
+		// (≤ 2^16 entries) instead of 2^n sincos evaluations.
+		if s.quant != nil {
+			tab := s.quant.PhaseTable(gamma)
+			cosT, sinT := tableToSoA(tab, s.quant.Codes)
+			r.soa.PhaseFactors(s.pool, cosT, sinT)
+			return
+		}
+		r.soa.PhaseDiag(s.pool, s.diag, gamma)
+	case s.backend == BackendSerial:
+		if s.quant != nil {
+			s.quant.PhaseApply(nil, r.vec, gamma)
+			return
+		}
+		statevec.PhaseDiag(r.vec, s.diag, gamma)
+	default:
+		if s.quant != nil {
+			s.quant.PhaseApply(s.pool, r.vec, gamma)
+			return
+		}
+		s.pool.PhaseDiag(r.vec, s.diag, gamma)
+	}
+}
+
+// applyPhaseRecompute is the no-precompute ablation: every layer
+// re-derives f(x) from the compiled terms before exponentiating,
+// paying O(|T|) popcounts per amplitude per layer. If the simulator
+// was built from a raw diagonal (no terms available) it falls back to
+// an equivalent-cost scan so timing ablations remain meaningful.
+func (s *Simulator) applyPhaseRecompute(r *Result, gamma float64) {
+	eval := s.compiled.Eval
+	if s.compiled.Len() == 0 {
+		diag := s.diag
+		eval = func(x uint64) float64 { return diag[x] }
+	}
+	if r.soa != nil {
+		re, im := r.soa.Re, r.soa.Im
+		s.pool.Run(len(re), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sn, cs := math.Sincos(-gamma * eval(uint64(i)))
+				pr, pi := re[i], im[i]
+				re[i] = pr*cs - pi*sn
+				im[i] = pr*sn + pi*cs
+			}
+		})
+		return
+	}
+	apply := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sn, cs := math.Sincos(-gamma * eval(uint64(i)))
+			r.vec[i] *= complex(cs, sn)
+		}
+	}
+	if s.backend == BackendSerial {
+		apply(0, len(r.vec))
+		return
+	}
+	s.pool.Run(len(r.vec), apply)
+}
+
+// tableToSoA expands a per-code phase table into full-length cos/sin
+// factor arrays for the SoA kernel.
+func tableToSoA(tab []complex128, codes []uint16) (cosT, sinT []float64) {
+	cosT = make([]float64, len(codes))
+	sinT = make([]float64, len(codes))
+	for i, c := range codes {
+		cosT[i] = real(tab[c])
+		sinT[i] = imag(tab[c])
+	}
+	return cosT, sinT
+}
+
+func (s *Simulator) applyMixer(r *Result, beta float64) {
+	switch s.opts.Mixer {
+	case MixerX:
+		switch {
+		case r.soa32 != nil && s.opts.FusedMixer:
+			r.soa32.ApplyUniformRXFused(s.pool, beta)
+		case r.soa32 != nil:
+			r.soa32.ApplyUniformRX(s.pool, beta)
+		case r.soa != nil && s.opts.FusedMixer:
+			r.soa.ApplyUniformRXFused(s.pool, beta)
+		case r.soa != nil:
+			r.soa.ApplyUniformRX(s.pool, beta)
+		case s.backend == BackendSerial && s.opts.FusedMixer:
+			statevec.ApplyUniformRXFused(r.vec, beta)
+		case s.backend == BackendSerial:
+			statevec.ApplyUniformRX(r.vec, beta)
+		case s.opts.FusedMixer:
+			s.pool.ApplyUniformRXFused(r.vec, beta)
+		default:
+			s.pool.ApplyUniformRX(r.vec, beta)
+		}
+	default: // xy mixers share the per-edge sweep
+		for _, e := range s.mixerPairs {
+			switch {
+			case r.soa32 != nil:
+				r.soa32.ApplyXY(s.pool, e.U, e.V, beta)
+			case r.soa != nil:
+				r.soa.ApplyXY(s.pool, e.U, e.V, beta)
+			case s.backend == BackendSerial:
+				statevec.ApplyXY(r.vec, e.U, e.V, beta)
+			default:
+				s.pool.ApplyXY(r.vec, e.U, e.V, beta)
+			}
+		}
+	}
+}
+
+// Expectation returns ⟨γ,β|Ĉ|γ,β⟩ against the cached cost diagonal —
+// the QAOA objective, evaluated as a single inner product (QOKit's
+// get_expectation).
+func (r *Result) Expectation() float64 {
+	s := r.sim
+	if r.soa32 != nil {
+		return r.soa32.ExpectationDiag(s.pool, s.diag)
+	}
+	if r.soa != nil {
+		return r.soa.ExpectationDiag(s.pool, s.diag)
+	}
+	if s.backend == BackendSerial {
+		return statevec.ExpectationDiag(r.vec, s.diag)
+	}
+	return s.pool.ExpectationDiag(r.vec, s.diag)
+}
+
+// ExpectationOf evaluates the expectation of a caller-supplied
+// diagonal observable (QOKit's get_expectation with a custom costs
+// argument).
+func (r *Result) ExpectationOf(diag []float64) float64 {
+	s := r.sim
+	if len(diag) != 1<<uint(s.n) {
+		panic(fmt.Sprintf("core: ExpectationOf diagonal length %d, want %d", len(diag), 1<<uint(s.n)))
+	}
+	if r.soa32 != nil {
+		return r.soa32.ExpectationDiag(s.pool, diag)
+	}
+	if r.soa != nil {
+		return r.soa.ExpectationDiag(s.pool, diag)
+	}
+	if s.backend == BackendSerial {
+		return statevec.ExpectationDiag(r.vec, diag)
+	}
+	return s.pool.ExpectationDiag(r.vec, diag)
+}
+
+// Overlap returns the probability of measuring an optimal solution:
+// Σ_{x∈argmin} |ψ_x|² (QOKit's get_overlap).
+func (r *Result) Overlap() float64 {
+	if r.soa32 != nil {
+		var s float64
+		for _, x := range r.sim.groundStates {
+			re, im := float64(r.soa32.Re[x]), float64(r.soa32.Im[x])
+			s += re*re + im*im
+		}
+		return s
+	}
+	if r.soa != nil {
+		var s float64
+		for _, x := range r.sim.groundStates {
+			s += r.soa.Re[x]*r.soa.Re[x] + r.soa.Im[x]*r.soa.Im[x]
+		}
+		return s
+	}
+	return statevec.OverlapStates(r.vec, r.sim.groundStates)
+}
+
+// StateVector returns the evolved state as a complex128 vector
+// (QOKit's get_statevector). The returned slice is a copy.
+func (r *Result) StateVector() statevec.Vec {
+	if r.soa32 != nil {
+		return r.soa32.ToVec()
+	}
+	if r.soa != nil {
+		return r.soa.ToVec()
+	}
+	return r.vec.Clone()
+}
+
+// Probabilities returns |ψ_x|² for every basis state (QOKit's
+// get_probabilities). dst is reused when large enough. When
+// preserveState is false the SoA backend is permitted to overwrite its
+// real parts with the probabilities to save a pass — mirroring the
+// preserve_state=False memory optimization of Listing 3 — after which
+// the Result must not be reused.
+func (r *Result) Probabilities(dst []float64, preserveState bool) []float64 {
+	if r.soa32 != nil {
+		return r.soa32.Probabilities(dst)
+	}
+	if r.soa != nil {
+		if !preserveState {
+			re, im := r.soa.Re, r.soa.Im
+			for i := range re {
+				re[i] = re[i]*re[i] + im[i]*im[i]
+			}
+			return re
+		}
+		return r.soa.Probabilities(dst)
+	}
+	return r.vec.Probabilities(dst)
+}
+
+// Norm returns ‖ψ‖₂, which stays 1 up to rounding for any parameters
+// (useful as a numerical health check).
+func (r *Result) Norm() float64 {
+	if r.soa32 != nil {
+		return math.Sqrt(r.soa32.NormSquared(r.sim.pool))
+	}
+	if r.soa != nil {
+		return math.Sqrt(r.soa.NormSquared(r.sim.pool))
+	}
+	return r.vec.Norm()
+}

@@ -1,0 +1,217 @@
+// Package distsim implements the paper's distributed simulation
+// (§III-C, Algorithm 4) on the in-process cluster substrate. The 2^n
+// state vector is split over K = 2^k ranks; the k most significant
+// index bits are the "global" qubits fixed by the rank id, the rest
+// are "local".
+//
+// Per layer:
+//   - the phase operator and the cost-diagonal precomputation touch
+//     only local data (each rank computed its diagonal slice from the
+//     terms with PrecomputeRange — no communication, §III-A locality),
+//   - the mixer applies Algorithm 1 to the n−k local qubits, performs
+//     one all-to-all (which transposes the rank bits with the top k
+//     local bits), applies the remaining k rotations — now local, at
+//     positions n−2k…n−k−1 — and restores the layout with a second
+//     all-to-all.
+//
+// The objective is one local partial inner product plus an all-reduce.
+// Algorithm 4 requires 2k ≤ n so each all-to-all subchunk holds at
+// least one amplitude.
+package distsim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"qokit/internal/cluster"
+	"qokit/internal/core"
+	"qokit/internal/costvec"
+	"qokit/internal/poly"
+	"qokit/internal/statevec"
+)
+
+// Options configures a distributed run.
+type Options struct {
+	// Ranks is K, the number of simulated nodes (power of two ≥ 1).
+	Ranks int
+	// Algo selects the all-to-all implementation (the paper's custom
+	// MPI code vs cuStateVec distributed index swap, Fig. 5).
+	Algo cluster.AlltoallAlgo
+	// Gather controls whether the full state vector is assembled on
+	// return (the mpi_gather=True output mode of Listing 3).
+	Gather bool
+	// Mixer must be MixerX; the distributed implementation covers the
+	// transverse-field mixer, as in the paper's large-scale runs.
+	Mixer core.Mixer
+}
+
+// Result carries the distributed outputs plus per-run communication
+// statistics.
+type Result struct {
+	Expectation float64
+	Overlap     float64
+	MinCost     float64
+	// State is the gathered state vector (nil unless Options.Gather).
+	State statevec.Vec
+	// Comm is the summed traffic with critical-path wall time.
+	Comm cluster.Counters
+	// PerRank holds each rank's counters.
+	PerRank []cluster.Counters
+}
+
+// SimulateQAOA runs the full distributed Algorithm 3/4 pipeline for
+// the problem given by terms.
+func SimulateQAOA(n int, terms poly.Terms, gamma, beta []float64, opts Options) (*Result, error) {
+	if err := terms.Validate(n); err != nil {
+		return nil, err
+	}
+	if len(gamma) != len(beta) {
+		return nil, fmt.Errorf("distsim: len(gamma)=%d != len(beta)=%d", len(gamma), len(beta))
+	}
+	if opts.Mixer != core.MixerX {
+		return nil, fmt.Errorf("distsim: only the transverse-field mixer is distributed (got %v)", opts.Mixer)
+	}
+	k, err := checkRanks(n, opts.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	compiled := poly.Compile(terms)
+	g, err := cluster.NewGroup(opts.Ranks, opts.Algo)
+	if err != nil {
+		return nil, err
+	}
+
+	localN := n - k
+	localSize := 1 << uint(localN)
+	res := &Result{}
+	locals := make([]statevec.Vec, opts.Ranks)
+	expectParts := make([]float64, opts.Ranks)
+	overlapParts := make([]float64, opts.Ranks)
+	minParts := make([]float64, opts.Ranks)
+
+	err = g.Run(func(c *cluster.Comm) error {
+		rank := c.Rank()
+		offset := uint64(rank) << uint(localN)
+
+		// Local precompute: no communication (§III-A).
+		diag := make([]float64, localSize)
+		costvec.PrecomputeRange(compiled, offset, diag)
+
+		// Local slice of |+⟩^n.
+		local := make(statevec.Vec, localSize)
+		amp := complex(1/math.Sqrt(float64(uint64(1)<<uint(n))), 0)
+		for i := range local {
+			local[i] = amp
+		}
+
+		for l := range gamma {
+			statevec.PhaseDiag(local, diag, gamma[l])
+			if err := distributedMixer(c, local, n, k, beta[l]); err != nil {
+				return err
+			}
+		}
+
+		// Objective: local partial sums + all-reduce.
+		expectParts[rank] = c.AllreduceSum(statevec.ExpectationDiag(local, diag))
+
+		// Ground states: global minimum, then local overlap mass.
+		localMin, _ := costvec.MinMax(diag)
+		globalMin := c.AllreduceMin(localMin)
+		minParts[rank] = globalMin
+		var ov float64
+		for i, v := range diag {
+			if v <= globalMin+1e-9 {
+				a := local[i]
+				ov += real(a)*real(a) + imag(a)*imag(a)
+			}
+		}
+		overlapParts[rank] = c.AllreduceSum(ov)
+
+		if opts.Gather {
+			full := c.AllGather(local)
+			if rank == 0 {
+				locals[0] = full
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res.Expectation = expectParts[0]
+	res.Overlap = overlapParts[0]
+	res.MinCost = minParts[0]
+	if opts.Gather {
+		res.State = locals[0]
+	}
+	res.PerRank = make([]cluster.Counters, opts.Ranks)
+	for r := 0; r < opts.Ranks; r++ {
+		res.PerRank[r] = g.Counters(r)
+	}
+	res.Comm = g.TotalCounters()
+	return res, nil
+}
+
+// distributedMixer is Algorithm 4: local sweeps, transpose, global
+// sweeps (now local), transpose back.
+func distributedMixer(c *cluster.Comm, local statevec.Vec, n, k int, beta float64) error {
+	s, cs := math.Sincos(beta)
+	a, b := complex(cs, 0), complex(0, -s)
+	localN := n - k
+	for q := 0; q < localN; q++ {
+		statevec.ApplySU2(local, q, a, b)
+	}
+	if k == 0 {
+		return nil
+	}
+	if err := c.Alltoall(local); err != nil {
+		return err
+	}
+	// Global qubit j (index bit n−k+j) now lives at local bit n−2k+j.
+	for j := 0; j < k; j++ {
+		statevec.ApplySU2(local, localN-k+j, a, b)
+	}
+	return c.Alltoall(local)
+}
+
+// MixerOnly runs just the distributed mixer once on a caller-provided
+// distributed state (one slice per rank, modified in place) and
+// returns the group counters. It is the kernel benchmarked by the
+// weak-scaling experiment (Fig. 5 measures one LABS layer, which is
+// dominated by this collective pattern).
+func MixerOnly(n int, ranks int, algo cluster.AlltoallAlgo, slices []statevec.Vec, beta float64) (cluster.Counters, error) {
+	k, err := checkRanks(n, ranks)
+	if err != nil {
+		return cluster.Counters{}, err
+	}
+	if len(slices) != ranks {
+		return cluster.Counters{}, fmt.Errorf("distsim: %d slices for %d ranks", len(slices), ranks)
+	}
+	g, err := cluster.NewGroup(ranks, algo)
+	if err != nil {
+		return cluster.Counters{}, err
+	}
+	err = g.Run(func(c *cluster.Comm) error {
+		return distributedMixer(c, slices[c.Rank()], n, k, beta)
+	})
+	if err != nil {
+		return cluster.Counters{}, err
+	}
+	return g.TotalCounters(), nil
+}
+
+func checkRanks(n, ranks int) (k int, err error) {
+	if ranks < 1 {
+		return 0, fmt.Errorf("distsim: ranks=%d < 1", ranks)
+	}
+	if bits.OnesCount(uint(ranks)) != 1 {
+		return 0, fmt.Errorf("distsim: ranks=%d must be a power of two", ranks)
+	}
+	k = bits.TrailingZeros(uint(ranks))
+	if 2*k > n {
+		return 0, fmt.Errorf("distsim: Algorithm 4 requires 2·log2(K) ≤ n, got K=%d (k=%d) for n=%d", ranks, k, n)
+	}
+	return k, nil
+}

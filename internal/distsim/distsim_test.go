@@ -1,0 +1,191 @@
+package distsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qokit/internal/cluster"
+	"qokit/internal/core"
+	"qokit/internal/graphs"
+	"qokit/internal/problems"
+	"qokit/internal/statevec"
+)
+
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	n := 8
+	g, err := graphs.RandomRegular(n, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, problem := range []string{"maxcut", "labs"} {
+		ts := problems.MaxCutTerms(g)
+		if problem == "labs" {
+			ts = problems.LABSTerms(n)
+		}
+		p := 3
+		gamma := make([]float64, p)
+		beta := make([]float64, p)
+		for i := range gamma {
+			gamma[i] = rng.Float64() - 0.5
+			beta[i] = rng.Float64() - 0.5
+		}
+		single, err := core.New(n, ts, core.Options{Backend: core.BackendSerial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := single.SimulateQAOA(gamma, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refState := ref.StateVector()
+
+		for _, algo := range []cluster.AlltoallAlgo{cluster.Pairwise, cluster.Transpose} {
+			for _, k := range []int{1, 2, 4, 8, 16} {
+				res, err := SimulateQAOA(n, ts, gamma, beta, Options{Ranks: k, Algo: algo, Gather: true})
+				if err != nil {
+					t.Fatalf("%s %v K=%d: %v", problem, algo, k, err)
+				}
+				if d := statevec.MaxAbsDiff(res.State, refState); d > 1e-11 {
+					t.Errorf("%s %v K=%d: state differs by %g", problem, algo, k, d)
+				}
+				if math.Abs(res.Expectation-ref.Expectation()) > 1e-9 {
+					t.Errorf("%s %v K=%d: expectation %v, want %v", problem, algo, k, res.Expectation, ref.Expectation())
+				}
+				if math.Abs(res.Overlap-ref.Overlap()) > 1e-9 {
+					t.Errorf("%s %v K=%d: overlap %v, want %v", problem, algo, k, res.Overlap, ref.Overlap())
+				}
+				if math.Abs(res.MinCost-single.MinCost()) > 1e-9 {
+					t.Errorf("%s %v K=%d: min cost %v, want %v", problem, algo, k, res.MinCost, single.MinCost())
+				}
+			}
+		}
+	}
+}
+
+func TestCommunicationOnlyForGlobalQubits(t *testing.T) {
+	// K=1 must perform zero communication; K>1 exactly 2 all-to-alls
+	// per layer (Algorithm 4), visible through the byte counters.
+	n, p := 8, 2
+	ts := problems.LABSTerms(n)
+	gamma := []float64{0.3, 0.5}
+	beta := []float64{0.4, 0.1}
+	res1, err := SimulateQAOA(n, ts, gamma[:p], beta[:p], Options{Ranks: 1, Algo: cluster.Transpose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Comm.BytesSent != 0 {
+		t.Errorf("K=1 sent %d bytes", res1.Comm.BytesSent)
+	}
+	res4, err := SimulateQAOA(n, ts, gamma[:p], beta[:p], Options{Ranks: 4, Algo: cluster.Transpose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per layer each rank sends (K−1)/K of its slice twice; 2 layers.
+	slice := (1 << 8) / 4
+	wantPerRank := int64(2 * p * (slice / 4 * 3) * 16)
+	for r, ctr := range res4.PerRank {
+		if ctr.BytesSent != wantPerRank {
+			t.Errorf("rank %d sent %d bytes, want %d", r, ctr.BytesSent, wantPerRank)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ts := problems.LABSTerms(4)
+	if _, err := SimulateQAOA(4, ts, []float64{1}, []float64{1}, Options{Ranks: 3}); err == nil {
+		t.Error("non-power-of-two ranks accepted")
+	}
+	if _, err := SimulateQAOA(4, ts, []float64{1}, []float64{1}, Options{Ranks: 8}); err == nil {
+		t.Error("2k > n accepted")
+	}
+	if _, err := SimulateQAOA(4, ts, []float64{1}, []float64{1, 2}, Options{Ranks: 2}); err == nil {
+		t.Error("mismatched angles accepted")
+	}
+	if _, err := SimulateQAOA(4, ts, []float64{1}, []float64{1}, Options{Ranks: 2, Mixer: core.MixerXYRing}); err == nil {
+		t.Error("xy mixer accepted by distributed simulator")
+	}
+	if _, err := SimulateQAOA(4, ts, nil, nil, Options{Ranks: 0}); err == nil {
+		t.Error("zero ranks accepted")
+	}
+}
+
+func TestMixerOnlyMatchesSingleNode(t *testing.T) {
+	n, beta := 6, 0.45
+	full := statevec.NewUniform(n)
+	rng := rand.New(rand.NewSource(62))
+	for i := range full {
+		full[i] *= complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	full.Normalize()
+	want := full.Clone()
+	statevec.ApplyUniformRX(want, beta)
+
+	for _, k := range []int{2, 4, 8} {
+		slices := make([]statevec.Vec, k)
+		sliceLen := len(full) / k
+		for r := 0; r < k; r++ {
+			slices[r] = full[r*sliceLen : (r+1)*sliceLen].Clone()
+		}
+		ctr, err := MixerOnly(n, k, cluster.Transpose, slices, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ctr.BytesSent == 0 {
+			t.Errorf("K=%d: no traffic recorded", k)
+		}
+		got := make(statevec.Vec, 0, len(full))
+		for _, s := range slices {
+			got = append(got, s...)
+		}
+		if d := statevec.MaxAbsDiff(got, want); d > 1e-11 {
+			t.Errorf("K=%d: distributed mixer differs by %g", k, d)
+		}
+	}
+}
+
+func TestMixerOnlyValidation(t *testing.T) {
+	if _, err := MixerOnly(4, 2, cluster.Transpose, make([]statevec.Vec, 3), 0.1); err == nil {
+		t.Error("wrong slice count accepted")
+	}
+	if _, err := MixerOnly(4, 16, cluster.Transpose, make([]statevec.Vec, 16), 0.1); err == nil {
+		t.Error("2k > n accepted")
+	}
+}
+
+func TestGatherFalseOmitsState(t *testing.T) {
+	res, err := SimulateQAOA(6, problems.LABSTerms(6), []float64{0.3}, []float64{0.4},
+		Options{Ranks: 2, Algo: cluster.Transpose, Gather: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != nil {
+		t.Error("State returned despite Gather=false (the memory-saving mode)")
+	}
+	if res.Expectation == 0 && res.Overlap == 0 {
+		t.Error("outputs missing without gather")
+	}
+}
+
+func TestDistributedPrecomputeMatchesDiag(t *testing.T) {
+	// The gathered result with p=0 must be the initial uniform state,
+	// and expectation must equal the true mean cost.
+	n := 6
+	ts := problems.LABSTerms(n)
+	res, err := SimulateQAOA(n, ts, nil, nil, Options{Ranks: 4, Algo: cluster.Pairwise, Gather: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := statevec.MaxAbsDiff(res.State, statevec.NewUniform(n)); d > 1e-12 {
+		t.Errorf("p=0 distributed state differs from uniform: %g", d)
+	}
+	var mean float64
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		mean += float64(problems.LABSEnergy(x, n))
+	}
+	mean /= float64(int(1) << uint(n))
+	if math.Abs(res.Expectation-mean) > 1e-9 {
+		t.Errorf("uniform-state expectation %v, want mean cost %v", res.Expectation, mean)
+	}
+}

@@ -1,0 +1,412 @@
+// Package gatesim is the gate-based state-vector baseline the paper
+// compares against (Qiskit Aer and cuStateVec-with-gates, §V). It
+// represents a quantum program the conventional way — as a sequence of
+// one- and two-qubit gates — and simulates it by iterating over the
+// gates and updating the state vector one gate at a time.
+//
+// Its defining cost property, which the paper's precomputation removes,
+// is that the phase operator must be *compiled into gates*: a degree-d
+// cost term becomes a CX ladder, an RZ rotation, and the ladder's
+// inverse (2(d−1)+1 gates before optimization), so a LABS layer costs
+// hundreds of strided passes where the fast simulator does one
+// elementwise multiply plus n mixer sweeps (§VI's 4–160× argument).
+//
+// The package includes a peephole pass cancelling adjacent inverse CX
+// pairs between consecutive ladders and an optional 1-qubit gate
+// fusion pass (§VI discusses gate fusion as the baseline's best
+// counter-move).
+package gatesim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qokit/internal/poly"
+)
+
+// Kind enumerates the gate set.
+type Kind int
+
+const (
+	// KindH is the Hadamard gate.
+	KindH Kind = iota
+	// KindRX is exp(−iθX/2).
+	KindRX
+	// KindRZ is exp(−iθZ/2) = diag(e^{−iθ/2}, e^{iθ/2}).
+	KindRZ
+	// KindCX is controlled-NOT (control Q1, target Q2).
+	KindCX
+	// KindU1 is a generic single-qubit matrix (fusion output).
+	KindU1
+	// KindXX is exp(−iθ(X⊗X)/2) — unused by the compiler but part of
+	// the public gate set for hand-built circuits.
+	KindXX
+	// KindXYPair is exp(−iβ(XX+YY)/2) on (Q1, Q2), the xy-mixer gate.
+	KindXYPair
+)
+
+// String names the gate kind.
+func (k Kind) String() string {
+	switch k {
+	case KindH:
+		return "h"
+	case KindRX:
+		return "rx"
+	case KindRZ:
+		return "rz"
+	case KindCX:
+		return "cx"
+	case KindU1:
+		return "u1"
+	case KindXX:
+		return "rxx"
+	case KindXYPair:
+		return "xy"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Gate is one instruction. Q2 is −1 for single-qubit gates. Theta is
+// the rotation angle for RX/RZ/XX/XYPair. U holds the matrix for
+// KindU1.
+type Gate struct {
+	Kind  Kind
+	Q1    int
+	Q2    int
+	Theta float64
+	U     [2][2]complex128
+}
+
+// IsTwoQubit reports whether the gate touches two qubits.
+func (g Gate) IsTwoQubit() bool { return g.Q2 >= 0 }
+
+// Circuit is an ordered gate list over N qubits.
+type Circuit struct {
+	N     int
+	Gates []Gate
+}
+
+// NewCircuit returns an empty circuit on n qubits.
+func NewCircuit(n int) *Circuit { return &Circuit{N: n} }
+
+// H appends a Hadamard on q.
+func (c *Circuit) H(q int) *Circuit {
+	c.Gates = append(c.Gates, Gate{Kind: KindH, Q1: q, Q2: -1})
+	return c
+}
+
+// RX appends exp(−iθX/2) on q.
+func (c *Circuit) RX(q int, theta float64) *Circuit {
+	c.Gates = append(c.Gates, Gate{Kind: KindRX, Q1: q, Q2: -1, Theta: theta})
+	return c
+}
+
+// RZ appends exp(−iθZ/2) on q.
+func (c *Circuit) RZ(q int, theta float64) *Circuit {
+	c.Gates = append(c.Gates, Gate{Kind: KindRZ, Q1: q, Q2: -1, Theta: theta})
+	return c
+}
+
+// CX appends a CNOT with the given control and target.
+func (c *Circuit) CX(control, target int) *Circuit {
+	c.Gates = append(c.Gates, Gate{Kind: KindCX, Q1: control, Q2: target})
+	return c
+}
+
+// XY appends the xy-mixer pair gate exp(−iβ(XX+YY)/2) on (i, j).
+func (c *Circuit) XY(i, j int, beta float64) *Circuit {
+	c.Gates = append(c.Gates, Gate{Kind: KindXYPair, Q1: i, Q2: j, Theta: beta})
+	return c
+}
+
+// Validate checks qubit indices and gate well-formedness.
+func (c *Circuit) Validate() error {
+	for i, g := range c.Gates {
+		if g.Q1 < 0 || g.Q1 >= c.N {
+			return fmt.Errorf("gatesim: gate %d (%v) qubit %d out of range [0,%d)", i, g.Kind, g.Q1, c.N)
+		}
+		if g.IsTwoQubit() {
+			if g.Q2 >= c.N {
+				return fmt.Errorf("gatesim: gate %d (%v) qubit %d out of range [0,%d)", i, g.Kind, g.Q2, c.N)
+			}
+			if g.Q2 == g.Q1 {
+				return fmt.Errorf("gatesim: gate %d (%v) uses the same qubit twice", i, g.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// CountKind tallies gates of one kind.
+func (c *Circuit) CountKind(k Kind) int {
+	count := 0
+	for _, g := range c.Gates {
+		if g.Kind == k {
+			count++
+		}
+	}
+	return count
+}
+
+// AppendPhaseOperator compiles e^{−iγ Ĉ} for the cost polynomial into
+// the circuit the way a gate-based framework must (Qiskit-style): each
+// degree-d term (w, {q_1..q_d}) becomes a parity CX ladder onto q_d,
+// RZ(2γw) on q_d, and the unladder. Degree-0 terms are global phases
+// and are skipped (unobservable). Terms are emitted in lexicographic
+// order of their sorted variable lists, so consecutive ladders share
+// maximal CX prefixes for the CancelAdjacentCX peephole to remove —
+// the ordering trick behind transpiled gate counts like the paper's
+// ≈160n for LABS.
+func (c *Circuit) AppendPhaseOperator(terms poly.Terms, gamma float64) *Circuit {
+	canon := terms.Canonical()
+	ordered := make([][]int, 0, len(canon))
+	weights := make([]float64, 0, len(canon))
+	for _, t := range canon {
+		if t.Degree() == 0 {
+			continue
+		}
+		vars := append([]int(nil), t.Vars...)
+		sort.Ints(vars)
+		ordered = append(ordered, vars)
+		weights = append(weights, t.Weight)
+	}
+	perm := make([]int, len(ordered))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return lexLess(ordered[perm[a]], ordered[perm[b]]) })
+	for _, idx := range perm {
+		vars := ordered[idx]
+		for i := 0; i+1 < len(vars); i++ {
+			c.CX(vars[i], vars[i+1])
+		}
+		c.RZ(vars[len(vars)-1], 2*gamma*weights[idx])
+		for i := len(vars) - 2; i >= 0; i-- {
+			c.CX(vars[i], vars[i+1])
+		}
+	}
+	return c
+}
+
+// lexLess compares sorted variable lists lexicographically.
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// AppendXMixer compiles e^{−iβΣX_i} as RX(2β) on every qubit.
+func (c *Circuit) AppendXMixer(beta float64) *Circuit {
+	for q := 0; q < c.N; q++ {
+		c.RX(q, 2*beta)
+	}
+	return c
+}
+
+// AppendXYMixer compiles one Trotter step of the xy mixer over the
+// given ordered pair list.
+func (c *Circuit) AppendXYMixer(pairs [][2]int, beta float64) *Circuit {
+	for _, p := range pairs {
+		c.XY(p[0], p[1], beta)
+	}
+	return c
+}
+
+// BuildQAOA builds the full gate-level QAOA circuit: Hadamards on
+// every qubit (preparing |+⟩^n from |0⟩^n), then p alternations of the
+// compiled phase operator and the x mixer. This is what Qiskit
+// simulates when handed a QAOA ansatz.
+func BuildQAOA(n int, terms poly.Terms, gamma, beta []float64) (*Circuit, error) {
+	if len(gamma) != len(beta) {
+		return nil, fmt.Errorf("gatesim: len(gamma)=%d != len(beta)=%d", len(gamma), len(beta))
+	}
+	if err := terms.Validate(n); err != nil {
+		return nil, err
+	}
+	c := NewCircuit(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for l := range gamma {
+		c.AppendPhaseOperator(terms, gamma[l])
+		c.AppendXMixer(beta[l])
+	}
+	return c, nil
+}
+
+// CancelAdjacentCX removes adjacent identical CX pairs (CX·CX = I),
+// the peephole optimization a transpiler applies between consecutive
+// parity ladders. It repeats until a fixed point; gates on disjoint
+// qubits are not commuted (a deliberately simple, Qiskit-level pass).
+func (c *Circuit) CancelAdjacentCX() *Circuit {
+	gates := c.Gates
+	for {
+		out := gates[:0:0]
+		removed := false
+		i := 0
+		for i < len(gates) {
+			if i+1 < len(gates) &&
+				gates[i].Kind == KindCX && gates[i+1].Kind == KindCX &&
+				gates[i].Q1 == gates[i+1].Q1 && gates[i].Q2 == gates[i+1].Q2 {
+				i += 2
+				removed = true
+				continue
+			}
+			out = append(out, gates[i])
+			i++
+		}
+		gates = out
+		if !removed {
+			break
+		}
+	}
+	return &Circuit{N: c.N, Gates: gates}
+}
+
+// FuseSingleQubit merges maximal runs of single-qubit gates acting on
+// the same qubit with no intervening gate on that qubit into one
+// generic U1 gate (gate fusion with F = 1 in the paper's §VI
+// terminology; the diagonal precomputation is "fusion with F = n").
+func (c *Circuit) FuseSingleQubit() *Circuit {
+	out := NewCircuit(c.N)
+	// pending[q] holds the accumulated 2×2 matrix per qubit.
+	pending := make([]*[2][2]complex128, c.N)
+	flush := func(q int) {
+		if pending[q] == nil {
+			return
+		}
+		out.Gates = append(out.Gates, Gate{Kind: KindU1, Q1: q, Q2: -1, U: *pending[q]})
+		pending[q] = nil
+	}
+	for _, g := range c.Gates {
+		if g.IsTwoQubit() {
+			flush(g.Q1)
+			flush(g.Q2)
+			out.Gates = append(out.Gates, g)
+			continue
+		}
+		m := gateMatrix(g)
+		if pending[g.Q1] == nil {
+			pending[g.Q1] = &m
+		} else {
+			merged := matMul(m, *pending[g.Q1])
+			pending[g.Q1] = &merged
+		}
+	}
+	for q := 0; q < c.N; q++ {
+		flush(q)
+	}
+	return out
+}
+
+// gateMatrix returns the 2×2 matrix of a single-qubit gate.
+func gateMatrix(g Gate) [2][2]complex128 {
+	switch g.Kind {
+	case KindH:
+		h := complex(1/math.Sqrt2, 0)
+		return [2][2]complex128{{h, h}, {h, -h}}
+	case KindRX:
+		s, c := math.Sincos(g.Theta / 2)
+		return [2][2]complex128{
+			{complex(c, 0), complex(0, -s)},
+			{complex(0, -s), complex(c, 0)},
+		}
+	case KindRZ:
+		s, c := math.Sincos(g.Theta / 2)
+		return [2][2]complex128{
+			{complex(c, -s), 0},
+			{0, complex(c, s)},
+		}
+	case KindU1:
+		return g.U
+	default:
+		panic(fmt.Sprintf("gatesim: gateMatrix on %v", g.Kind))
+	}
+}
+
+func matMul(a, b [2][2]complex128) [2][2]complex128 {
+	var r [2][2]complex128
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			r[i][j] = a[i][0]*b[0][j] + a[i][1]*b[1][j]
+		}
+	}
+	return r
+}
+
+// GateMatrix1Q returns the 2×2 matrix of a single-qubit gate (H, RX,
+// RZ, U1); it panics on two-qubit kinds.
+func GateMatrix1Q(g Gate) [2][2]complex128 { return gateMatrix(g) }
+
+// GateMatrix2Q returns the 4×4 matrix of a two-qubit gate in the
+// statevec convention: basis index r = bit(Q2)<<1 | bit(Q1).
+func GateMatrix2Q(g Gate) [4][4]complex128 {
+	switch g.Kind {
+	case KindCX:
+		// Control Q1 (low bit of the pair index), target Q2.
+		return [4][4]complex128{
+			{1, 0, 0, 0},
+			{0, 0, 0, 1},
+			{0, 0, 1, 0},
+			{0, 1, 0, 0},
+		}
+	case KindXYPair:
+		s, c := math.Sincos(g.Theta)
+		return [4][4]complex128{
+			{1, 0, 0, 0},
+			{0, complex(c, 0), complex(0, -s), 0},
+			{0, complex(0, -s), complex(c, 0), 0},
+			{0, 0, 0, 1},
+		}
+	case KindXX:
+		s, c := math.Sincos(g.Theta / 2)
+		cc, ss := complex(c, 0), complex(0, -s)
+		return [4][4]complex128{
+			{cc, 0, 0, ss},
+			{0, cc, ss, 0},
+			{0, ss, cc, 0},
+			{ss, 0, 0, cc},
+		}
+	default:
+		panic(fmt.Sprintf("gatesim: GateMatrix2Q on %v", g.Kind))
+	}
+}
+
+// CompileStats summarizes the gate cost of a QAOA layer for the §VI
+// gate-count experiment.
+type CompileStats struct {
+	Terms      int // cost-polynomial terms (degree ≥ 1)
+	RawGates   int // gates in one compiled phase+mixer layer
+	AfterCX    int // after adjacent-CX cancellation
+	AfterFuse  int // after CX cancellation and 1q fusion
+	MixerGates int // gates in the mixer alone
+}
+
+// LayerStats compiles a single QAOA layer for the given problem and
+// reports its gate counts under each optimization level.
+func LayerStats(n int, terms poly.Terms) CompileStats {
+	canon := terms.Canonical()
+	nonconst := 0
+	for _, t := range canon {
+		if t.Degree() > 0 {
+			nonconst++
+		}
+	}
+	layer := NewCircuit(n)
+	layer.AppendPhaseOperator(terms, 0.1)
+	layer.AppendXMixer(0.1)
+	cancelled := layer.CancelAdjacentCX()
+	fused := cancelled.FuseSingleQubit()
+	return CompileStats{
+		Terms:      nonconst,
+		RawGates:   len(layer.Gates),
+		AfterCX:    len(cancelled.Gates),
+		AfterFuse:  len(fused.Gates),
+		MixerGates: n,
+	}
+}

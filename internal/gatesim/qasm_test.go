@@ -1,0 +1,97 @@
+package gatesim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qokit/internal/poly"
+	"qokit/internal/statevec"
+)
+
+func TestQASMHeaderAndGates(t *testing.T) {
+	c := NewCircuit(3).H(0).RX(1, 0.5).RZ(2, -0.25).CX(0, 2).XY(1, 2, 0.7)
+	src, err := c.QASM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"OPENQASM 2.0;",
+		"include \"qelib1.inc\";",
+		"qreg q[3];",
+		"h q[0];",
+		"rx(0.5) q[1];",
+		"rz(-0.25) q[2];",
+		"cx q[0],q[2];",
+		"rxx(0.69999999999999996) q[1],q[2];",
+		"ryy(0.69999999999999996) q[1],q[2];",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("QASM missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestQASMFullQAOACircuitSerializes(t *testing.T) {
+	terms := poly.New(poly.NewTerm(0.5, 0, 1), poly.NewTerm(-1, 2), poly.NewTerm(0.25, 0, 1, 2, 3))
+	c, err := BuildQAOA(4, terms, []float64{0.3, 0.1}, []float64{0.2, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := c.QASM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(src, "\n")
+	if lines != len(c.Gates)+3 {
+		t.Errorf("QASM has %d lines for %d gates", lines, len(c.Gates))
+	}
+}
+
+func TestQASMRejectsInvalidAndFused(t *testing.T) {
+	bad := NewCircuit(2).CX(0, 0)
+	if _, err := bad.QASM(); err == nil {
+		t.Error("invalid circuit serialized")
+	}
+	fused := NewCircuit(2).H(0).RX(0, 0.3).FuseSingleQubit()
+	if _, err := fused.QASM(); err == nil {
+		t.Error("fused U1 circuit serialized (documented as unsupported)")
+	}
+}
+
+// TestXYEqualsRXXRYY verifies the decomposition the QASM export
+// relies on: exp(−iβ(XX+YY)/2) = RXX(β)·RYY(β).
+func TestXYEqualsRXXRYY(t *testing.T) {
+	beta := 0.83
+	viaXY := statevec.NewUniform(2)
+	for i := range viaXY {
+		viaXY[i] *= complex(float64(i)+0.5, -float64(i)) // arbitrary, then normalize
+	}
+	viaXY.Normalize()
+	viaFactors := viaXY.Clone()
+
+	statevec.ApplyXY(viaXY, 0, 1, beta)
+
+	// RXX(β) then RYY(β) via explicit matrices.
+	s, c := math.Sin(beta/2), math.Cos(beta/2)
+	cc, ss := complex(c, 0), complex(0, -s)
+	rxx := [4][4]complex128{
+		{cc, 0, 0, ss},
+		{0, cc, ss, 0},
+		{0, ss, cc, 0},
+		{ss, 0, 0, cc},
+	}
+	// RYY(θ) = exp(−iθ YY/2): YY flips both bits with signs
+	// (+|00⟩↔−|11⟩ sector sign): YY|00⟩ = −|11⟩, YY|01⟩ = |10⟩.
+	ryy := [4][4]complex128{
+		{cc, 0, 0, -ss},
+		{0, cc, ss, 0},
+		{0, ss, cc, 0},
+		{-ss, 0, 0, cc},
+	}
+	statevec.Apply2Q(viaFactors, 0, 1, rxx)
+	statevec.Apply2Q(viaFactors, 0, 1, ryy)
+	if d := statevec.MaxAbsDiff(viaXY, viaFactors); d > 1e-12 {
+		t.Errorf("XY vs RXX·RYY: %g", d)
+	}
+}

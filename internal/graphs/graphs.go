@@ -1,0 +1,267 @@
+// Package graphs provides the graph substrate used by the MaxCut
+// workloads and the xy-mixer topologies of the QAOA simulator: seeded
+// random d-regular graphs (the paper's Fig. 2 workload), rings and
+// complete graphs (the paper's xy-mixer coupling graphs), and
+// Erdős–Rényi graphs for additional workloads.
+package graphs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Edge is an undirected edge between vertices U < V.
+type Edge struct {
+	U, V int
+}
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges []Edge
+}
+
+// NumEdges returns the edge count.
+func (g Graph) NumEdges() int { return len(g.Edges) }
+
+// Degrees returns the per-vertex degree sequence.
+func (g Graph) Degrees() []int {
+	deg := make([]int, g.N)
+	for _, e := range g.Edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	return deg
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g Graph) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	for _, e := range g.Edges {
+		if e.U == u && e.V == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks that the graph is simple: vertex indices in range,
+// no self-loops, no duplicate edges, and U < V normalization.
+func (g Graph) Validate() error {
+	seen := make(map[Edge]bool, len(g.Edges))
+	for i, e := range g.Edges {
+		if e.U >= e.V {
+			return fmt.Errorf("graphs: edge %d (%d,%d) not normalized U<V", i, e.U, e.V)
+		}
+		if e.U < 0 || e.V >= g.N {
+			return fmt.Errorf("graphs: edge %d (%d,%d) out of range [0,%d)", i, e.U, e.V, g.N)
+		}
+		if seen[e] {
+			return fmt.Errorf("graphs: duplicate edge (%d,%d)", e.U, e.V)
+		}
+		seen[e] = true
+	}
+	return nil
+}
+
+// CutValue counts edges cut by the bitstring assignment x (vertex i on
+// the side given by bit i).
+func (g Graph) CutValue(x uint64) int {
+	cut := 0
+	for _, e := range g.Edges {
+		if (x>>uint(e.U))&1 != (x>>uint(e.V))&1 {
+			cut++
+		}
+	}
+	return cut
+}
+
+// normalize sorts edge endpoints and the edge list, producing the
+// canonical representation Validate expects.
+func normalize(edges []Edge) []Edge {
+	out := make([]Edge, len(edges))
+	for i, e := range edges {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		out[i] = e
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Ring returns the n-cycle 0–1–…–(n−1)–0. For n = 2 it degenerates to
+// a single edge. Rings are the coupling graph of the xy-ring mixer.
+func Ring(n int) Graph {
+	if n < 2 {
+		return Graph{N: n}
+	}
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	if n > 2 {
+		edges = append(edges, Edge{0, n - 1})
+	}
+	return Graph{N: n, Edges: normalize(edges)}
+}
+
+// Complete returns K_n, the coupling graph of the xy-complete mixer
+// and the all-to-all MaxCut instance of the paper's Listing 1.
+func Complete(n int) Graph {
+	edges := make([]Edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{i, j})
+		}
+	}
+	return Graph{N: n, Edges: edges}
+}
+
+// RandomRegular samples a random d-regular simple graph on n vertices
+// using the configuration (pairing) model with rejection: half-edges
+// are shuffled into a perfect matching and the sample is rejected if it
+// contains self-loops or multi-edges. n·d must be even and d < n.
+// The construction is seeded and deterministic for a given (n, d, seed).
+func RandomRegular(n, d int, seed int64) (Graph, error) {
+	if d < 0 || n < 0 {
+		return Graph{}, fmt.Errorf("graphs: negative n=%d or d=%d", n, d)
+	}
+	if d >= n && !(d == 0 && n >= 0) {
+		return Graph{}, fmt.Errorf("graphs: degree d=%d must be < n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return Graph{}, fmt.Errorf("graphs: n·d = %d·%d is odd, no d-regular graph exists", n, d)
+	}
+	if d == 0 {
+		return Graph{N: n}, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, v)
+		}
+	}
+	const maxAttempts = 10000
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		edges, ok := pairStubs(stubs)
+		if !ok {
+			continue
+		}
+		g := Graph{N: n, Edges: normalize(edges)}
+		return g, nil
+	}
+	return Graph{}, fmt.Errorf("graphs: failed to sample a simple %d-regular graph on %d vertices after %d attempts", d, n, maxAttempts)
+}
+
+// pairStubs pairs consecutive half-edges, rejecting self-loops and
+// duplicate edges.
+func pairStubs(stubs []int) ([]Edge, bool) {
+	edges := make([]Edge, 0, len(stubs)/2)
+	seen := make(map[Edge]bool, len(stubs)/2)
+	for i := 0; i < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v {
+			return nil, false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		e := Edge{u, v}
+		if seen[e] {
+			return nil, false
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	return edges, true
+}
+
+// Petersen returns the Petersen graph: 10 vertices, 3-regular, girth 5
+// (triangle-free) — the canonical test instance for p = 1 QAOA
+// analytics on triangle-free regular graphs. Vertices 0–4 form the
+// outer 5-cycle, 5–9 the inner pentagram, with spokes i — i+5.
+func Petersen() Graph {
+	edges := make([]Edge, 0, 15)
+	for i := 0; i < 5; i++ {
+		edges = append(edges, Edge{i, (i + 1) % 5})     // outer cycle
+		edges = append(edges, Edge{i, i + 5})           // spoke
+		edges = append(edges, Edge{5 + i, 5 + (i+2)%5}) // pentagram
+	}
+	return Graph{N: 10, Edges: normalize(edges)}
+}
+
+// CommonNeighbors counts vertices adjacent to both u and v (the
+// triangle count through edge {u, v} when they are adjacent).
+func (g Graph) CommonNeighbors(u, v int) int {
+	adjU := make(map[int]bool)
+	for _, e := range g.Edges {
+		if e.U == u {
+			adjU[e.V] = true
+		}
+		if e.V == u {
+			adjU[e.U] = true
+		}
+	}
+	count := 0
+	for _, e := range g.Edges {
+		if e.U == v && adjU[e.V] {
+			count++
+		}
+		if e.V == v && adjU[e.U] {
+			count++
+		}
+	}
+	return count
+}
+
+// ErdosRenyi samples G(n, p): each of the n(n−1)/2 possible edges is
+// included independently with probability p. Seeded and deterministic.
+func ErdosRenyi(n int, p float64, seed int64) Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				edges = append(edges, Edge{i, j})
+			}
+		}
+	}
+	return Graph{N: n, Edges: edges}
+}
+
+// WeightedEdge augments Edge with a real weight, for weighted MaxCut.
+type WeightedEdge struct {
+	U, V   int
+	Weight float64
+}
+
+// UniformWeights assigns the same weight to every edge of g.
+func UniformWeights(g Graph, w float64) []WeightedEdge {
+	out := make([]WeightedEdge, len(g.Edges))
+	for i, e := range g.Edges {
+		out[i] = WeightedEdge{U: e.U, V: e.V, Weight: w}
+	}
+	return out
+}
+
+// RandomWeights assigns i.i.d. Uniform(lo, hi) weights to the edges of
+// g, deterministically for a given seed.
+func RandomWeights(g Graph, lo, hi float64, seed int64) []WeightedEdge {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]WeightedEdge, len(g.Edges))
+	for i, e := range g.Edges {
+		out[i] = WeightedEdge{U: e.U, V: e.V, Weight: lo + (hi-lo)*rng.Float64()}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package graphs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRing(t *testing.T) {
+	g := Ring(5)
+	if g.N != 5 || g.NumEdges() != 5 {
+		t.Fatalf("Ring(5): N=%d edges=%d", g.N, g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range g.Degrees() {
+		if d != 2 {
+			t.Fatalf("Ring(5) degree %d, want 2", d)
+		}
+	}
+	if !g.HasEdge(0, 4) || !g.HasEdge(4, 0) {
+		t.Error("Ring(5) missing closing edge {0,4}")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("Ring(5) has chord {0,2}")
+	}
+}
+
+func TestRingSmall(t *testing.T) {
+	if g := Ring(2); g.NumEdges() != 1 {
+		t.Errorf("Ring(2) edges = %d, want 1", g.NumEdges())
+	}
+	if g := Ring(1); g.NumEdges() != 0 {
+		t.Errorf("Ring(1) edges = %d, want 0", g.NumEdges())
+	}
+	if g := Ring(0); g.NumEdges() != 0 || g.N != 0 {
+		t.Errorf("Ring(0) = %+v", g)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.NumEdges() != 15 {
+		t.Fatalf("Complete(6) edges = %d, want 15", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range g.Degrees() {
+		if d != 5 {
+			t.Fatalf("Complete(6) degree %d, want 5", d)
+		}
+	}
+}
+
+func TestRandomRegularProperties(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{4, 3}, {8, 3}, {10, 3}, {12, 4}, {16, 5}, {6, 0}, {20, 3}} {
+		g, err := RandomRegular(tc.n, tc.d, 42)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		for v, d := range g.Degrees() {
+			if d != tc.d {
+				t.Fatalf("RandomRegular(%d,%d): vertex %d has degree %d", tc.n, tc.d, v, d)
+			}
+		}
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a, _ := RandomRegular(12, 3, 7)
+	b, _ := RandomRegular(12, 3, 7)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c, _ := RandomRegular(12, 3, 8)
+	same := len(a.Edges) == len(c.Edges)
+	if same {
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestRandomRegularErrors(t *testing.T) {
+	if _, err := RandomRegular(5, 3, 1); err == nil {
+		t.Error("odd n·d accepted")
+	}
+	if _, err := RandomRegular(4, 4, 1); err == nil {
+		t.Error("d >= n accepted")
+	}
+	if _, err := RandomRegular(-1, 2, 1); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	g0 := ErdosRenyi(10, 0, 3)
+	if g0.NumEdges() != 0 {
+		t.Errorf("G(10,0) has %d edges", g0.NumEdges())
+	}
+	g1 := ErdosRenyi(10, 1, 3)
+	if g1.NumEdges() != 45 {
+		t.Errorf("G(10,1) has %d edges, want 45", g1.NumEdges())
+	}
+	if err := g1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutValue(t *testing.T) {
+	// Path 0-1-2 (ring of 3 minus nothing... use explicit edges).
+	g := Graph{N: 3, Edges: []Edge{{0, 1}, {1, 2}}}
+	cases := []struct {
+		x    uint64
+		want int
+	}{
+		{0b000, 0}, {0b111, 0}, // uncut
+		{0b001, 1}, {0b100, 1}, // one endpoint flipped
+		{0b010, 2}, // middle vertex alone cuts both
+		{0b101, 2},
+	}
+	for _, c := range cases {
+		if got := g.CutValue(c.x); got != c.want {
+			t.Errorf("CutValue(%03b) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+// Property: cut value is invariant under global bit flip.
+func TestQuickCutFlipInvariant(t *testing.T) {
+	g, err := RandomRegular(14, 3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := uint64(1)<<14 - 1
+	f := func(x uint16) bool {
+		v := uint64(x) & mask
+		return g.CutValue(v) == g.CutValue(v^mask)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cut value bounded by edge count.
+func TestQuickCutBounds(t *testing.T) {
+	g := ErdosRenyi(12, 0.4, 5)
+	f := func(x uint16) bool {
+		c := g.CutValue(uint64(x))
+		return c >= 0 && c <= g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeights(t *testing.T) {
+	g := Ring(4)
+	uw := UniformWeights(g, 0.3)
+	if len(uw) != 4 {
+		t.Fatalf("UniformWeights length %d", len(uw))
+	}
+	for _, e := range uw {
+		if e.Weight != 0.3 {
+			t.Errorf("weight %v, want 0.3", e.Weight)
+		}
+	}
+	rw := RandomWeights(g, -1, 1, 11)
+	rw2 := RandomWeights(g, -1, 1, 11)
+	for i := range rw {
+		if rw[i] != rw2[i] {
+			t.Error("RandomWeights not deterministic")
+		}
+		if rw[i].Weight < -1 || rw[i].Weight > 1 {
+			t.Errorf("weight %v outside [-1,1]", rw[i].Weight)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package optimize provides the derivative-free local optimizers used
+// to tune QAOA parameters — the outer loop of the paper's Fig. 1,
+// whose repeated objective evaluations the precomputed diagonal
+// accelerates. Nelder–Mead is the typical QOKit/SciPy default; SPSA is
+// the common noisy-hardware alternative; TQAInit supplies the
+// Trotterized-quantum-annealing linear-ramp initialization (the
+// paper's Ref. [44]) that makes high-depth optimization tractable.
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Func is an objective to minimize.
+type Func func(x []float64) float64
+
+// Counting wraps an objective and counts evaluations; read Calls after
+// optimizing to know the evaluation budget consumed.
+type Counting struct {
+	F     Func
+	Calls int
+}
+
+// Eval evaluates and counts.
+func (c *Counting) Eval(x []float64) float64 {
+	c.Calls++
+	return c.F(x)
+}
+
+// NMOptions configures NelderMead. Zero values select the defaults
+// noted per field.
+type NMOptions struct {
+	// MaxIter bounds simplex iterations (default 200·dim).
+	MaxIter int
+	// MaxEvals bounds objective evaluations (default unlimited).
+	MaxEvals int
+	// TolF stops when the simplex value spread falls below it
+	// (default 1e-8).
+	TolF float64
+	// InitialStep sets the simplex edge length (default 0.1).
+	InitialStep float64
+}
+
+// NMResult reports the optimum found.
+type NMResult struct {
+	X     []float64
+	F     float64
+	Evals int
+	Iters int
+	// Converged is true when TolF was reached before any budget.
+	Converged bool
+}
+
+// NelderMead minimizes f from x0 with the standard downhill-simplex
+// method (reflection 1, expansion 2, contraction ½, shrink ½).
+func NelderMead(f Func, x0 []float64, opt NMOptions) NMResult {
+	dim := len(x0)
+	if dim == 0 {
+		return NMResult{X: nil, F: f(nil), Evals: 1, Converged: true}
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 200 * dim
+	}
+	if opt.TolF <= 0 {
+		opt.TolF = 1e-8
+	}
+	if opt.InitialStep == 0 {
+		opt.InitialStep = 0.1
+	}
+	cf := &Counting{F: f}
+	budget := func() bool { return opt.MaxEvals > 0 && cf.Calls >= opt.MaxEvals }
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, dim+1)
+	simplex[0] = vertex{x: append([]float64(nil), x0...)}
+	simplex[0].f = cf.Eval(simplex[0].x)
+	for i := 1; i <= dim; i++ {
+		x := append([]float64(nil), x0...)
+		x[i-1] += opt.InitialStep
+		simplex[i] = vertex{x: x, f: cf.Eval(x)}
+	}
+	sortSimplex := func() {
+		sort.SliceStable(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	}
+	centroid := make([]float64, dim)
+	point := func(coef float64) ([]float64, float64) {
+		x := make([]float64, dim)
+		worst := simplex[dim].x
+		for j := 0; j < dim; j++ {
+			x[j] = centroid[j] + coef*(centroid[j]-worst[j])
+		}
+		return x, cf.Eval(x)
+	}
+
+	res := NMResult{}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		sortSimplex()
+		if simplex[dim].f-simplex[0].f < opt.TolF {
+			res.Converged = true
+			break
+		}
+		if budget() {
+			break
+		}
+		res.Iters++
+		for j := 0; j < dim; j++ {
+			centroid[j] = 0
+			for i := 0; i < dim; i++ {
+				centroid[j] += simplex[i].x[j]
+			}
+			centroid[j] /= float64(dim)
+		}
+		xr, fr := point(1) // reflection
+		switch {
+		case fr < simplex[0].f:
+			if budget() {
+				simplex[dim] = vertex{xr, fr}
+				break
+			}
+			xe, fe := point(2) // expansion
+			if fe < fr {
+				simplex[dim] = vertex{xe, fe}
+			} else {
+				simplex[dim] = vertex{xr, fr}
+			}
+		case fr < simplex[dim-1].f:
+			simplex[dim] = vertex{xr, fr}
+		default:
+			if budget() {
+				break
+			}
+			xc, fc := point(-0.5) // inside contraction
+			if fc < simplex[dim].f {
+				simplex[dim] = vertex{xc, fc}
+			} else {
+				// shrink toward the best vertex
+				for i := 1; i <= dim; i++ {
+					if budget() {
+						break
+					}
+					for j := 0; j < dim; j++ {
+						simplex[i].x[j] = simplex[0].x[j] + 0.5*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].f = cf.Eval(simplex[i].x)
+				}
+			}
+		}
+		if budget() {
+			break
+		}
+	}
+	sortSimplex()
+	res.X = simplex[0].x
+	res.F = simplex[0].f
+	res.Evals = cf.Calls
+	return res
+}
+
+// SPSAOptions configures SPSA. Zero values select defaults.
+type SPSAOptions struct {
+	// Steps is the iteration count (default 100).
+	Steps int
+	// A and C scale the gain sequences a_k = A/(k+1+A/10)^0.602 and
+	// c_k = C/(k+1)^0.101 (defaults 0.2 and 0.1).
+	A, C float64
+	// Seed makes the perturbation sequence deterministic.
+	Seed int64
+}
+
+// SPSAResult reports the optimum found by SPSA.
+type SPSAResult struct {
+	X     []float64
+	F     float64
+	Evals int
+}
+
+// SPSA minimizes f by simultaneous-perturbation stochastic
+// approximation: each step estimates the gradient from two objective
+// evaluations at a random ± perturbation.
+func SPSA(f Func, x0 []float64, opt SPSAOptions) SPSAResult {
+	if opt.Steps <= 0 {
+		opt.Steps = 100
+	}
+	if opt.A == 0 {
+		opt.A = 0.2
+	}
+	if opt.C == 0 {
+		opt.C = 0.1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cf := &Counting{F: f}
+	x := append([]float64(nil), x0...)
+	delta := make([]float64, len(x))
+	xp := make([]float64, len(x))
+	xm := make([]float64, len(x))
+	for k := 0; k < opt.Steps; k++ {
+		ak := opt.A / math.Pow(float64(k+1)+opt.A/10, 0.602)
+		ck := opt.C / math.Pow(float64(k+1), 0.101)
+		for j := range delta {
+			if rng.Intn(2) == 0 {
+				delta[j] = 1
+			} else {
+				delta[j] = -1
+			}
+			xp[j] = x[j] + ck*delta[j]
+			xm[j] = x[j] - ck*delta[j]
+		}
+		g := (cf.Eval(xp) - cf.Eval(xm)) / (2 * ck)
+		for j := range x {
+			x[j] -= ak * g / delta[j]
+		}
+	}
+	return SPSAResult{X: x, F: cf.Eval(x), Evals: cf.Calls}
+}
+
+// TQAInit returns the Trotterized-quantum-annealing linear-ramp
+// initialization for p QAOA layers with time step dt:
+//
+//	γ_l = (l+½)/p · dt,   β_l = (1 − (l+½)/p) · dt,  l = 0…p−1.
+//
+// This schedule (Sack & Serbyn, the paper's Ref. [44]) is the standard
+// high-depth QAOA starting point; dt ≈ 0.75 works well for the
+// problems in this repository.
+func TQAInit(p int, dt float64) (gamma, beta []float64) {
+	gamma = make([]float64, p)
+	beta = make([]float64, p)
+	for l := 0; l < p; l++ {
+		frac := (float64(l) + 0.5) / float64(p)
+		gamma[l] = frac * dt
+		beta[l] = (1 - frac) * dt
+	}
+	return gamma, beta
+}
+
+// SplitAngles splits a flat optimizer vector [γ₀…γ_{p−1}, β₀…β_{p−1}]
+// into its two halves; it panics on odd lengths.
+func SplitAngles(x []float64) (gamma, beta []float64) {
+	if len(x)%2 != 0 {
+		panic(fmt.Sprintf("optimize: angle vector length %d is odd", len(x)))
+	}
+	p := len(x) / 2
+	return x[:p], x[p : 2*p]
+}
+
+// JoinAngles concatenates γ and β into the flat optimizer vector.
+func JoinAngles(gamma, beta []float64) []float64 {
+	out := make([]float64, 0, len(gamma)+len(beta))
+	out = append(out, gamma...)
+	out = append(out, beta...)
+	return out
+}

@@ -1,0 +1,99 @@
+// Package params provides QAOA parameter tooling: the INTERP
+// depth-extension heuristic for warm-starting high-depth optimization,
+// analytic p = 1 MaxCut expectations (the closed form of Wang et al.
+// 2018, used by this repository's tests as an independent oracle for
+// the whole simulation pipeline), and the analytic p = 1 optimum for
+// triangle-free regular graphs. Together with optimize.TQAInit these
+// are the "optimized parameters and additional tooling" the paper says
+// the QOKit framework ships alongside the simulator.
+package params
+
+import (
+	"fmt"
+	"math"
+
+	"qokit/internal/graphs"
+)
+
+// Interp extends optimized depth-p parameters to depth p+1 by linear
+// interpolation (the INTERP heuristic of Zhou et al. 2020):
+//
+//	θ'_i = (i/p)·θ_{i−1} + ((p−i)/p)·θ_i,   i = 0…p,
+//
+// with θ_{−1} = θ_p = 0. The endpoints are preserved (θ'_0 = θ_0,
+// θ'_p = θ_{p−1}) and interior values blend neighbours, which keeps
+// the annealing-like ramp shape that makes high-depth QAOA landscapes
+// tractable.
+func Interp(theta []float64) []float64 {
+	p := len(theta)
+	if p == 0 {
+		return []float64{0}
+	}
+	out := make([]float64, p+1)
+	out[0] = theta[0]
+	out[p] = theta[p-1]
+	for i := 1; i < p; i++ {
+		out[i] = (float64(i)*theta[i-1] + float64(p-i)*theta[i]) / float64(p)
+	}
+	return out
+}
+
+// InterpAngles applies Interp to both angle vectors.
+func InterpAngles(gamma, beta []float64) (g, b []float64) {
+	return Interp(gamma), Interp(beta)
+}
+
+// MaxCutP1Expectation evaluates the exact p = 1 QAOA expected cut for
+// an arbitrary graph in closed form (no state vector), in this
+// repository's conventions (phase operator e^{−iγf} with
+// f = Σ ½s_us_v − |E|/2 = −cut, mixer e^{−iβΣX}):
+//
+//	⟨cut_uv⟩ = ½ − ¼ sin4β sinγ (cos^{d_u−1}γ + cos^{d_v−1}γ)
+//	             − ¼ sin²2β cos^{d_u+d_v−2−2λ}γ (1 − cos^λ 2γ)
+//
+// where d_u, d_v are the endpoint degrees and λ the number of
+// triangles through the edge. The sign of the second term is flipped
+// relative to the literature's convention because our γ multiplies −C.
+// Summed over edges this is the exact ⟨γβ|cut|γβ⟩; the test suite
+// checks it against full state-vector simulation to machine precision,
+// making it an end-to-end analytic oracle for the phase, mixer, and
+// expectation pipeline.
+func MaxCutP1Expectation(g graphs.Graph, gamma, beta float64) float64 {
+	deg := g.Degrees()
+	sin4b := math.Sin(4 * beta)
+	sin2b := math.Sin(2 * beta)
+	sg, cg := math.Sincos(gamma)
+	c2g := math.Cos(2 * gamma)
+	var total float64
+	for _, e := range g.Edges {
+		du, dv := deg[e.U], deg[e.V]
+		lambda := g.CommonNeighbors(e.U, e.V)
+		term1 := 0.25 * sin4b * sg * (math.Pow(cg, float64(du-1)) + math.Pow(cg, float64(dv-1)))
+		term2 := 0.25 * sin2b * sin2b *
+			math.Pow(cg, float64(du+dv-2-2*lambda)) * (1 - math.Pow(c2g, float64(lambda)))
+		total += 0.5 - term1 - term2
+	}
+	return total
+}
+
+// P1OptimalTriangleFree returns the analytically optimal p = 1 angles
+// for MaxCut on a triangle-free d-regular graph in this repository's
+// conventions, and the resulting expected cut fraction gain over ½:
+//
+//	β* = −π/8,  γ* = arctan(1/√(d−1)),
+//	⟨cut⟩/|E| = ½ + ½·(d−1)^{(d−1)/2−...}
+//
+// (the gain is returned numerically as maximize sinγcos^{d−1}γ / 2).
+func P1OptimalTriangleFree(d int) (gamma, beta, cutGainPerEdge float64, err error) {
+	if d < 1 {
+		return 0, 0, 0, fmt.Errorf("params: degree %d < 1", d)
+	}
+	beta = -math.Pi / 8
+	if d == 1 {
+		gamma = math.Pi / 2
+	} else {
+		gamma = math.Atan(1 / math.Sqrt(float64(d-1)))
+	}
+	cutGainPerEdge = 0.5 * math.Sin(gamma) * math.Pow(math.Cos(gamma), float64(d-1))
+	return gamma, beta, cutGainPerEdge, nil
+}

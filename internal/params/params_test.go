@@ -1,0 +1,195 @@
+package params
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qokit/internal/core"
+	"qokit/internal/graphs"
+	"qokit/internal/problems"
+)
+
+func TestInterpEndpointsAndLength(t *testing.T) {
+	theta := []float64{0.1, 0.4, 0.9}
+	out := Interp(theta)
+	if len(out) != 4 {
+		t.Fatalf("length %d", len(out))
+	}
+	if out[0] != theta[0] {
+		t.Errorf("left endpoint %v, want %v", out[0], theta[0])
+	}
+	if out[3] != theta[2] {
+		t.Errorf("right endpoint %v, want %v", out[3], theta[2])
+	}
+	// Interior: θ'_1 = (1·θ_0 + 2·θ_1)/3.
+	if want := (0.1 + 2*0.4) / 3; math.Abs(out[1]-want) > 1e-15 {
+		t.Errorf("out[1] = %v, want %v", out[1], want)
+	}
+}
+
+func TestInterpPreservesMonotoneRamp(t *testing.T) {
+	theta := []float64{0.1, 0.2, 0.3, 0.4}
+	out := Interp(theta)
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1]-1e-12 {
+			t.Fatalf("ramp broken at %d: %v", i, out)
+		}
+	}
+	if got := Interp(nil); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Interp(nil) = %v", got)
+	}
+}
+
+func TestInterpAngles(t *testing.T) {
+	g, b := InterpAngles([]float64{1, 2}, []float64{3, 4})
+	if len(g) != 3 || len(b) != 3 {
+		t.Fatal("wrong lengths")
+	}
+}
+
+// TestP1FormulaMatchesSimulatorOnManyGraphs is the analytic oracle
+// test: the closed-form p=1 expected cut must match the full simulator
+// on graphs with and without triangles, regular and irregular.
+func TestP1FormulaMatchesSimulatorOnManyGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	gs := map[string]graphs.Graph{
+		"ring6":     graphs.Ring(6),                                                         // 2-regular, triangle-free
+		"petersen":  graphs.Petersen(),                                                      // 3-regular, girth 5
+		"triangle":  graphs.Ring(3),                                                         // λ=1 on every edge
+		"complete5": graphs.Complete(5),                                                     // λ=3 on every edge
+		"path":      {N: 4, Edges: []graphs.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}}, // irregular
+	}
+	if g, err := graphs.RandomRegular(8, 3, 5); err == nil {
+		gs["random3reg"] = g
+	}
+	for name, g := range gs {
+		sim, err := core.New(g.N, problems.MaxCutTerms(g), core.Options{Backend: core.BackendSerial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			gamma := rng.Float64()*2 - 1
+			beta := rng.Float64()*2 - 1
+			r, err := sim.SimulateQAOA([]float64{gamma}, []float64{beta})
+			if err != nil {
+				t.Fatal(err)
+			}
+			simCut := -r.Expectation() // f = −cut
+			analytic := MaxCutP1Expectation(g, gamma, beta)
+			if math.Abs(simCut-analytic) > 1e-9 {
+				t.Fatalf("%s γ=%v β=%v: simulator cut %v, analytic %v", name, gamma, beta, simCut, analytic)
+			}
+		}
+	}
+}
+
+func TestP1OptimalTriangleFreeOnPetersen(t *testing.T) {
+	// At the analytic optimum, the simulated cut must hit the
+	// predicted value and must not be improved by nearby angles.
+	g := graphs.Petersen()
+	gamma, beta, gain, err := P1OptimalTriangleFree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.New(g.N, problems.MaxCutTerms(g), core.Options{Backend: core.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.SimulateQAOA([]float64{gamma}, []float64{beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := -r.Expectation()
+	want := float64(g.NumEdges()) * (0.5 + gain)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("optimal cut %v, predicted %v", got, want)
+	}
+	// γ* = arctan(1/√2) for d=3.
+	if math.Abs(gamma-math.Atan(1/math.Sqrt2)) > 1e-15 {
+		t.Errorf("γ* = %v", gamma)
+	}
+	// Local optimality probe.
+	for _, dg := range []float64{-0.05, 0.05} {
+		for _, db := range []float64{-0.05, 0.05} {
+			r2, err := sim.SimulateQAOA([]float64{gamma + dg}, []float64{beta + db})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if -r2.Expectation() > got+1e-9 {
+				t.Fatalf("nearby angles (%v,%v) beat the analytic optimum", dg, db)
+			}
+		}
+	}
+	if _, _, _, err := P1OptimalTriangleFree(0); err == nil {
+		t.Error("degree 0 accepted")
+	}
+}
+
+func TestPetersenGraphShape(t *testing.T) {
+	g := graphs.Petersen()
+	if g.N != 10 || g.NumEdges() != 15 {
+		t.Fatalf("Petersen: N=%d E=%d", g.N, g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range g.Degrees() {
+		if d != 3 {
+			t.Fatalf("Petersen degree %d", d)
+		}
+	}
+	// Triangle-free: no edge has common neighbors.
+	for _, e := range g.Edges {
+		if c := g.CommonNeighbors(e.U, e.V); c != 0 {
+			t.Fatalf("edge (%d,%d) has %d common neighbors", e.U, e.V, c)
+		}
+	}
+}
+
+func TestCommonNeighborsCounts(t *testing.T) {
+	// K4: every edge sees the 2 remaining vertices.
+	k4 := graphs.Complete(4)
+	for _, e := range k4.Edges {
+		if c := k4.CommonNeighbors(e.U, e.V); c != 2 {
+			t.Fatalf("K4 edge (%d,%d): λ=%d, want 2", e.U, e.V, c)
+		}
+	}
+	// Triangle: λ=1.
+	tri := graphs.Ring(3)
+	if c := tri.CommonNeighbors(0, 1); c != 1 {
+		t.Fatalf("triangle λ=%d", c)
+	}
+}
+
+func TestInterpLadderImprovesWithDepth(t *testing.T) {
+	// A short INTERP ladder on Petersen MaxCut: the p+1 warm start
+	// must not be worse than the p optimum before re-optimization by
+	// more than numerical noise, and the final depth must beat p=1.
+	g := graphs.Petersen()
+	sim, err := core.New(g.N, problems.MaxCutTerms(g), core.Options{Backend: core.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, beta, _, err := P1OptimalTriangleFree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, bs := []float64{gamma}, []float64{beta}
+	r1, err := sim.SimulateQAOA(gs, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := r1.Expectation()
+	gs, bs = InterpAngles(gs, bs)
+	gs, bs = InterpAngles(gs, bs) // p = 3 warm start
+	r3, err := sim.SimulateQAOA(gs, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warm start alone should already be in the same ballpark
+	// (within 20% of the p=1 optimum) — INTERP's selling point.
+	if r3.Expectation() > e1+0.2*math.Abs(e1) {
+		t.Errorf("INTERP p=3 warm start energy %v far above p=1 optimum %v", r3.Expectation(), e1)
+	}
+}

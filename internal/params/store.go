@@ -1,0 +1,70 @@
+package params
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Set is one stored parameter record: optimized (or otherwise chosen)
+// QAOA angles for a specific problem instance, with enough metadata to
+// know when they transfer. QOKit ships tables of such records
+// ("optimized parameters … for a set of commonly studied problems",
+// §I); this is the serialization format for building equivalents.
+type Set struct {
+	Problem string    `json:"problem"`          // e.g. "labs", "maxcut-3reg"
+	N       int       `json:"n"`                // qubit count
+	P       int       `json:"p"`                // depth
+	Gamma   []float64 `json:"gamma"`            //
+	Beta    []float64 `json:"beta"`             //
+	Energy  float64   `json:"energy,omitempty"` // objective at these angles
+	Source  string    `json:"source,omitempty"` // optimizer, schedule, citation…
+}
+
+// Validate checks internal consistency.
+func (s Set) Validate() error {
+	if s.P != len(s.Gamma) || s.P != len(s.Beta) {
+		return fmt.Errorf("params: set %s/n=%d: p=%d but %d gammas, %d betas",
+			s.Problem, s.N, s.P, len(s.Gamma), len(s.Beta))
+	}
+	if s.N < 1 {
+		return fmt.Errorf("params: set %s: n=%d", s.Problem, s.N)
+	}
+	return nil
+}
+
+// Save writes records as indented JSON.
+func Save(w io.Writer, sets []Set) error {
+	for _, s := range sets {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sets)
+}
+
+// Load reads records written by Save and validates each.
+func Load(r io.Reader) ([]Set, error) {
+	var sets []Set
+	if err := json.NewDecoder(r).Decode(&sets); err != nil {
+		return nil, fmt.Errorf("params: decoding parameter sets: %w", err)
+	}
+	for _, s := range sets {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return sets, nil
+}
+
+// Lookup returns the first record matching (problem, n, p), or false.
+func Lookup(sets []Set, problem string, n, p int) (Set, bool) {
+	for _, s := range sets {
+		if s.Problem == problem && s.N == n && s.P == p {
+			return s, true
+		}
+	}
+	return Set{}, false
+}

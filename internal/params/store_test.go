@@ -1,0 +1,57 @@
+package params
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sets := []Set{
+		{Problem: "labs", N: 12, P: 2, Gamma: []float64{0.1, 0.2}, Beta: []float64{0.4, 0.3}, Energy: 42.5, Source: "nelder-mead"},
+		{Problem: "maxcut-3reg", N: 10, P: 1, Gamma: []float64{0.6155}, Beta: []float64{-0.3927}, Source: "analytic"},
+	}
+	var buf strings.Builder
+	if err := Save(&buf, sets); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d sets", len(got))
+	}
+	if got[0].Energy != 42.5 || got[0].Gamma[1] != 0.2 || got[1].Source != "analytic" {
+		t.Errorf("round trip mangled data: %+v", got)
+	}
+}
+
+func TestSaveRejectsInconsistent(t *testing.T) {
+	bad := []Set{{Problem: "labs", N: 8, P: 3, Gamma: []float64{1}, Beta: []float64{1, 2, 3}}}
+	var buf strings.Builder
+	if err := Save(&buf, bad); err == nil {
+		t.Error("inconsistent set saved")
+	}
+}
+
+func TestLoadRejectsGarbageAndInvalid(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`[{"problem":"x","n":0,"p":0}]`)); err == nil {
+		t.Error("invalid record accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	sets := []Set{
+		{Problem: "labs", N: 12, P: 2, Gamma: []float64{1, 2}, Beta: []float64{3, 4}},
+		{Problem: "labs", N: 12, P: 4, Gamma: make([]float64, 4), Beta: make([]float64, 4)},
+	}
+	if s, ok := Lookup(sets, "labs", 12, 4); !ok || s.P != 4 {
+		t.Errorf("Lookup = %+v, %v", s, ok)
+	}
+	if _, ok := Lookup(sets, "labs", 13, 4); ok {
+		t.Error("spurious match")
+	}
+}

@@ -1,0 +1,73 @@
+// Package problems generates the cost polynomials for the optimization
+// problems studied in the QOKit paper: MaxCut on arbitrary (weighted)
+// graphs (§II, Fig. 2), the Low Autocorrelation Binary Sequences
+// problem (§II, Figs. 3–5), random k-SAT (the paper's motivating
+// workload from Boulebnane–Montanaro), and constrained portfolio
+// optimization (§IV, the xy-mixer workload). Each generator returns
+// poly.Terms in the spin convention s_i = (−1)^{x_i}, together with
+// brute-force reference evaluators used by the test suite.
+package problems
+
+import (
+	"fmt"
+
+	"qokit/internal/graphs"
+	"qokit/internal/poly"
+)
+
+// MaxCutTerms builds the MaxCut cost polynomial of the paper (§II):
+//
+//	f(s) = Σ_{(i,j)∈E} ½ s_i s_j − |E|/2 = −cut(x),
+//
+// so minimizing f maximizes the cut. The returned polynomial includes
+// the −|E|/2 constant offset, making f(x) exactly the negated cut
+// count.
+func MaxCutTerms(g graphs.Graph) poly.Terms {
+	ts := make(poly.Terms, 0, len(g.Edges)+1)
+	for _, e := range g.Edges {
+		ts = append(ts, poly.NewTerm(0.5, e.U, e.V))
+	}
+	ts = append(ts, poly.NewTerm(-float64(g.NumEdges())/2))
+	return ts
+}
+
+// WeightedMaxCutTerms generalizes MaxCutTerms to weighted edges:
+// f(s) = Σ w_ij (s_i s_j − 1)/2 = −(weight of cut edges).
+func WeightedMaxCutTerms(edges []graphs.WeightedEdge) poly.Terms {
+	ts := make(poly.Terms, 0, len(edges)+1)
+	var total float64
+	for _, e := range edges {
+		ts = append(ts, poly.NewTerm(e.Weight/2, e.U, e.V))
+		total += e.Weight
+	}
+	ts = append(ts, poly.NewTerm(-total/2))
+	return ts
+}
+
+// AllToAllMaxCutTerms reproduces the paper's Listing 1 workload: a
+// complete graph on n vertices with uniform edge weight w, *without*
+// the constant offset (Listing 1 passes only the quadratic terms).
+func AllToAllMaxCutTerms(n int, w float64) poly.Terms {
+	ts := make(poly.Terms, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ts = append(ts, poly.NewTerm(w, i, j))
+		}
+	}
+	return ts
+}
+
+// MaxCutBrute finds the maximum cut by exhaustive search (n ≤ 30) and
+// returns the best cut value and one maximizing assignment.
+func MaxCutBrute(g graphs.Graph) (best int, argmax uint64, err error) {
+	if g.N > 30 {
+		return 0, 0, fmt.Errorf("problems: brute force limited to n ≤ 30, got %d", g.N)
+	}
+	best = -1
+	for x := uint64(0); x < 1<<uint(g.N); x++ {
+		if c := g.CutValue(x); c > best {
+			best, argmax = c, x
+		}
+	}
+	return best, argmax, nil
+}

@@ -1,0 +1,129 @@
+package problems
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"qokit/internal/poly"
+)
+
+// PortfolioData is a mean-variance (Markowitz) portfolio selection
+// instance: choose exactly Budget of the N assets minimizing
+//
+//	f(x) = q · xᵀ Σ x − μᵀ x,  x ∈ {0,1}^N, Σ_i x_i = Budget,
+//
+// where Σ is the return covariance and μ the expected returns. This is
+// the QOKit §IV portfolio workload; the Hamming-weight constraint is
+// enforced by the xy mixer plus a Dicke initial state rather than by a
+// penalty term.
+type PortfolioData struct {
+	N      int
+	Budget int
+	Q      float64     // risk aversion
+	Cov    [][]float64 // symmetric N×N covariance
+	Mu     []float64   // expected returns
+}
+
+// SyntheticPortfolio generates a deterministic random instance: Σ =
+// c·AAᵀ with A an N×N matrix of standard normals (so Σ is symmetric
+// positive semi-definite), and μ uniform in [0, 1]. The scale keeps
+// cost values O(1) per asset, as in typical QOKit examples.
+func SyntheticPortfolio(n, budget int, q float64, seed int64) PortfolioData {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = rng.NormFloat64()
+		}
+	}
+	cov := make([][]float64, n)
+	scale := 1 / float64(n)
+	for i := range cov {
+		cov[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a[i][k] * a[j][k]
+			}
+			cov[i][j] = s * scale
+			cov[j][i] = cov[i][j]
+		}
+	}
+	mu := make([]float64, n)
+	for i := range mu {
+		mu[i] = rng.Float64()
+	}
+	return PortfolioData{N: n, Budget: budget, Q: q, Cov: cov, Mu: mu}
+}
+
+// Objective evaluates f on the selection bitmask x, where bit i SET
+// means asset i is selected. Note this differs from the spin
+// convention only in interpretation: selecting asset i corresponds to
+// x_i = 1 ↔ s_i = −1.
+func (p PortfolioData) Objective(x uint64) float64 {
+	var risk, ret float64
+	for i := 0; i < p.N; i++ {
+		if x>>uint(i)&1 == 0 {
+			continue
+		}
+		ret += p.Mu[i]
+		for j := 0; j < p.N; j++ {
+			if x>>uint(j)&1 == 1 {
+				risk += p.Cov[i][j]
+			}
+		}
+	}
+	return p.Q*risk - ret
+}
+
+// PortfolioTerms expands the objective into a spin polynomial using
+// x_i = (1 − s_i)/2. The result exactly reproduces Objective on every
+// bitstring (verified in tests); the weight-Budget constraint is not
+// encoded here — it is preserved dynamically by the xy mixers.
+func (p PortfolioData) PortfolioTerms() poly.Terms {
+	var ts poly.Terms
+	for i := 0; i < p.N; i++ {
+		// −μ_i x_i = −μ_i (1 − s_i)/2
+		ts = append(ts, poly.NewTerm(-p.Mu[i]/2))
+		ts = append(ts, poly.NewTerm(p.Mu[i]/2, i))
+		for j := 0; j < p.N; j++ {
+			// q σ_ij x_i x_j = q σ_ij (1 − s_i − s_j + s_i s_j)/4
+			c := p.Q * p.Cov[i][j] / 4
+			if i == j {
+				// x_i² = x_i = (1 − s_i)/2
+				ts = append(ts, poly.NewTerm(p.Q*p.Cov[i][i]/2))
+				ts = append(ts, poly.NewTerm(-p.Q*p.Cov[i][i]/2, i))
+				continue
+			}
+			ts = append(ts, poly.NewTerm(c))
+			ts = append(ts, poly.NewTerm(-c, i))
+			ts = append(ts, poly.NewTerm(-c, j))
+			ts = append(ts, poly.NewTerm(c, i, j))
+		}
+	}
+	return ts.Canonical()
+}
+
+// PortfolioBrute exhaustively minimizes the objective over all
+// selections of exactly Budget assets (N ≤ 30).
+func (p PortfolioData) PortfolioBrute() (best float64, argmin uint64, err error) {
+	if p.N > 30 {
+		return 0, 0, fmt.Errorf("problems: brute force limited to N ≤ 30, got %d", p.N)
+	}
+	first := true
+	for x := uint64(0); x < 1<<uint(p.N); x++ {
+		if bits.OnesCount64(x) != p.Budget {
+			continue
+		}
+		v := p.Objective(x)
+		if first || v < best {
+			best, argmin, first = v, x, false
+		}
+	}
+	if first {
+		return 0, 0, fmt.Errorf("problems: no selection of weight %d exists for N=%d", p.Budget, p.N)
+	}
+	return best, argmin, nil
+}

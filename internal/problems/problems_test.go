@@ -1,0 +1,381 @@
+package problems
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"qokit/internal/graphs"
+)
+
+func TestMaxCutTermsEqualsNegatedCut(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g, err := graphs.RandomRegular(10, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := MaxCutTerms(g)
+		for x := uint64(0); x < 1<<10; x++ {
+			want := -float64(g.CutValue(x))
+			if got := ts.Eval(x); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("seed %d x=%b: terms eval %v, want %v", seed, x, got, want)
+			}
+		}
+	}
+}
+
+func TestWeightedMaxCutTerms(t *testing.T) {
+	g := graphs.Ring(6)
+	we := graphs.RandomWeights(g, 0.1, 2, 4)
+	ts := WeightedMaxCutTerms(we)
+	for x := uint64(0); x < 1<<6; x++ {
+		var want float64
+		for _, e := range we {
+			if (x>>uint(e.U))&1 != (x>>uint(e.V))&1 {
+				want -= e.Weight
+			}
+		}
+		if got := ts.Eval(x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("x=%b: %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestAllToAllMaxCutTermsCount(t *testing.T) {
+	ts := AllToAllMaxCutTerms(28, 0.3)
+	if len(ts) != 28*27/2 {
+		t.Fatalf("term count %d, want %d", len(ts), 28*27/2)
+	}
+	for _, tm := range ts {
+		if tm.Weight != 0.3 || tm.Degree() != 2 {
+			t.Fatalf("unexpected term %v", tm)
+		}
+	}
+}
+
+func TestMaxCutBruteSmall(t *testing.T) {
+	// Square (4-cycle): max cut = 4 (bipartition alternating).
+	g := graphs.Ring(4)
+	best, arg, err := MaxCutBrute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 4 {
+		t.Fatalf("Ring(4) max cut = %d, want 4", best)
+	}
+	if g.CutValue(arg) != 4 {
+		t.Fatalf("argmax %b does not achieve the reported cut", arg)
+	}
+	// Triangle: max cut = 2.
+	if best, _, _ := MaxCutBrute(graphs.Ring(3)); best != 2 {
+		t.Fatalf("Ring(3) max cut = %d, want 2", best)
+	}
+}
+
+func TestAutocorrelationDirect(t *testing.T) {
+	// s = (+1, −1, +1, +1)  ↔  x = 0b0010 (bit1 set).
+	x, n := uint64(0b0010), 4
+	// C_1 = s0 s1 + s1 s2 + s2 s3 = −1 −1 +1 = −1
+	// C_2 = s0 s2 + s1 s3 = 1 − 1 = 0
+	// C_3 = s0 s3 = 1
+	wants := map[int]int{1: -1, 2: 0, 3: 1}
+	for k, want := range wants {
+		if got := Autocorrelation(x, n, k); got != want {
+			t.Errorf("C_%d = %d, want %d", k, got, want)
+		}
+	}
+	if got := LABSEnergy(x, n); got != 2 {
+		t.Errorf("E = %d, want 2", got)
+	}
+}
+
+func TestLABSTermsMatchEnergy(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		ts := LABSTerms(n)
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			want := float64(LABSEnergy(x, n))
+			if got := ts.Eval(x); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("n=%d x=%b: terms %v, energy %v", n, x, got, want)
+			}
+		}
+	}
+}
+
+func TestLABSTermsMatchEnergySampledLargeN(t *testing.T) {
+	for _, n := range []int{16, 20, 24, 31} {
+		ts := LABSTerms(n)
+		comp := ts.Canonical()
+		for i := 0; i < 64; i++ {
+			x := uint64(i*2654435761) & (1<<uint(n) - 1)
+			want := float64(LABSEnergy(x, n))
+			if got := comp.Eval(x); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("n=%d x=%b: terms %v, energy %v", n, x, got, want)
+			}
+		}
+	}
+}
+
+func TestLABSTermCountScale(t *testing.T) {
+	// §VI: the LABS cost function has ≈75n terms at n=31.
+	ts := LABSTerms(31)
+	perN := float64(len(ts)) / 31
+	if perN < 50 || perN > 100 {
+		t.Errorf("LABS n=31 has %.1f terms per qubit; paper cites ≈75", perN)
+	}
+}
+
+func TestLABSOptimalEnergyAgainstBruteForce(t *testing.T) {
+	maxN := 14
+	if testing.Short() {
+		maxN = 10
+	}
+	for n := 2; n <= maxN; n++ {
+		want, ok := LABSOptimalEnergy(n)
+		if !ok {
+			t.Fatalf("table missing n=%d", n)
+		}
+		_, got, err := LABSGroundStates(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("n=%d: brute-force optimum %d, table %d", n, got, want)
+		}
+	}
+}
+
+func TestLABSGroundStatesAreOptimalAndClosedUnderComplement(t *testing.T) {
+	states, energy, err := LABSGroundStates(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) == 0 {
+		t.Fatal("no ground states found")
+	}
+	full := uint64(1)<<10 - 1
+	set := make(map[uint64]bool, len(states))
+	for _, s := range states {
+		if LABSEnergy(s, 10) != energy {
+			t.Fatalf("state %b has energy %d, want %d", s, LABSEnergy(s, 10), energy)
+		}
+		set[s] = true
+	}
+	for s := range set {
+		if !set[s^full] {
+			t.Errorf("complement of %b missing", s)
+		}
+	}
+}
+
+// Property: LABS energy is invariant under sequence complement and
+// reversal (two exact symmetries of the autocorrelation).
+func TestQuickLABSSymmetries(t *testing.T) {
+	const n = 14
+	full := uint64(1)<<n - 1
+	reverse := func(x uint64) uint64 {
+		var r uint64
+		for i := 0; i < n; i++ {
+			if x>>uint(i)&1 == 1 {
+				r |= 1 << uint(n-1-i)
+			}
+		}
+		return r
+	}
+	f := func(raw uint16) bool {
+		x := uint64(raw) & full
+		e := LABSEnergy(x, n)
+		return e == LABSEnergy(x^full, n) && e == LABSEnergy(reverse(x), n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeritFactorBarker13(t *testing.T) {
+	// The Barker sequence of length 13 achieves E = 6, F ≈ 14.08.
+	e, ok := LABSOptimalEnergy(13)
+	if !ok || e != 6 {
+		t.Fatalf("LABS(13) optimum = %d, want 6", e)
+	}
+	if f := MeritFactor(13, e); math.Abs(f-169.0/12) > 1e-12 {
+		t.Errorf("merit factor %v, want %v", f, 169.0/12)
+	}
+}
+
+func TestRandomKSAT(t *testing.T) {
+	inst, err := RandomKSAT(12, 3, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Clauses) != 40 {
+		t.Fatalf("clause count %d", len(inst.Clauses))
+	}
+	for _, c := range inst.Clauses {
+		if len(c.Lits) != 3 {
+			t.Fatalf("clause size %d", len(c.Lits))
+		}
+		seen := map[int]bool{}
+		for _, lit := range c.Lits {
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if v < 1 || v > 12 {
+				t.Fatalf("literal %d out of range", lit)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate variable in clause %v", c.Lits)
+			}
+			seen[v] = true
+		}
+	}
+	if _, err := RandomKSAT(4, 5, 1, 1); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestSATTermsMatchUnsatCount(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		inst, err := RandomKSAT(10, k, 25, int64(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := SATTerms(inst)
+		if d := ts.MaxDegree(); d > k {
+			t.Fatalf("k=%d expansion degree %d", k, d)
+		}
+		for x := uint64(0); x < 1<<10; x++ {
+			want := float64(inst.NumUnsatisfied(x))
+			if got := ts.Eval(x); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("k=%d x=%b: %v, want %v", k, x, got, want)
+			}
+		}
+	}
+}
+
+func TestSATKnownClause(t *testing.T) {
+	// Single clause (x1 ∨ ¬x2): unsatisfied iff x1 false and x2 true,
+	// i.e. bit0 = 1, bit1 = 0.
+	inst := SATInstance{N: 2, Clauses: []Clause{{Lits: []int{1, -2}}}}
+	wants := map[uint64]int{0b00: 0, 0b01: 1, 0b10: 0, 0b11: 0}
+	for x, want := range wants {
+		if got := inst.NumUnsatisfied(x); got != want {
+			t.Errorf("x=%02b: unsat=%d, want %d", x, got, want)
+		}
+	}
+	ts := SATTerms(inst)
+	for x, want := range wants {
+		if got := ts.Eval(x); math.Abs(got-float64(want)) > 1e-12 {
+			t.Errorf("x=%02b: terms=%v, want %d", x, got, want)
+		}
+	}
+}
+
+func TestSKTermsStructure(t *testing.T) {
+	n := 10
+	ts := SKTerms(n, 3)
+	if len(ts) != n*(n-1)/2 {
+		t.Fatalf("SK term count %d, want %d", len(ts), n*(n-1)/2)
+	}
+	for _, tm := range ts {
+		if tm.Degree() != 2 {
+			t.Fatalf("SK term degree %d", tm.Degree())
+		}
+	}
+	// Deterministic per seed; distinct across seeds.
+	ts2 := SKTerms(n, 3)
+	for i := range ts {
+		if ts[i].Weight != ts2[i].Weight {
+			t.Fatal("SK not deterministic")
+		}
+	}
+	ts3 := SKTerms(n, 4)
+	same := true
+	for i := range ts {
+		if ts[i].Weight != ts3[i].Weight {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical couplings")
+	}
+	// Spin-flip symmetry: all terms even degree ⇒ f(x) = f(~x).
+	full := uint64(1)<<n - 1
+	for _, x := range []uint64{0, 5, 100, 741} {
+		if math.Abs(SKEnergy(ts, x)-SKEnergy(ts, x^full)) > 1e-12 {
+			t.Fatalf("SK spin-flip symmetry broken at %b", x)
+		}
+	}
+	// Weight scale ~ 1/√n: the empirical std of couplings should be
+	// within a factor of 2 of 1/√n for this many samples.
+	var sumSq float64
+	for _, tm := range ts {
+		sumSq += tm.Weight * tm.Weight
+	}
+	std := math.Sqrt(sumSq / float64(len(ts)))
+	want := 1 / math.Sqrt(float64(n))
+	if std < want/2 || std > want*2 {
+		t.Errorf("coupling std %v, want ≈ %v", std, want)
+	}
+}
+
+func TestPortfolioTermsMatchObjective(t *testing.T) {
+	p := SyntheticPortfolio(8, 3, 0.5, 17)
+	ts := p.PortfolioTerms()
+	for x := uint64(0); x < 1<<8; x++ {
+		want := p.Objective(x)
+		if got := ts.Eval(x); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("x=%b: terms %v, objective %v", x, got, want)
+		}
+	}
+}
+
+func TestPortfolioCovSymmetricPSD(t *testing.T) {
+	p := SyntheticPortfolio(10, 4, 1, 3)
+	for i := range p.Cov {
+		if p.Cov[i][i] < 0 {
+			t.Errorf("negative variance Cov[%d][%d]=%v", i, i, p.Cov[i][i])
+		}
+		for j := range p.Cov {
+			if p.Cov[i][j] != p.Cov[j][i] {
+				t.Errorf("asymmetric covariance at (%d,%d)", i, j)
+			}
+		}
+	}
+	// PSD check via xᵀΣx ≥ 0 on random vectors is implied by Σ = AAᵀ/n;
+	// spot check with the all-ones selection.
+	var s float64
+	for i := range p.Cov {
+		for j := range p.Cov {
+			s += p.Cov[i][j]
+		}
+	}
+	if s < -1e-9 {
+		t.Errorf("1ᵀΣ1 = %v < 0", s)
+	}
+}
+
+func TestPortfolioBrute(t *testing.T) {
+	p := SyntheticPortfolio(10, 4, 0.7, 23)
+	best, arg, err := p.PortfolioBrute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits.OnesCount64(arg) != 4 {
+		t.Fatalf("argmin weight %d, want 4", bits.OnesCount64(arg))
+	}
+	if math.Abs(p.Objective(arg)-best) > 1e-12 {
+		t.Fatal("argmin does not achieve reported objective")
+	}
+	// No weight-4 selection beats it.
+	for x := uint64(0); x < 1<<10; x++ {
+		if bits.OnesCount64(x) == 4 && p.Objective(x) < best-1e-12 {
+			t.Fatalf("found better selection %b", x)
+		}
+	}
+	if _, _, err := (PortfolioData{N: 4, Budget: 9}).PortfolioBrute(); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package problems
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qokit/internal/poly"
+)
+
+// Clause is a k-SAT clause: Lits holds 1-based literals, negative for
+// negated variables (DIMACS convention, variable v ↔ spin v−1).
+type Clause struct {
+	Lits []int
+}
+
+// SATInstance is a CNF formula over n Boolean variables.
+type SATInstance struct {
+	N       int
+	Clauses []Clause
+}
+
+// RandomKSAT samples a uniformly random k-SAT instance with m clauses
+// over n variables: each clause picks k distinct variables uniformly
+// and negates each independently with probability ½. Seeded and
+// deterministic; this is the ensemble of the paper's motivating 8-SAT
+// study (Boulebnane–Montanaro, Ref. [4]).
+func RandomKSAT(n, k, m int, seed int64) (SATInstance, error) {
+	if k < 1 || k > n {
+		return SATInstance{}, fmt.Errorf("problems: k=%d must be in [1,n=%d]", k, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inst := SATInstance{N: n, Clauses: make([]Clause, m)}
+	perm := make([]int, n)
+	for c := range inst.Clauses {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		lits := make([]int, k)
+		for i := 0; i < k; i++ {
+			lit := perm[i] + 1
+			if rng.Intn(2) == 1 {
+				lit = -lit
+			}
+			lits[i] = lit
+		}
+		inst.Clauses[c] = Clause{Lits: lits}
+	}
+	return inst, nil
+}
+
+// NumUnsatisfied counts clauses violated by assignment x, where bit
+// v−1 of x set means variable v is FALSE (consistent with the spin
+// convention s = (−1)^x: bit 0 ↔ TRUE ↔ s = +1).
+func (inst SATInstance) NumUnsatisfied(x uint64) int {
+	unsat := 0
+	for _, c := range inst.Clauses {
+		sat := false
+		for _, lit := range c.Lits {
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			isFalse := x>>(uint(v)-1)&1 == 1
+			if (lit > 0 && !isFalse) || (lit < 0 && isFalse) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			unsat++
+		}
+	}
+	return unsat
+}
+
+// SATTerms expands the number of unsatisfied clauses into a spin
+// polynomial. A clause with literals l_1..l_k is violated exactly when
+// every literal is false, and the indicator of that event is
+//
+//	Π_j (1 − σ_j)/2,  σ_j = s_{v_j} for positive literals, −s_{v_j} otherwise,
+//
+// which expands into 2^k monomials of weight ±2^{−k}. The sum over
+// clauses is returned in canonical (merged) form. This is the
+// higher-order-terms workload the paper cites as stressing gate-based
+// simulators (§III: "objectives with higher order terms, such as k-SAT
+// with k > 3").
+func SATTerms(inst SATInstance) poly.Terms {
+	var ts poly.Terms
+	for _, c := range inst.Clauses {
+		k := len(c.Lits)
+		coef := 1.0 / float64(int(1)<<uint(k))
+		// Expand Π_j (1 − σ_j) over all subsets of literals.
+		for subset := 0; subset < 1<<uint(k); subset++ {
+			w := coef
+			var vars []int
+			for j, lit := range c.Lits {
+				if subset>>uint(j)&1 == 0 {
+					continue
+				}
+				w = -w // the −σ_j factor
+				v := lit
+				if v < 0 {
+					v = -v
+					w = -w // σ_j = −s for negated literals
+				}
+				vars = append(vars, v-1)
+			}
+			ts = append(ts, poly.Term{Weight: w, Vars: vars})
+		}
+	}
+	return ts.Canonical()
+}

@@ -1,0 +1,174 @@
+// Package sampling draws measurement outcomes from a simulated QAOA
+// state. On hardware, QAOA's output is a stream of sampled bitstrings;
+// the quantities the paper's companion studies build on — expected
+// solution quality from finite shots, and the expected number of
+// samples before the optimal solution appears (the time-to-solution
+// metric of the LABS scaling analysis the paper enables, Refs. [5],
+// [6]) — are estimated from exactly this sampling process.
+//
+// The sampler uses Walker's alias method: O(2^n) preprocessing, O(1)
+// per draw, which matters when millions of shots are drawn from a
+// 2^n-point distribution.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sampler draws indices from a fixed discrete distribution.
+type Sampler struct {
+	prob  []float64 // alias-method acceptance probabilities
+	alias []int
+	rng   *rand.Rand
+}
+
+// NewSampler builds a seeded sampler over probs (non-negative; any
+// positive total is normalized away, so unnormalized |ψ|² vectors are
+// accepted directly).
+func NewSampler(probs []float64, seed int64) (*Sampler, error) {
+	n := len(probs)
+	if n == 0 {
+		return nil, fmt.Errorf("sampling: empty distribution")
+	}
+	var total float64
+	for i, p := range probs {
+		if p < 0 || math.IsNaN(p) {
+			return nil, fmt.Errorf("sampling: probability %v at index %d", p, i)
+		}
+		total += p
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("sampling: zero total probability")
+	}
+
+	// Walker alias construction: scale to mean 1, split into small
+	// (< 1) and large (≥ 1) buckets, pair them off.
+	scaled := make([]float64, n)
+	for i, p := range probs {
+		scaled[i] = p * float64(n) / total
+	}
+	s := &Sampler{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, g)
+		}
+	}
+	for _, i := range large {
+		s.prob[i] = 1
+		s.alias[i] = i
+	}
+	for _, i := range small {
+		s.prob[i] = 1
+		s.alias[i] = i
+	}
+	return s, nil
+}
+
+// Sample draws one index.
+func (s *Sampler) Sample() uint64 {
+	i := s.rng.Intn(len(s.prob))
+	if s.rng.Float64() < s.prob[i] {
+		return uint64(i)
+	}
+	return uint64(s.alias[i])
+}
+
+// SampleN draws k indices.
+func (s *Sampler) SampleN(k int) []uint64 {
+	out := make([]uint64, k)
+	for i := range out {
+		out[i] = s.Sample()
+	}
+	return out
+}
+
+// Counts tallies samples into a histogram.
+func Counts(samples []uint64) map[uint64]int {
+	h := make(map[uint64]int)
+	for _, x := range samples {
+		h[x]++
+	}
+	return h
+}
+
+// EstimateExpectation returns the sample mean and standard error of
+// cost over the samples — the finite-shot estimate of ⟨ψ|Ĉ|ψ⟩ a
+// hardware run would produce.
+func EstimateExpectation(samples []uint64, cost func(uint64) float64) (mean, stderr float64) {
+	n := len(samples)
+	if n == 0 {
+		return 0, 0
+	}
+	var sum, sumSq float64
+	for _, x := range samples {
+		c := cost(x)
+		sum += c
+		sumSq += c * c
+	}
+	mean = sum / float64(n)
+	if n > 1 {
+		variance := (sumSq - sum*sum/float64(n)) / float64(n-1)
+		if variance > 0 {
+			stderr = math.Sqrt(variance / float64(n))
+		}
+	}
+	return mean, stderr
+}
+
+// Best returns the lowest-cost sample and its cost.
+func Best(samples []uint64, cost func(uint64) float64) (argmin uint64, min float64) {
+	if len(samples) == 0 {
+		return 0, math.Inf(1)
+	}
+	argmin, min = samples[0], cost(samples[0])
+	for _, x := range samples[1:] {
+		if c := cost(x); c < min {
+			argmin, min = x, c
+		}
+	}
+	return argmin, min
+}
+
+// SamplesToSolution returns the expected number of independent shots
+// needed to observe an optimal solution at least once with the given
+// confidence, from the state's ground-state overlap p:
+//
+//	N = ln(1 − confidence) / ln(1 − p).
+//
+// This is the shots side of the time-to-solution metric in the LABS
+// scaling analysis (Ref. [6]) and the sampling-frequency-threshold
+// question of Ref. [5]. Overlap 0 returns +Inf; overlap 1 returns 1.
+func SamplesToSolution(overlap, confidence float64) float64 {
+	if overlap <= 0 {
+		return math.Inf(1)
+	}
+	if overlap >= 1 {
+		return 1
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.99
+	}
+	return math.Log(1-confidence) / math.Log(1-overlap)
+}

@@ -1,0 +1,163 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSamplerValidation(t *testing.T) {
+	if _, err := NewSampler(nil, 1); err == nil {
+		t.Error("empty distribution accepted")
+	}
+	if _, err := NewSampler([]float64{0, 0}, 1); err == nil {
+		t.Error("zero-total distribution accepted")
+	}
+	if _, err := NewSampler([]float64{0.5, -0.1}, 1); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := NewSampler([]float64{0.5, math.NaN()}, 1); err == nil {
+		t.Error("NaN probability accepted")
+	}
+}
+
+func TestPointMass(t *testing.T) {
+	s, err := NewSampler([]float64{0, 0, 1, 0}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := s.Sample(); got != 2 {
+			t.Fatalf("point mass sampled %d", got)
+		}
+	}
+}
+
+func TestFrequenciesMatchDistribution(t *testing.T) {
+	probs := []float64{0.1, 0.2, 0.3, 0.4}
+	s, err := NewSampler(probs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shots = 200000
+	counts := Counts(s.SampleN(shots))
+	for i, want := range probs {
+		got := float64(counts[uint64(i)]) / shots
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d: frequency %.4f, want %.2f", i, got, want)
+		}
+	}
+}
+
+func TestUnnormalizedInputAccepted(t *testing.T) {
+	// |ψ|² vectors may be slightly unnormalized; the sampler rescales.
+	s, err := NewSampler([]float64{2, 6}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := Counts(s.SampleN(100000))
+	frac := float64(counts[1]) / 100000
+	if math.Abs(frac-0.75) > 0.01 {
+		t.Errorf("frequency of index 1 = %.4f, want 0.75", frac)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	probs := []float64{0.25, 0.25, 0.5}
+	a, _ := NewSampler(probs, 9)
+	b, _ := NewSampler(probs, 9)
+	for i := 0; i < 50; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestEstimateExpectation(t *testing.T) {
+	// Exact over a deterministic sample set.
+	samples := []uint64{0, 0, 1, 1}
+	cost := func(x uint64) float64 { return float64(x) * 10 }
+	mean, stderr := EstimateExpectation(samples, cost)
+	if mean != 5 {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	// variance = (0-5)²·4/3... sample variance of {0,0,10,10} = 100/3,
+	// stderr = sqrt(100/3/4) = 2.886..
+	if math.Abs(stderr-math.Sqrt(100.0/3/4)) > 1e-12 {
+		t.Errorf("stderr = %v", stderr)
+	}
+	if m, s := EstimateExpectation(nil, cost); m != 0 || s != 0 {
+		t.Error("empty samples must return zeros")
+	}
+}
+
+func TestEstimateConvergesToTrueExpectation(t *testing.T) {
+	probs := []float64{0.5, 0, 0, 0.5} // cost 0 and 3 equally likely
+	s, _ := NewSampler(probs, 11)
+	cost := func(x uint64) float64 { return float64(x) }
+	mean, stderr := EstimateExpectation(s.SampleN(50000), cost)
+	if math.Abs(mean-1.5) > 5*stderr+0.05 {
+		t.Errorf("mean %v ± %v far from 1.5", mean, stderr)
+	}
+}
+
+func TestBest(t *testing.T) {
+	cost := func(x uint64) float64 { return math.Abs(float64(x) - 3) }
+	arg, min := Best([]uint64{7, 1, 3, 5}, cost)
+	if arg != 3 || min != 0 {
+		t.Errorf("Best = (%d, %v)", arg, min)
+	}
+	if _, min := Best(nil, cost); !math.IsInf(min, 1) {
+		t.Error("empty Best must be +Inf")
+	}
+}
+
+func TestSamplesToSolution(t *testing.T) {
+	// p = 0.5, confidence 0.99: N = ln(0.01)/ln(0.5) ≈ 6.64.
+	if got := SamplesToSolution(0.5, 0.99); math.Abs(got-math.Log(0.01)/math.Log(0.5)) > 1e-12 {
+		t.Errorf("N = %v", got)
+	}
+	if !math.IsInf(SamplesToSolution(0, 0.99), 1) {
+		t.Error("overlap 0 must need infinite samples")
+	}
+	if SamplesToSolution(1, 0.99) != 1 {
+		t.Error("overlap 1 must need one sample")
+	}
+	// Invalid confidence falls back to 0.99.
+	if a, b := SamplesToSolution(0.3, -1), SamplesToSolution(0.3, 0.99); a != b {
+		t.Error("confidence fallback broken")
+	}
+	// Monotone: higher overlap, fewer samples.
+	if SamplesToSolution(0.2, 0.9) <= SamplesToSolution(0.4, 0.9) {
+		t.Error("SamplesToSolution not decreasing in overlap")
+	}
+}
+
+// Property (testing/quick): samples always index into the support.
+func TestQuickSamplesInRange(t *testing.T) {
+	f := func(seed int64, raw [6]uint8) bool {
+		probs := make([]float64, len(raw))
+		var total float64
+		for i, r := range raw {
+			probs[i] = float64(r)
+			total += probs[i]
+		}
+		if total == 0 {
+			return true
+		}
+		s, err := NewSampler(probs, seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 64; i++ {
+			x := s.Sample()
+			if x >= uint64(len(probs)) || probs[x] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+package tensornet
+
+import (
+	"fmt"
+
+	"qokit/internal/gatesim"
+)
+
+// Heuristic selects the contraction order.
+type Heuristic int
+
+const (
+	// GreedySize always contracts the pair producing the smallest
+	// result tensor (the cuTensorNet-default analogue).
+	GreedySize Heuristic = iota
+	// GreedyFlops always contracts the pair with the cheapest single
+	// contraction (the QTensor-style local-cost analogue).
+	GreedyFlops
+)
+
+// String names the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case GreedySize:
+		return "greedy-size"
+	case GreedyFlops:
+		return "greedy-flops"
+	default:
+		return fmt.Sprintf("Heuristic(%d)", int(h))
+	}
+}
+
+// Network is a set of tensors to be fully contracted.
+type Network struct {
+	Tensors []*Tensor
+	// MaxSize caps intermediate tensor element counts (0 = 2^26). Deep
+	// QAOA networks exceed any practical cap — that failure mode is
+	// the baseline's documented behaviour, reported rather than fatal.
+	MaxSize int
+	// Stats accumulate over Contract.
+	PeakRank   int
+	TotalFlops int
+}
+
+// FromCircuit builds the network for the amplitude ⟨x|C|0…0⟩: per-
+// qubit |0⟩ caps, one tensor per gate, and ⟨x_q| caps on the output
+// wires.
+func FromCircuit(c *gatesim.Circuit, x uint64) (*Network, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.N > 62 {
+		return nil, fmt.Errorf("tensornet: n=%d too large", c.N)
+	}
+	nw := &Network{}
+	next := 0
+	fresh := func() int { next++; return next - 1 }
+	wire := make([]int, c.N)
+	for q := range wire {
+		wire[q] = fresh()
+		t, err := NewTensor([]int{wire[q]}, []complex128{1, 0}) // |0⟩
+		if err != nil {
+			return nil, err
+		}
+		nw.Tensors = append(nw.Tensors, t)
+	}
+	for _, g := range c.Gates {
+		if g.IsTwoQubit() {
+			u := gate4x4(g)
+			o1, o2 := wire[g.Q1], wire[g.Q2]
+			n1, n2 := fresh(), fresh()
+			// Axis order [n1, n2, o1, o2]; statevec convention indexes
+			// the matrix with row r = bit(q2)<<1 | bit(q1).
+			data := make([]complex128, 16)
+			for b1 := 0; b1 < 2; b1++ {
+				for b2 := 0; b2 < 2; b2++ {
+					for a1 := 0; a1 < 2; a1++ {
+						for a2 := 0; a2 < 2; a2++ {
+							idx := b1<<3 | b2<<2 | a1<<1 | a2
+							data[idx] = u[b2<<1|b1][a2<<1|a1]
+						}
+					}
+				}
+			}
+			t, err := NewTensor([]int{n1, n2, o1, o2}, data)
+			if err != nil {
+				return nil, err
+			}
+			nw.Tensors = append(nw.Tensors, t)
+			wire[g.Q1], wire[g.Q2] = n1, n2
+			continue
+		}
+		u := gate2x2(g)
+		old := wire[g.Q1]
+		nl := fresh()
+		t, err := NewTensor([]int{nl, old}, []complex128{u[0][0], u[0][1], u[1][0], u[1][1]})
+		if err != nil {
+			return nil, err
+		}
+		nw.Tensors = append(nw.Tensors, t)
+		wire[g.Q1] = nl
+	}
+	for q := 0; q < c.N; q++ {
+		cap := []complex128{1, 0}
+		if x>>uint(q)&1 == 1 {
+			cap = []complex128{0, 1}
+		}
+		t, err := NewTensor([]int{wire[q]}, cap)
+		if err != nil {
+			return nil, err
+		}
+		nw.Tensors = append(nw.Tensors, t)
+	}
+	return nw, nil
+}
+
+// Contract reduces the network to a scalar with the given heuristic.
+func (nw *Network) Contract(h Heuristic) (complex128, error) {
+	maxSize := nw.MaxSize
+	if maxSize <= 0 {
+		maxSize = 1 << 26
+	}
+	ts := append([]*Tensor(nil), nw.Tensors...)
+	if len(ts) == 0 {
+		return 0, fmt.Errorf("tensornet: empty network")
+	}
+	for len(ts) > 1 {
+		bi, bj := -1, -1
+		best := int(^uint(0) >> 1)
+		bestFlops := best
+		// Prefer pairs that share labels; fall back to outer products
+		// only when no connected pair remains.
+		for i := 0; i < len(ts); i++ {
+			for j := i + 1; j < len(ts); j++ {
+				if sharedCount(ts[i], ts[j]) == 0 {
+					continue
+				}
+				var cost int
+				switch h {
+				case GreedyFlops:
+					cost = contractionFlops(ts[i], ts[j])
+				default:
+					cost = resultRank(ts[i], ts[j])
+				}
+				flops := contractionFlops(ts[i], ts[j])
+				if cost < best || (cost == best && flops < bestFlops) {
+					best, bestFlops, bi, bj = cost, flops, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			// Disconnected components: contract the two smallest.
+			bi, bj = 0, 1
+			for i := 2; i < len(ts); i++ {
+				if ts[i].Rank() < ts[bi].Rank() {
+					bi = i
+				} else if ts[i].Rank() < ts[bj].Rank() && i != bi {
+					bj = i
+				}
+			}
+			if bi > bj {
+				bi, bj = bj, bi
+			}
+		}
+		merged, err := Contract(ts[bi], ts[bj], maxSize)
+		if err != nil {
+			return 0, err
+		}
+		if merged.Rank() > nw.PeakRank {
+			nw.PeakRank = merged.Rank()
+		}
+		nw.TotalFlops += contractionFlops(ts[bi], ts[bj])
+		ts[bi] = merged
+		ts = append(ts[:bj], ts[bj+1:]...)
+	}
+	if ts[0].Rank() != 0 {
+		return 0, fmt.Errorf("tensornet: contraction left open labels %v", ts[0].Labels)
+	}
+	return ts[0].Data[0], nil
+}
+
+// Amplitude is the convenience entry point: build the network for
+// ⟨x|C|0…0⟩ and contract it.
+func Amplitude(c *gatesim.Circuit, x uint64, h Heuristic, maxSize int) (complex128, error) {
+	nw, err := FromCircuit(c, x)
+	if err != nil {
+		return 0, err
+	}
+	nw.MaxSize = maxSize
+	return nw.Contract(h)
+}
+
+func gate2x2(g gatesim.Gate) [2][2]complex128 {
+	switch g.Kind {
+	case gatesim.KindH, gatesim.KindRX, gatesim.KindRZ, gatesim.KindU1:
+		return gatesim.GateMatrix1Q(g)
+	default:
+		panic(fmt.Sprintf("tensornet: gate %v is not single-qubit", g.Kind))
+	}
+}
+
+func gate4x4(g gatesim.Gate) [4][4]complex128 {
+	return gatesim.GateMatrix2Q(g)
+}

@@ -1,0 +1,192 @@
+// Package tensornet is the tensor-network contraction baseline of the
+// paper's Fig. 3 (the cuTensorNet / QTensor analogue). A circuit plus
+// one output bitstring becomes a network of rank-r tensors over
+// 2-dimensional (qubit) indices; a contraction-order heuristic picks
+// pairwise contractions until a scalar — one probability amplitude —
+// remains.
+//
+// Tensor networks shine on shallow circuits, where contracting across
+// the qubit dimension keeps intermediates small. Deep QAOA circuits
+// with dense, high-order phase operators (LABS) drive the contraction
+// width toward n, at which point the method degenerates to worse than
+// state-vector evolution — the behaviour the paper measures and this
+// package reproduces. Two order heuristics are provided, standing in
+// for the two TN baselines the paper benchmarks (QTensor's
+// treewidth-style optimizer and cuTensorNet's default).
+package tensornet
+
+import (
+	"fmt"
+)
+
+// Tensor is a dense complex tensor whose axes all have dimension 2
+// (qubit wires). Labels names each axis; tensors sharing a label are
+// contracted over it. Data is laid out with Labels[0] as the most
+// significant bit of the flat index (C order).
+type Tensor struct {
+	Labels []int
+	Data   []complex128
+}
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.Labels) }
+
+// Size returns the element count (2^rank).
+func (t *Tensor) Size() int { return 1 << uint(len(t.Labels)) }
+
+// NewTensor builds a tensor and checks the data length.
+func NewTensor(labels []int, data []complex128) (*Tensor, error) {
+	if len(data) != 1<<uint(len(labels)) {
+		return nil, fmt.Errorf("tensornet: rank %d needs %d elements, got %d", len(labels), 1<<uint(len(labels)), len(data))
+	}
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			return nil, fmt.Errorf("tensornet: repeated label %d on one tensor (traces not supported)", l)
+		}
+		seen[l] = true
+	}
+	return &Tensor{Labels: append([]int(nil), labels...), Data: data}, nil
+}
+
+// transpose returns the tensor with axes reordered so Labels matches
+// newLabels (a permutation of the current labels).
+func (t *Tensor) transpose(newLabels []int) *Tensor {
+	r := t.Rank()
+	if r <= 1 {
+		return t
+	}
+	// pos[i] = axis of newLabels[i] in the current tensor.
+	pos := make([]int, r)
+	for i, nl := range newLabels {
+		pos[i] = -1
+		for j, l := range t.Labels {
+			if l == nl {
+				pos[i] = j
+				break
+			}
+		}
+		if pos[i] < 0 {
+			panic(fmt.Sprintf("tensornet: transpose label %d not present", nl))
+		}
+	}
+	same := true
+	for i := range pos {
+		if pos[i] != i {
+			same = false
+			break
+		}
+	}
+	if same {
+		return t
+	}
+	out := make([]complex128, len(t.Data))
+	// Bit i (from the top) of the new index is bit pos[i] (from the
+	// top) of the old index.
+	shifts := make([]uint, r)
+	for i := range pos {
+		shifts[i] = uint(r - 1 - pos[i])
+	}
+	for idx := range out {
+		var old int
+		for i := 0; i < r; i++ {
+			bit := (idx >> uint(r-1-i)) & 1
+			old |= bit << shifts[i]
+		}
+		out[idx] = t.Data[old]
+	}
+	return &Tensor{Labels: append([]int(nil), newLabels...), Data: out}
+}
+
+// Contract contracts a and b over all shared labels, returning a
+// tensor whose labels are a's free labels followed by b's free labels.
+// maxSize bounds the result's element count (0 disables the bound);
+// exceeding it returns an error so runaway contractions fail fast
+// instead of exhausting memory.
+func Contract(a, b *Tensor, maxSize int) (*Tensor, error) {
+	inB := map[int]bool{}
+	for _, l := range b.Labels {
+		inB[l] = true
+	}
+	var shared, freeA []int
+	for _, l := range a.Labels {
+		if inB[l] {
+			shared = append(shared, l)
+		} else {
+			freeA = append(freeA, l)
+		}
+	}
+	inShared := map[int]bool{}
+	for _, l := range shared {
+		inShared[l] = true
+	}
+	var freeB []int
+	for _, l := range b.Labels {
+		if !inShared[l] {
+			freeB = append(freeB, l)
+		}
+	}
+	fa, fb, s := len(freeA), len(freeB), len(shared)
+	outLabels := append(append([]int(nil), freeA...), freeB...)
+	if maxSize > 0 && fa+fb > 62 {
+		return nil, fmt.Errorf("tensornet: contraction rank %d overflows", fa+fb)
+	}
+	outSize := 1 << uint(fa+fb)
+	if maxSize > 0 && outSize > maxSize {
+		return nil, fmt.Errorf("tensornet: intermediate tensor of 2^%d elements exceeds cap %d", fa+fb, maxSize)
+	}
+	// Matricize: A as [freeA × shared], B as [shared × freeB].
+	am := a.transpose(append(append([]int(nil), freeA...), shared...))
+	bm := b.transpose(append(append([]int(nil), shared...), freeB...))
+	out := make([]complex128, outSize)
+	sDim := 1 << uint(s)
+	fbDim := 1 << uint(fb)
+	for ia := 0; ia < 1<<uint(fa); ia++ {
+		arow := am.Data[ia*sDim : (ia+1)*sDim]
+		orow := out[ia*fbDim : (ia+1)*fbDim]
+		for k := 0; k < sDim; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := bm.Data[k*fbDim : (k+1)*fbDim]
+			for ib := 0; ib < fbDim; ib++ {
+				orow[ib] += av * brow[ib]
+			}
+		}
+	}
+	return &Tensor{Labels: outLabels, Data: out}, nil
+}
+
+// sharedCount returns how many labels a and b share, used by the
+// heuristics.
+func sharedCount(a, b *Tensor) int {
+	inA := map[int]bool{}
+	for _, l := range a.Labels {
+		inA[l] = true
+	}
+	c := 0
+	for _, l := range b.Labels {
+		if inA[l] {
+			c++
+		}
+	}
+	return c
+}
+
+// resultRank returns the rank of Contract(a, b) without contracting.
+func resultRank(a, b *Tensor) int {
+	s := sharedCount(a, b)
+	return a.Rank() + b.Rank() - 2*s
+}
+
+// contractionFlops estimates the multiply count of Contract(a, b):
+// 2^(freeA+freeB+shared).
+func contractionFlops(a, b *Tensor) int {
+	s := sharedCount(a, b)
+	r := a.Rank() + b.Rank() - s
+	if r > 62 {
+		return 1 << 62
+	}
+	return 1 << uint(r)
+}

@@ -1,0 +1,289 @@
+package tensornet
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"qokit/internal/gatesim"
+	"qokit/internal/problems"
+	"qokit/internal/statevec"
+)
+
+func TestNewTensorValidation(t *testing.T) {
+	if _, err := NewTensor([]int{0, 1}, make([]complex128, 3)); err == nil {
+		t.Error("wrong data length accepted")
+	}
+	if _, err := NewTensor([]int{0, 0}, make([]complex128, 4)); err == nil {
+		t.Error("repeated label accepted")
+	}
+	if _, err := NewTensor(nil, []complex128{2}); err != nil {
+		t.Errorf("scalar tensor rejected: %v", err)
+	}
+}
+
+func TestContractMatrixVector(t *testing.T) {
+	// M (labels out,in) × v (label in) = Mv (label out).
+	m, _ := NewTensor([]int{1, 0}, []complex128{1, 2, 3, 4}) // [[1,2],[3,4]]
+	v, _ := NewTensor([]int{0}, []complex128{5, 6})
+	r, err := Contract(m, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Labels) != 1 || r.Labels[0] != 1 {
+		t.Fatalf("labels = %v", r.Labels)
+	}
+	if r.Data[0] != 17 || r.Data[1] != 39 {
+		t.Fatalf("Mv = %v, want [17, 39]", r.Data)
+	}
+}
+
+func TestContractFullInner(t *testing.T) {
+	a, _ := NewTensor([]int{0, 1}, []complex128{1, 2, 3, 4})
+	b, _ := NewTensor([]int{0, 1}, []complex128{5, 6, 7, 8})
+	r, err := Contract(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rank() != 0 {
+		t.Fatalf("rank = %d", r.Rank())
+	}
+	if r.Data[0] != 5+12+21+32 {
+		t.Fatalf("inner = %v, want 70", r.Data[0])
+	}
+}
+
+func TestContractOuterProduct(t *testing.T) {
+	a, _ := NewTensor([]int{0}, []complex128{1, 2})
+	b, _ := NewTensor([]int{1}, []complex128{3, 4})
+	r, err := Contract(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{3, 4, 6, 8} // [a0 b0, a0 b1, a1 b0, a1 b1]
+	for i := range want {
+		if r.Data[i] != want[i] {
+			t.Fatalf("outer = %v, want %v", r.Data, want)
+		}
+	}
+}
+
+func TestContractSizeCap(t *testing.T) {
+	a, _ := NewTensor([]int{0, 1, 2}, make([]complex128, 8))
+	b, _ := NewTensor([]int{3, 4, 5}, make([]complex128, 8))
+	if _, err := Contract(a, b, 16); err == nil {
+		t.Error("cap exceeded but contraction succeeded")
+	}
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	data := make([]complex128, 16)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	a, _ := NewTensor([]int{3, 1, 4, 2}, data)
+	b := a.transpose([]int{4, 2, 3, 1})
+	c := b.transpose([]int{3, 1, 4, 2})
+	for i := range data {
+		if c.Data[i] != data[i] {
+			t.Fatalf("transpose round trip failed at %d", i)
+		}
+	}
+}
+
+func TestAmplitudeBell(t *testing.T) {
+	// H(0); CX(0,1) → (|00⟩+|11⟩)/√2.
+	c := gatesim.NewCircuit(2).H(0).CX(0, 1)
+	for _, h := range []Heuristic{GreedySize, GreedyFlops} {
+		for x, want := range map[uint64]complex128{
+			0b00: complex(1/math.Sqrt2, 0),
+			0b01: 0,
+			0b10: 0,
+			0b11: complex(1/math.Sqrt2, 0),
+		} {
+			got, err := Amplitude(c, x, h, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmplx.Abs(got-want) > 1e-12 {
+				t.Errorf("%v: ⟨%02b|Bell⟩ = %v, want %v", h, x, got, want)
+			}
+		}
+	}
+}
+
+func TestAmplitudesMatchStatevectorOnQAOA(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	n := 5
+	ts := problems.LABSTerms(n)
+	gamma := []float64{rng.Float64() - 0.5, rng.Float64() - 0.5}
+	beta := []float64{rng.Float64() - 0.5, rng.Float64() - 0.5}
+	circ, err := gatesim.BuildQAOA(n, ts, gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := gatesim.NewEngine().Simulate(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []Heuristic{GreedySize, GreedyFlops} {
+		for _, x := range []uint64{0, 3, 7, 12, 21, 30} {
+			got, err := Amplitude(circ, x, h, 0)
+			if err != nil {
+				t.Fatalf("%v x=%d: %v", h, x, err)
+			}
+			if cmplx.Abs(got-sv[x]) > 1e-9 {
+				t.Errorf("%v: amplitude(%05b) = %v, statevector %v", h, x, got, sv[x])
+			}
+		}
+	}
+}
+
+func TestAmplitudesMatchOnRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 5; trial++ {
+		n := 3 + rng.Intn(3)
+		circ := gatesim.NewCircuit(n)
+		for i := 0; i < 25; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				circ.H(rng.Intn(n))
+			case 1:
+				circ.RX(rng.Intn(n), rng.Float64()*2)
+			case 2:
+				circ.RZ(rng.Intn(n), rng.Float64()*2)
+			case 3:
+				a := rng.Intn(n)
+				circ.CX(a, (a+1+rng.Intn(n-1))%n)
+			case 4:
+				a := rng.Intn(n)
+				circ.XY(a, (a+1+rng.Intn(n-1))%n, rng.Float64())
+			}
+		}
+		sv, err := gatesim.NewEngine().Simulate(circ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := uint64(rng.Intn(1 << uint(n)))
+		got, err := Amplitude(circ, x, GreedySize, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(got-sv[x]) > 1e-9 {
+			t.Fatalf("trial %d: amplitude %v, statevector %v", trial, got, sv[x])
+		}
+	}
+}
+
+func TestAmplitudeNormalization(t *testing.T) {
+	// Σ_x |⟨x|ψ⟩|² = 1 over all bitstrings of a small QAOA circuit.
+	n := 4
+	circ, err := gatesim.BuildQAOA(n, problems.LABSTerms(n), []float64{0.4}, []float64{0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		a, err := Amplitude(circ, x, GreedyFlops, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("Σ|amplitude|² = %v", total)
+	}
+}
+
+func TestPeakRankGrowsWithDepth(t *testing.T) {
+	// The paper's observation: deeper QAOA ⇒ wider contraction. Peak
+	// intermediate rank should not decrease from p=1 to p=3.
+	n := 6
+	ts := problems.LABSTerms(n)
+	ranks := map[int]int{}
+	for _, p := range []int{1, 3} {
+		gamma := make([]float64, p)
+		beta := make([]float64, p)
+		for i := range gamma {
+			gamma[i], beta[i] = 0.3, 0.5
+		}
+		circ, err := gatesim.BuildQAOA(n, ts, gamma, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := FromCircuit(circ, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.Contract(GreedySize); err != nil {
+			t.Fatal(err)
+		}
+		ranks[p] = nw.PeakRank
+	}
+	if ranks[3] < ranks[1] {
+		t.Errorf("peak rank fell with depth: p=1 %d, p=3 %d", ranks[1], ranks[3])
+	}
+}
+
+func TestNetworkStatsAndCaps(t *testing.T) {
+	circ, err := gatesim.BuildQAOA(6, problems.LABSTerms(6), []float64{0.3}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := FromCircuit(circ, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Contract(GreedySize); err != nil {
+		t.Fatal(err)
+	}
+	if nw.PeakRank < 2 || nw.PeakRank > 12 {
+		t.Errorf("peak rank %d implausible for n=6", nw.PeakRank)
+	}
+	if nw.TotalFlops <= 0 {
+		t.Errorf("TotalFlops = %d", nw.TotalFlops)
+	}
+	// An absurdly small cap must fail, not OOM.
+	nw2, err := FromCircuit(circ, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2.MaxSize = 2
+	if _, err := nw2.Contract(GreedySize); err == nil {
+		t.Error("tiny cap did not trigger an error")
+	}
+	// Empty network errors.
+	empty := &Network{}
+	if _, err := empty.Contract(GreedySize); err == nil {
+		t.Error("empty network contracted")
+	}
+}
+
+func TestFromCircuitRejectsInvalid(t *testing.T) {
+	bad := gatesim.NewCircuit(2).CX(1, 1)
+	if _, err := FromCircuit(bad, 0); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}
+
+func TestStatevectorAmplitudeAgreesWithCore(t *testing.T) {
+	// Spot-check one amplitude against statevec's FWHT identity:
+	// contraction of H-only circuit gives uniform amplitudes.
+	n := 3
+	circ := gatesim.NewCircuit(n)
+	for q := 0; q < n; q++ {
+		circ.H(q)
+	}
+	want := statevec.NewUniform(n)
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		a, err := Amplitude(circ, x, GreedySize, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(a-want[x]) > 1e-12 {
+			t.Errorf("amplitude(%03b) = %v, want %v", x, a, want[x])
+		}
+	}
+}
