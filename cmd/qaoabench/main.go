@@ -12,6 +12,7 @@
 //	qaoabench fig4   [-n 18] [-pmax 1024]
 //	qaoabench fig5   [-local 16] [-kmax 16] [-reps 3]
 //	qaoabench opt    [-n 14] [-p 6] [-evals 60]
+//	qaoabench landscape [-n 14] [-grid 24] [-workers 0]
 //	qaoabench memory [-n 20]
 //	qaoabench gates  [-nmax 31]
 //	qaoabench all    (runs everything at default sizes)
@@ -36,6 +37,7 @@ func commands() []command {
 		{"fig4", "Fig. 4: total simulation time vs depth p (precompute amortization)", runFig4},
 		{"fig5", "Fig. 5: weak scaling of the distributed mixer (pairwise vs transpose)", runFig5},
 		{"opt", "§I/§V: end-to-end parameter-optimization speedup", runOpt},
+		{"landscape", "Fig. 3/4 workload: batched γ×β landscape scan via the sweep engine", runLandscape},
 		{"memory", "§V-B: memory overhead of the precomputed diagonal (float64 vs uint16)", runMemory},
 		{"gates", "§VI: compiled gate counts per QAOA layer (LABS)", runGates},
 		{"scaling", "§I/§VII: LABS time-to-solution scaling, QAOA vs simulated annealing", runScaling},

@@ -26,6 +26,8 @@ func TestRunnersSmoke(t *testing.T) {
 			[]string{"pairwise", "transpose", "modeled"}},
 		{"opt", runOpt, []string{"-n", "8", "-p", "2", "-evals", "10"},
 			[]string{"speedup", "gate-based"}},
+		{"landscape", runLandscape, []string{"-n", "8", "-grid", "6"},
+			[]string{"sweep-engine", "point-at-a-time", "landscape minimum"}},
 		{"memory", runMemory, []string{"-n", "8"},
 			[]string{"12.5%", "uint16 store exact: true"}},
 		{"gates", runGates, []string{"-nmax", "13"},
@@ -54,5 +56,15 @@ func TestRunnersRejectBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := runFig2(&out, []string{"-definitely-not-a-flag"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+func TestLandscapeRejectsDegenerateSizes(t *testing.T) {
+	var out strings.Builder
+	if err := runLandscape(&out, []string{"-grid", "0"}); err == nil {
+		t.Error("landscape accepted -grid 0")
+	}
+	if err := runLandscape(&out, []string{"-n", "0"}); err == nil {
+		t.Error("landscape accepted -n 0")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"qokit/internal/optimize"
 	"qokit/internal/problems"
 	"qokit/internal/statevec"
+	"qokit/internal/sweep"
 )
 
 // runOpt reproduces the headline claim ("we reduce the time for a
@@ -38,19 +39,21 @@ func runOpt(w io.Writer, args []string) error {
 	nm := optimize.NMOptions{MaxEvals: *evals}
 
 	// Fast simulator: one construction (includes precompute), then
-	// cheap evaluations.
+	// cheap evaluations through a sweep-engine buffer — the entire
+	// optimization reuses a single state vector.
 	startFast := time.Now()
 	sim, err := core.New(*n, terms, core.Options{Backend: core.BackendSoA})
 	if err != nil {
 		return err
 	}
+	eng := sweep.New(sim, sweep.Options{Workers: 1})
 	resFast := optimize.NelderMead(func(x []float64) float64 {
 		gg, bb := optimize.SplitAngles(x)
-		r, err := sim.SimulateQAOA(gg, bb)
+		v, err := eng.Evaluate(gg, bb)
 		if err != nil {
 			panic(err)
 		}
-		return r.Expectation()
+		return v
 	}, x0, nm)
 	tFast := time.Since(startFast)
 

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example at a reduced size: clean exit plus
+// the expected report markers. The example itself verifies every
+// distributed configuration against the single-node expectation and
+// returns an error on deviation, so a clean exit is the equivalence
+// check.
+func TestRun(t *testing.T) {
+	defer func(n, p int, r []int) { nQubits, depth, rankSet = n, p, r }(nQubits, depth, rankSet)
+	nQubits, depth, rankSet = 8, 2, []int{1, 2, 4}
+
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, marker := range []string{
+		"LABS n=8 p=2 — single-node expectation",
+		"bytes/rank",
+		"Every configuration reproduces the single-node expectation exactly.",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q\n---\n%s", marker, out)
+		}
+	}
+}

@@ -9,16 +9,30 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"qokit"
 )
 
+var (
+	nQubits   = 14
+	depths    = []int{1, 2, 4, 8}
+	evalsPerP = 60
+)
+
 func main() {
-	n := 14
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	n := nQubits
 	terms := qokit.LABSTerms(n)
 	optE, _ := qokit.LABSOptimalEnergy(n)
-	fmt.Printf("LABS n=%d: %d polynomial terms, optimal energy %d (merit factor %.3f)\n",
+	fmt.Fprintf(w, "LABS n=%d: %d polynomial terms, optimal energy %d (merit factor %.3f)\n",
 		n, len(terms), optE, qokit.MeritFactor(n, optE))
 
 	// One simulator instance; the precomputed diagonal is reused for
@@ -29,32 +43,33 @@ func main() {
 		Quantize: true,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("\n%2s  %12s  %12s  %10s  %7s\n", "p", "E(TQA)", "E(optimized)", "overlap", "evals")
-	for _, p := range []int{1, 2, 4, 8} {
+	fmt.Fprintf(w, "\n%2s  %12s  %12s  %10s  %7s\n", "p", "E(TQA)", "E(optimized)", "overlap", "evals")
+	for _, p := range depths {
 		gamma, beta := qokit.TQAInit(p, 0.7)
 		r0, err := sim.SimulateQAOA(gamma, beta)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		tqaEnergy := r0.Expectation()
 
-		g, b, energy, evals, err := qokit.OptimizeParameters(sim, p, qokit.NMOptions{MaxEvals: 60 * p})
+		g, b, energy, evals, err := qokit.OptimizeParameters(sim, p, qokit.NMOptions{MaxEvals: evalsPerP * p})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		r, err := sim.SimulateQAOA(g, b)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%2d  %12.4f  %12.4f  %10.4g  %7d\n", p, tqaEnergy, energy, r.Overlap(), evals)
+		fmt.Fprintf(w, "%2d  %12.4f  %12.4f  %10.4g  %7d\n", p, tqaEnergy, energy, r.Overlap(), evals)
 	}
-	fmt.Printf("\nrandom-guess baseline: E[uniform] = %.2f; optimum %d\n",
+	fmt.Fprintf(w, "\nrandom-guess baseline: E[uniform] = %.2f; optimum %d\n",
 		meanCost(sim.CostDiagonal()), optE)
-	fmt.Println("(expectation decreases and overlap grows with depth — the regime where")
-	fmt.Println(" precomputing the diagonal pays off most, since every extra layer reuses it)")
+	fmt.Fprintln(w, "(expectation decreases and overlap grows with depth — the regime where")
+	fmt.Fprintln(w, " precomputing the diagonal pays off most, since every extra layer reuses it)")
+	return nil
 }
 
 func meanCost(diag []float64) float64 {

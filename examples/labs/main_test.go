@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example at a reduced size: clean exit plus
+// the expected report markers.
+func TestRun(t *testing.T) {
+	defer func(n int, d []int, e int) { nQubits, depths, evalsPerP = n, d, e }(nQubits, depths, evalsPerP)
+	nQubits, depths, evalsPerP = 8, []int{1, 2}, 30
+
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, marker := range []string{
+		"LABS n=8:",
+		"optimal energy",
+		"E(optimized)",
+		"random-guess baseline",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q\n---\n%s", marker, out)
+		}
+	}
+}

@@ -10,47 +10,64 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"qokit"
 )
 
+var (
+	nQubits    = 14
+	maxDepth   = 8
+	evalsPerP  = 80
+	graphSeed  = int64(7)
+	nodeDegree = 3
+)
+
 func main() {
-	n, degree := 14, 3
-	g, err := qokit.RandomRegular(n, degree, 7)
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	n, degree := nQubits, nodeDegree
+	g, err := qokit.RandomRegular(n, degree, graphSeed)
+	if err != nil {
+		return err
 	}
 	terms := qokit.MaxCutTerms(g)
 	best, _, err := qokit.MaxCutBrute(g)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("MaxCut on a random %d-regular graph: n=%d, |E|=%d, optimal cut %d\n",
+	fmt.Fprintf(w, "MaxCut on a random %d-regular graph: n=%d, |E|=%d, optimal cut %d\n",
 		degree, n, g.NumEdges(), best)
 
 	sim, err := qokit.NewSimulator(n, terms, qokit.Options{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("\n%2s  %10s  %8s  %9s  %6s\n", "p", "⟨cut⟩", "ratio", "overlap", "evals")
+	fmt.Fprintf(w, "\n%2s  %10s  %8s  %9s  %6s\n", "p", "⟨cut⟩", "ratio", "overlap", "evals")
 	totalEvals := 0
-	for p := 1; p <= 8; p *= 2 {
-		gamma, beta, energy, evals, err := qokit.OptimizeParameters(sim, p, qokit.NMOptions{MaxEvals: 80 * p})
+	for p := 1; p <= maxDepth; p *= 2 {
+		gamma, beta, energy, evals, err := qokit.OptimizeParameters(sim, p, qokit.NMOptions{MaxEvals: evalsPerP * p})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		res, err := sim.SimulateQAOA(gamma, beta)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		// f(x) = −cut(x), so the expected cut is −energy.
 		ratio := -energy / float64(best)
-		fmt.Printf("%2d  %10.4f  %8.4f  %9.4g  %6d\n", p, -energy, ratio, res.Overlap(), evals)
+		fmt.Fprintf(w, "%2d  %10.4f  %8.4f  %9.4g  %6d\n", p, -energy, ratio, res.Overlap(), evals)
 		totalEvals += evals
 	}
-	fmt.Printf("\n%d total objective evaluations against one precomputed diagonal;\n", totalEvals)
-	fmt.Println("a gate-based simulator would have recompiled and replayed the phase")
-	fmt.Println("operator's CX ladders for every one of them (see cmd/qaoabench opt).")
+	fmt.Fprintf(w, "\n%d total objective evaluations against one precomputed diagonal;\n", totalEvals)
+	fmt.Fprintln(w, "a gate-based simulator would have recompiled and replayed the phase")
+	fmt.Fprintln(w, "operator's CX ladders for every one of them (see cmd/qaoabench opt).")
+	return nil
 }

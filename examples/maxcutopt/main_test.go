@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example at a reduced size: clean exit plus
+// the expected report markers.
+func TestRun(t *testing.T) {
+	defer func(n, d, e int) { nQubits, maxDepth, evalsPerP = n, d, e }(nQubits, maxDepth, evalsPerP)
+	nQubits, maxDepth, evalsPerP = 8, 2, 30
+
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, marker := range []string{
+		"MaxCut on a random 3-regular graph: n=8",
+		"optimal cut",
+		"total objective evaluations against one precomputed diagonal",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q\n---\n%s", marker, out)
+		}
+	}
+}

@@ -9,17 +9,32 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/bits"
+	"os"
 
 	"qokit"
 )
 
+var (
+	nAssets  = 12
+	budget   = 5
+	depth    = 6
+	optEvals = 400
+)
+
 func main() {
-	n, budget := 12, 5
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	n := nAssets
 	data := qokit.SyntheticPortfolio(n, budget, 0.5, 42)
 	terms := data.PortfolioTerms()
-	fmt.Printf("portfolio: %d assets, select %d, risk aversion q=%.2f (%d cost terms)\n",
+	fmt.Fprintf(w, "portfolio: %d assets, select %d, risk aversion q=%.2f (%d cost terms)\n",
 		n, budget, data.Q, len(terms))
 
 	// The xy-ring mixer conserves Hamming weight, so starting from the
@@ -30,29 +45,29 @@ func main() {
 		HammingWeight: budget,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// The simulator's reported optimum is the best *feasible* cost
 	// (weight-k states only); cross-check against brute force.
 	bruteBest, bruteArg, err := data.PortfolioBrute()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("feasible optimum: %.6f (simulator) vs %.6f (brute force), portfolio %0*b\n",
+	fmt.Fprintf(w, "feasible optimum: %.6f (simulator) vs %.6f (brute force), portfolio %0*b\n",
 		sim.MinCost(), bruteBest, n, bruteArg)
 
-	p := 6
-	gamma, beta, energy, evals, err := qokit.OptimizeParameters(sim, p, qokit.NMOptions{MaxEvals: 400})
+	p := depth
+	gamma, beta, energy, evals, err := qokit.OptimizeParameters(sim, p, qokit.NMOptions{MaxEvals: optEvals})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := sim.SimulateQAOA(gamma, beta)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nQAOA p=%d after %d evaluations: energy %.6f (optimum %.6f)\n", p, evals, energy, bruteBest)
-	fmt.Printf("probability of the optimal portfolio: %.4g\n", res.Overlap())
+	fmt.Fprintf(w, "\nQAOA p=%d after %d evaluations: energy %.6f (optimum %.6f)\n", p, evals, energy, bruteBest)
+	fmt.Fprintf(w, "probability of the optimal portfolio: %.4g\n", res.Overlap())
 
 	// Verify the constraint: all probability mass sits on weight-k
 	// selections, then report the best few portfolios by probability.
@@ -69,7 +84,7 @@ func main() {
 		}
 		top = append(top, cand{uint64(x), q})
 	}
-	fmt.Printf("probability mass on feasible selections: %.6f (exactly 1 by construction)\n", feasible)
+	fmt.Fprintf(w, "probability mass on feasible selections: %.6f (exactly 1 by construction)\n", feasible)
 
 	// Top-3 outcomes.
 	for i := 0; i < 3; i++ {
@@ -80,7 +95,8 @@ func main() {
 			}
 		}
 		top[i], top[best] = top[best], top[i]
-		fmt.Printf("  #%d portfolio %0*b  p=%.4f  objective %.6f\n",
+		fmt.Fprintf(w, "  #%d portfolio %0*b  p=%.4f  objective %.6f\n",
 			i+1, n, top[i].x, top[i].p, data.Objective(top[i].x))
 	}
+	return nil
 }

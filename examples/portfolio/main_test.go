@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example at a reduced size: clean exit plus
+// the expected report markers, including the feasibility invariant
+// (all probability mass on weight-k selections).
+func TestRun(t *testing.T) {
+	defer func(n, b, d, e int) { nAssets, budget, depth, optEvals = n, b, d, e }(nAssets, budget, depth, optEvals)
+	nAssets, budget, depth, optEvals = 8, 3, 3, 60
+
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, marker := range []string{
+		"portfolio: 8 assets, select 3",
+		"feasible optimum:",
+		"probability mass on feasible selections: 1.000000",
+		"#1 portfolio",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q\n---\n%s", marker, out)
+		}
+	}
+}

@@ -6,20 +6,33 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"qokit"
 )
 
+var (
+	nQubits  = 16
+	optEvals = 150
+)
+
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// Choose a simulator class by name, as in
 	// qokit.fur.choose_simulator(name='auto').
 	simclass, err := qokit.ChooseSimulator("auto")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	n := 16
+	n := nQubits
 	// Terms for all-to-all MaxCut with weight 0.3: one quadratic term
 	// (0.3, {i, j}) per pair, exactly Listing 1's list comprehension.
 	terms := qokit.AllToAllMaxCutTerms(n, 0.3)
@@ -29,7 +42,7 @@ func main() {
 	// every phase operator and objective evaluation below.
 	sim, err := simclass(n, terms)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// The precomputed cost vector is available for inspection, as in
@@ -44,25 +57,26 @@ func main() {
 			hi = c
 		}
 	}
-	fmt.Printf("precomputed diagonal: %d entries, spectrum [%.1f, %.1f]\n", len(costs), lo, hi)
+	fmt.Fprintf(w, "precomputed diagonal: %d entries, spectrum [%.1f, %.1f]\n", len(costs), lo, hi)
 
 	// Evaluate the QAOA objective at p=3 with standard linear-ramp
 	// initial parameters.
 	gamma, beta := qokit.TQAInit(3, 0.75)
 	result, err := sim.SimulateQAOA(gamma, beta)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	energy := result.Expectation()
-	fmt.Printf("⟨γβ|C|γβ⟩ = %.6f at the TQA starting point\n", energy)
-	fmt.Printf("ground-state overlap = %.4g\n", result.Overlap())
+	fmt.Fprintf(w, "⟨γβ|C|γβ⟩ = %.6f at the TQA starting point\n", energy)
+	fmt.Fprintf(w, "ground-state overlap = %.4g\n", result.Overlap())
 
 	// The same simulator instance evaluates as many parameter sets as
 	// the optimizer asks for, each at per-layer cost — that reuse is
 	// what the precomputation buys.
-	gamma2, beta2, tuned, evals, err := qokit.OptimizeParameters(sim, 3, qokit.NMOptions{MaxEvals: 150})
+	gamma2, beta2, tuned, evals, err := qokit.OptimizeParameters(sim, 3, qokit.NMOptions{MaxEvals: optEvals})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("after %d optimizer evaluations: energy %.6f (γ=%.3v, β=%.3v)\n", evals, tuned, gamma2, beta2)
+	fmt.Fprintf(w, "after %d optimizer evaluations: energy %.6f (γ=%.3v, β=%.3v)\n", evals, tuned, gamma2, beta2)
+	return nil
 }

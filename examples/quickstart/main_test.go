@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end at a reduced size: it
+// must exit cleanly and print the expected report markers.
+func TestRun(t *testing.T) {
+	defer func(n, e int) { nQubits, optEvals = n, e }(nQubits, optEvals)
+	nQubits, optEvals = 8, 30
+
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, marker := range []string{
+		"precomputed diagonal: 256 entries",
+		"⟨γβ|C|γβ⟩ =",
+		"ground-state overlap =",
+		"optimizer evaluations: energy",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q\n---\n%s", marker, out)
+		}
+	}
+}

@@ -12,55 +12,71 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"qokit"
 )
 
+var (
+	nQubits      = 12
+	depth        = 8
+	interpEvals  = 100
+	shotSizes    = []int{100, 1000, 10000}
+	annealBudget = 30000
+)
+
 func main() {
-	n, p := 12, 8
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	n, p := nQubits, depth
 	terms := qokit.LABSTerms(n)
 	optE, _ := qokit.LABSOptimalEnergy(n)
 
 	sim, err := qokit.NewSimulator(n, terms, qokit.Options{FusedMixer: true})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	gamma, beta, energy, evals, err := qokit.OptimizeParametersInterp(sim, p, 100)
+	gamma, beta, energy, evals, err := qokit.OptimizeParametersInterp(sim, p, interpEvals)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := sim.SimulateQAOA(gamma, beta)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	overlap := res.Overlap()
-	fmt.Printf("LABS n=%d: INTERP-optimized p=%d QAOA (%d evaluations)\n", n, p, evals)
-	fmt.Printf("  ⟨E⟩ = %.3f (optimum %d), ground-state overlap %.4g\n", energy, optE, overlap)
+	fmt.Fprintf(w, "LABS n=%d: INTERP-optimized p=%d QAOA (%d evaluations)\n", n, p, evals)
+	fmt.Fprintf(w, "  ⟨E⟩ = %.3f (optimum %d), ground-state overlap %.4g\n", energy, optE, overlap)
 
 	// Finite-shot estimates converge to the exact expectation.
 	cost := func(x uint64) float64 { return float64(qokit.LABSEnergy(x, n)) }
 	exact := res.Expectation()
-	fmt.Println("\nshots   estimate ± stderr   (exact", fmt.Sprintf("%.4f)", exact))
-	for _, shots := range []int{100, 1000, 10000} {
+	fmt.Fprintln(w, "\nshots   estimate ± stderr   (exact", fmt.Sprintf("%.4f)", exact))
+	for _, shots := range shotSizes {
 		samples, err := qokit.SampleResult(res, shots, 7)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		mean, stderr := qokit.EstimateExpectation(samples, cost)
-		fmt.Printf("%6d  %8.4f ± %.4f\n", shots, mean, stderr)
+		fmt.Fprintf(w, "%6d  %8.4f ± %.4f\n", shots, mean, stderr)
 	}
 
 	// Quantum time-to-solution: expected shots until an optimal
 	// sequence is measured, at 99% confidence.
 	shots := qokit.SamplesToSolution(overlap, 0.99)
-	fmt.Printf("\nexpected shots to optimal sequence (99%%): %.1f  (≈ %.0f circuit layers)\n",
+	fmt.Fprintf(w, "\nexpected shots to optimal sequence (99%%): %.1f  (≈ %.0f circuit layers)\n",
 		shots, shots*float64(p))
 
 	// Empirical check: sample until the optimum actually appears.
 	samples, err := qokit.SampleResult(res, int(4*shots)+1, 11)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	firstHit := -1
 	for i, x := range samples {
@@ -69,16 +85,17 @@ func main() {
 			break
 		}
 	}
-	fmt.Printf("empirical first optimal sample: shot #%d\n", firstHit)
+	fmt.Fprintf(w, "empirical first optimal sample: shot #%d\n", firstHit)
 
 	// Classical race: simulated-annealing flips to the same optimum.
 	steps, err := qokit.StepsToOptimum(func(x uint64) qokit.Walker {
 		return qokit.NewLABSWalker(n, x)
-	}, n, float64(optE), 30000, 13, 100)
+	}, n, float64(optE), annealBudget, 13, 100)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("simulated annealing reached E=%d after %d flips\n", optE, steps)
-	fmt.Println("\n(the paper's companion runs exactly this comparison at n up to 40 —")
-	fmt.Println(" enabled by the distributed simulator in this repository's distsim package)")
+	fmt.Fprintf(w, "simulated annealing reached E=%d after %d flips\n", optE, steps)
+	fmt.Fprintln(w, "\n(the paper's companion runs exactly this comparison at n up to 40 —")
+	fmt.Fprintln(w, " enabled by the distributed simulator in this repository's distsim package)")
+	return nil
 }

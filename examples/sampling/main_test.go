@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example at a reduced size: clean exit plus
+// the expected report markers.
+func TestRun(t *testing.T) {
+	defer func(n, p, e int, s []int) { nQubits, depth, interpEvals, shotSizes = n, p, e, s }(
+		nQubits, depth, interpEvals, shotSizes)
+	nQubits, depth, interpEvals, shotSizes = 8, 3, 40, []int{100, 1000}
+
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, marker := range []string{
+		"LABS n=8: INTERP-optimized p=3 QAOA",
+		"ground-state overlap",
+		"expected shots to optimal sequence (99%)",
+		"simulated annealing reached",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q\n---\n%s", marker, out)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the sweep example at a reduced size: clean exit
+// plus the expected report markers.
+func TestRun(t *testing.T) {
+	defer func(n, g int) { nQubits, gridSize = n, g }(nQubits, gridSize)
+	nQubits, gridSize = 8, 8
+
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, marker := range []string{
+		"LABS n=8: swept 64-point p=1 landscape",
+		"landscape minimum E =",
+		"TQA schedules at p=8 in one batch",
+		"refined with Nelder–Mead",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q\n---\n%s", marker, out)
+		}
+	}
+}

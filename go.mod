@@ -1,0 +1,3 @@
+module qokit
+
+go 1.21

@@ -151,9 +151,11 @@ type Options struct {
 }
 
 // Simulator is a QAOA fast simulator bound to one problem instance
-// (one precomputed cost diagonal). It is safe for sequential reuse
-// across many SimulateQAOA calls; concurrent calls need one Simulator
-// per goroutine (the cost diagonal could be shared via NewFromDiagonal).
+// (one precomputed cost diagonal). After construction it is read-only,
+// so one Simulator may serve many goroutines at once as long as each
+// evolves its own Result (NewResult + SimulateQAOAInto) — the sharing
+// pattern the internal/sweep batch engine is built on. The precomputed
+// diagonal is shared by every evaluation, never copied.
 type Simulator struct {
 	n       int
 	opts    Options
@@ -170,8 +172,10 @@ type Simulator struct {
 
 	minCost      float64
 	groundStates []uint64
-	// sortedCosts caches the ascending-cost basis order for CVaR.
-	sortedCosts []uint64
+	// costCache holds the lazily-built ascending-cost basis order for
+	// CVaR; it is a pointer so kernel-pool views share one cache and
+	// the once-guarded build stays safe under concurrent Results.
+	costCache *costOrderCache
 
 	initial statevec.Vec
 }
@@ -217,11 +221,12 @@ func NewFromDiagonal(n int, diag []float64, opts Options) (*Simulator, error) {
 		backend = BackendSoA
 	}
 	s := &Simulator{
-		n:       n,
-		opts:    opts,
-		backend: backend,
-		pool:    statevec.NewPool(opts.Workers),
-		diag:    diag,
+		n:         n,
+		opts:      opts,
+		backend:   backend,
+		pool:      statevec.NewPool(opts.Workers),
+		diag:      diag,
+		costCache: &costOrderCache{},
 	}
 	if opts.RecomputePhase && opts.Quantize {
 		return nil, fmt.Errorf("core: RecomputePhase and Quantize are mutually exclusive")
@@ -313,6 +318,24 @@ func (s *Simulator) computeGroundStates() {
 			s.groundStates = append(s.groundStates, uint64(x))
 		}
 	}
+}
+
+// KernelPoolView returns a simulator sharing every precomputed
+// structure with s — diagonal, quantization, compiled terms, mixer
+// sweep, ground states, initial state, CVaR cache — but running its
+// kernels on its own pool of the given size (≤ 0 means GOMAXPROCS).
+// The sweep engine uses single-worker views so that batch-level
+// parallelism does not nest a second layer of kernel goroutines on
+// the same cores. Evolution kernels are elementwise and bit-identical
+// across pool sizes; reductions (Expectation) sum chunk partials, so
+// they may differ from a differently-sized pool in the last ULPs.
+func (s *Simulator) KernelPoolView(workers int) *Simulator {
+	// Whole-struct copy so future Simulator fields are never silently
+	// zero in views; every reference field (diag, quant, costCache, …)
+	// is shared, which is exactly the semantics a view wants.
+	v := *s
+	v.pool = statevec.NewPool(workers)
+	return &v
 }
 
 // NumQubits returns n.

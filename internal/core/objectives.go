@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Variance returns Var(Ĉ) = ⟨Ĉ²⟩ − ⟨Ĉ⟩² over the evolved state,
@@ -65,17 +66,25 @@ func (r *Result) CVaR(alpha float64) (float64, error) {
 	return acc / alpha, nil
 }
 
+// costOrderCache lazily holds the ascending-cost basis order; the
+// sync.Once guard keeps the first build safe when concurrent Results
+// (the sweep engine's sharing pattern) hit CVaR simultaneously.
+type costOrderCache struct {
+	once  sync.Once
+	order []uint64
+}
+
 // costOrder returns (building and caching on first use) the basis
 // states sorted by ascending cost.
 func (s *Simulator) costOrder() []uint64 {
-	if s.sortedCosts != nil {
-		return s.sortedCosts
-	}
-	order := make([]uint64, len(s.diag))
-	for i := range order {
-		order[i] = uint64(i)
-	}
-	sort.Slice(order, func(a, b int) bool { return s.diag[order[a]] < s.diag[order[b]] })
-	s.sortedCosts = order
-	return order
+	c := s.costCache
+	c.once.Do(func() {
+		order := make([]uint64, len(s.diag))
+		for i := range order {
+			order[i] = uint64(i)
+		}
+		sort.Slice(order, func(a, b int) bool { return s.diag[order[a]] < s.diag[order[b]] })
+		c.order = order
+	})
+	return c.order
 }

@@ -23,24 +23,80 @@ type Result struct {
 // each layer l applies the phase operator e^{−iγ_l Ĉ} from the cached
 // diagonal followed by the mixer e^{−iβ_l M}. gamma and beta must have
 // equal length p ≥ 0; p = 0 returns the initial state.
+//
+// Each call allocates a fresh state buffer. Batch workloads (parameter
+// sweeps, optimizer loops) should allocate one Result per worker with
+// NewResult and evolve into it repeatedly with SimulateQAOAInto.
 func (s *Simulator) SimulateQAOA(gamma, beta []float64) (*Result, error) {
-	if len(gamma) != len(beta) {
-		return nil, fmt.Errorf("core: len(gamma)=%d != len(beta)=%d", len(gamma), len(beta))
+	r := s.NewResult()
+	if err := s.SimulateQAOAInto(r, gamma, beta); err != nil {
+		return nil, err
 	}
+	return r, nil
+}
+
+// NewResult allocates a state buffer sized for this simulator's
+// backend, for reuse across many SimulateQAOAInto calls. The buffer
+// holds no meaningful state until the first evolution.
+func (s *Simulator) NewResult() *Result {
 	r := &Result{sim: s}
 	switch {
 	case s.backend == BackendSoA && s.opts.SinglePrecision:
-		r.soa32 = statevec.SoA32FromVec(s.initial)
+		r.soa32 = statevec.NewSoA32(s.n)
 	case s.backend == BackendSoA:
-		r.soa = statevec.SoAFromVec(s.initial)
+		r.soa = statevec.NewSoA(s.n)
 	default:
-		r.vec = s.initial.Clone()
+		r.vec = statevec.New(s.n)
+	}
+	return r
+}
+
+// SimulateQAOAInto is SimulateQAOA evolving into caller-owned storage:
+// it resets r to the initial state and applies the p layers in place,
+// allocating nothing on the non-quantized paths. r must come from
+// NewResult (or a prior SimulateQAOA) on a simulator with the same
+// backend and qubit count; its previous contents are overwritten.
+//
+// Distinct Results may be evolved concurrently against one shared
+// Simulator — the simulator is read-only during evolution — which is
+// what the internal/sweep batch engine does.
+func (s *Simulator) SimulateQAOAInto(r *Result, gamma, beta []float64) error {
+	if len(gamma) != len(beta) {
+		return fmt.Errorf("core: len(gamma)=%d != len(beta)=%d", len(gamma), len(beta))
+	}
+	if err := s.resetResult(r); err != nil {
+		return err
 	}
 	for l := range gamma {
 		s.applyPhase(r, gamma[l])
 		s.applyMixer(r, beta[l])
 	}
-	return r, nil
+	return nil
+}
+
+// resetResult rebinds r to this simulator and overwrites its storage
+// with the initial state, without allocating.
+func (s *Simulator) resetResult(r *Result) error {
+	size := 1 << uint(s.n)
+	switch {
+	case s.backend == BackendSoA && s.opts.SinglePrecision:
+		if r.soa32 == nil || r.soa32.Len() != size {
+			return fmt.Errorf("core: Result buffer does not match the soa32 backend at n=%d", s.n)
+		}
+		r.soa32.SetFromVec(s.initial)
+	case s.backend == BackendSoA:
+		if r.soa == nil || r.soa.Len() != size {
+			return fmt.Errorf("core: Result buffer does not match the soa backend at n=%d", s.n)
+		}
+		r.soa.SetFromVec(s.initial)
+	default:
+		if r.vec == nil || len(r.vec) != size {
+			return fmt.Errorf("core: Result buffer does not match the %v backend at n=%d", s.backend, s.n)
+		}
+		copy(r.vec, s.initial)
+	}
+	r.sim = s
+	return nil
 }
 
 // ApplyLayer applies one more QAOA layer to an existing result. It

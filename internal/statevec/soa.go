@@ -16,6 +16,14 @@ type SoA struct {
 	Re, Im []float64
 }
 
+// NewSoA allocates the zero state (all amplitudes 0) for n qubits in
+// SoA form — a reusable buffer for SetFromVec-style workflows.
+func NewSoA(n int) *SoA {
+	checkQubits(n)
+	size := 1 << uint(n)
+	return &SoA{Re: make([]float64, size), Im: make([]float64, size)}
+}
+
 // NewSoAUniform returns |+⟩^⊗n in SoA form.
 func NewSoAUniform(n int) *SoA {
 	checkQubits(n)
@@ -36,6 +44,20 @@ func SoAFromVec(v Vec) *SoA {
 		s.Im[i] = imag(a)
 	}
 	return s
+}
+
+// SetFromVec overwrites the state with v without allocating — the
+// buffer-reuse path batch evaluation depends on (each worker resets
+// its state to the initial vector instead of building a fresh SoA per
+// parameter point). It panics on length mismatch.
+func (s *SoA) SetFromVec(v Vec) {
+	if len(s.Re) != len(v) {
+		panic(fmt.Sprintf("statevec: SetFromVec length mismatch %d vs %d", len(s.Re), len(v)))
+	}
+	for i, a := range v {
+		s.Re[i] = real(a)
+		s.Im[i] = imag(a)
+	}
 }
 
 // ToVec converts back to the interleaved complex128 representation.

@@ -20,6 +20,14 @@ type SoA32 struct {
 	Re, Im []float32
 }
 
+// NewSoA32 allocates the zero state for n qubits in single precision —
+// a reusable buffer for SetFromVec-style workflows.
+func NewSoA32(n int) *SoA32 {
+	checkQubits(n)
+	size := 1 << uint(n)
+	return &SoA32{Re: make([]float32, size), Im: make([]float32, size)}
+}
+
 // NewSoA32Uniform returns |+⟩^⊗n in single precision.
 func NewSoA32Uniform(n int) *SoA32 {
 	checkQubits(n)
@@ -40,6 +48,18 @@ func SoA32FromVec(v Vec) *SoA32 {
 		s.Im[i] = float32(imag(a))
 	}
 	return s
+}
+
+// SetFromVec overwrites the state with v (rounded to single
+// precision) without allocating; it panics on length mismatch.
+func (s *SoA32) SetFromVec(v Vec) {
+	if len(s.Re) != len(v) {
+		panic(fmt.Sprintf("statevec: SetFromVec length mismatch %d vs %d", len(s.Re), len(v)))
+	}
+	for i, a := range v {
+		s.Re[i] = float32(real(a))
+		s.Im[i] = float32(imag(a))
+	}
 }
 
 // ToVec converts up to a double-precision complex128 vector.

@@ -1,0 +1,390 @@
+package sweep_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"qokit/internal/core"
+	"qokit/internal/graphs"
+	"qokit/internal/poly"
+	"qokit/internal/problems"
+	"qokit/internal/sweep"
+)
+
+// backends are the four execution engines the batch engine must agree
+// with: serial, parallel, SoA, and single-precision SoA.
+var backends = []struct {
+	name string
+	opts core.Options
+}{
+	{"serial", core.Options{Backend: core.BackendSerial}},
+	{"parallel", core.Options{Backend: core.BackendParallel}},
+	{"soa", core.Options{Backend: core.BackendSoA}},
+	{"soa32", core.Options{Backend: core.BackendSoA, SinglePrecision: true}},
+}
+
+// randomTerms draws a random cost polynomial with 2- and 3-body terms.
+func randomTerms(rng *rand.Rand, n int) poly.Terms {
+	var terms []poly.Term
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				terms = append(terms, poly.NewTerm(rng.NormFloat64(), i, j))
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		terms = append(terms, poly.NewTerm(rng.NormFloat64(), rng.Intn(n)))
+	}
+	terms = append(terms, poly.NewTerm(rng.NormFloat64(),
+		0, 1+rng.Intn(n-2), n-1))
+	return poly.New(terms...)
+}
+
+// randomPoints draws count parameter points of depth p.
+func randomPoints(rng *rand.Rand, count, p int) []sweep.Point {
+	points := make([]sweep.Point, count)
+	for i := range points {
+		g := make([]float64, p)
+		b := make([]float64, p)
+		for l := 0; l < p; l++ {
+			g[l] = rng.Float64() * math.Pi
+			b[l] = rng.Float64() * math.Pi / 2
+		}
+		points[i] = sweep.Point{Gamma: g, Beta: b}
+	}
+	return points
+}
+
+// TestSweepMatchesSerialReference is the batched-vs-serial equivalence
+// contract: for every backend, a concurrent Sweep over random
+// graphs/terms must reproduce point-at-a-time SimulateQAOA. Batched
+// results are compared (a) against the same backend's sequential
+// SimulateQAOA — identical code path, so within 1e-12 — and (b)
+// against the serial-backend reference, within 1e-12 for the
+// double-precision backends and a float32-roundoff bound for soa32.
+func TestSweepMatchesSerialReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, p, count = 10, 3, 80
+
+	g, err := graphs.RandomRegular(n, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances := []struct {
+		name  string
+		terms poly.Terms
+	}{
+		{"maxcut-random-3reg", problems.MaxCutTerms(g)},
+		{"random-terms", randomTerms(rng, n)},
+	}
+
+	for _, inst := range instances {
+		points := randomPoints(rng, count, p)
+		refSim, err := core.New(n, inst.terms, core.Options{Backend: core.BackendSerial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refE := make([]float64, count)
+		refO := make([]float64, count)
+		for i, pt := range points {
+			r, err := refSim.SimulateQAOA(pt.Gamma, pt.Beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refE[i] = r.Expectation()
+			refO[i] = r.Overlap()
+		}
+
+		for _, be := range backends {
+			t.Run(inst.name+"/"+be.name, func(t *testing.T) {
+				sim, err := core.New(n, inst.terms, be.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng := sweep.New(sim, sweep.Options{Workers: 8, Overlap: true})
+				res, err := eng.Sweep(points, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res) != count {
+					t.Fatalf("got %d results, want %d", len(res), count)
+				}
+				refTol := 1e-12
+				if be.opts.SinglePrecision {
+					refTol = 2e-4 // float32 state, ~n·p accumulating ULPs
+				}
+				for i := range res {
+					// Same backend, point at a time: the exact contract.
+					r, err := sim.SimulateQAOA(points[i].Gamma, points[i].Beta)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := math.Abs(res[i].Energy - r.Expectation()); d > 1e-12 {
+						t.Errorf("point %d: batched energy differs from sequential by %g", i, d)
+					}
+					if d := math.Abs(res[i].Overlap - r.Overlap()); d > 1e-12 {
+						t.Errorf("point %d: batched overlap differs from sequential by %g", i, d)
+					}
+					// Cross-backend, against the serial reference.
+					if d := math.Abs(res[i].Energy - refE[i]); d > refTol {
+						t.Errorf("point %d: energy %.15g vs serial reference %.15g (|Δ|=%g > %g)",
+							i, res[i].Energy, refE[i], d, refTol)
+					}
+					if d := math.Abs(res[i].Overlap - refO[i]); d > refTol {
+						t.Errorf("point %d: overlap deviates from serial reference by %g", i, d)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSweepMixedDepths checks that one batch may mix depths (the
+// INTERP workload evaluates p and p+1 schedules together).
+func TestSweepMixedDepths(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 8
+	terms := problems.LABSTerms(n)
+	sim, err := core.New(n, terms, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []sweep.Point
+	for p := 0; p <= 6; p++ {
+		points = append(points, randomPoints(rng, 4, p)...)
+	}
+	eng := sweep.New(sim, sweep.Options{Workers: 5})
+	res, err := eng.Sweep(points, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range points {
+		r, err := sim.SimulateQAOA(pt.Gamma, pt.Beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(res[i].Energy - r.Expectation()); d > 1e-12 {
+			t.Errorf("point %d (p=%d): |Δ|=%g", i, len(pt.Gamma), d)
+		}
+	}
+}
+
+// TestSweepZeroAllocsPerPoint is the acceptance criterion of the
+// batch engine: a warmed-up 64-point sweep performs zero allocations —
+// in particular no per-point state vectors. The serial backend's
+// kernels are straight loops with no goroutine machinery, so the bound
+// is exact there: not one allocation for the whole batch.
+func TestSweepZeroAllocsPerPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, p, count = 8, 4, 64
+	terms := problems.LABSTerms(n)
+	sim, err := core.New(n, terms, core.Options{Backend: core.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sweep.New(sim, sweep.Options{Workers: 1, Overlap: true})
+	points := randomPoints(rng, count, p)
+	out := make([]sweep.Result, 0, count)
+	if _, err := eng.Sweep(points, out); err != nil { // warm-up: worker buffer enters the pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := eng.Sweep(points, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed-up %d-point sweep allocated %.1f times per run, want 0", count, allocs)
+	}
+}
+
+// TestSweepNoPerPointStateAllocations bounds the pooled backends in
+// bytes: their kernels heap-allocate small per-call closures (Pool.Run
+// may hand them to goroutines), but a warmed-up sweep must never
+// allocate per-point state-vector-sized buffers. The bound is 1/8 of
+// one state buffer per point — a fresh state per point (the old
+// SimulateQAOA behaviour) would exceed it by an order of magnitude.
+func TestSweepNoPerPointStateAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n, p, count = 12, 4, 64
+	stateBytes := 2 * 8 * (1 << n) // SoA: Re + Im float64 slices
+	terms := problems.LABSTerms(n)
+	for _, workers := range []int{1, 4} {
+		sim, err := core.New(n, terms, core.Options{Backend: core.BackendSoA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sweep.New(sim, sweep.Options{Workers: workers, Overlap: true})
+		points := randomPoints(rng, count, p)
+		out := make([]sweep.Result, 0, count)
+		if _, err := eng.Sweep(points, out); err != nil {
+			t.Fatal(err)
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := eng.Sweep(points, out); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		perPoint := (after.TotalAlloc - before.TotalAlloc) / count
+		if perPoint > uint64(stateBytes)/8 {
+			t.Errorf("workers=%d: %d bytes allocated per point; want ≪ one %d-byte state buffer",
+				workers, perPoint, stateBytes)
+		}
+	}
+}
+
+// TestEvaluateMatchesSimulate pins the single-point pooled path that
+// optimizers drive.
+func TestEvaluateMatchesSimulate(t *testing.T) {
+	terms := problems.LABSTerms(8)
+	for _, be := range backends {
+		sim, err := core.New(8, terms, be.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sweep.New(sim, sweep.Options{Workers: 2})
+		gamma := []float64{0.3, 0.5}
+		beta := []float64{0.7, 0.2}
+		got, err := eng.Evaluate(gamma, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.SimulateQAOA(gamma, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(got - r.Expectation()); d > 1e-12 {
+			t.Errorf("%s: Evaluate differs from SimulateQAOA by %g", be.name, d)
+		}
+	}
+}
+
+// TestSweepValidation checks malformed points are rejected up front
+// with the offending index, on both the inline and concurrent paths.
+func TestSweepValidation(t *testing.T) {
+	sim, err := core.New(6, problems.LABSTerms(6), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []sweep.Point{
+		{Gamma: []float64{0.1}, Beta: []float64{0.2}},
+		{Gamma: []float64{0.1, 0.3}, Beta: []float64{0.2}},
+	}
+	for _, workers := range []int{1, 4} {
+		eng := sweep.New(sim, sweep.Options{Workers: workers})
+		if _, err := eng.Sweep(bad, nil); err == nil {
+			t.Fatalf("workers=%d: expected error for mismatched point", workers)
+		} else if !strings.Contains(err.Error(), "point 1") {
+			t.Errorf("workers=%d: error %q does not name the offending point", workers, err)
+		}
+		if _, err := eng.Evaluate([]float64{0.1}, nil); err == nil {
+			t.Errorf("workers=%d: Evaluate accepted mismatched schedules", workers)
+		}
+	}
+}
+
+// TestSweepReusedSliceClearsOverlap pins the retained-slice contract:
+// a results slice previously filled by an Overlap:true engine must
+// come back with zeroed overlaps from an Overlap:false engine, not
+// stale values from the earlier batch.
+func TestSweepReusedSliceClearsOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sim, err := core.New(8, problems.LABSTerms(8), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := randomPoints(rng, 8, 2)
+	withOverlap := sweep.New(sim, sweep.Options{Workers: 2, Overlap: true})
+	res, err := withOverlap.Sweep(points, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Overlap == 0 {
+		t.Fatal("overlap engine produced zero overlap; test premise broken")
+	}
+	energyOnly := sweep.New(sim, sweep.Options{Workers: 2})
+	res, err = energyOnly.Sweep(points, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i].Overlap != 0 {
+			t.Errorf("point %d: stale overlap %g leaked into energy-only sweep", i, res[i].Overlap)
+		}
+	}
+}
+
+// TestGridAndArgMin covers the landscape helpers.
+func TestGridAndArgMin(t *testing.T) {
+	gammas := []float64{0.1, 0.2, 0.3}
+	betas := []float64{0.4, 0.5}
+	points := sweep.Grid(gammas, betas)
+	if len(points) != 6 {
+		t.Fatalf("grid size %d, want 6", len(points))
+	}
+	// Row-major: points[i*len(betas)+j] = (gammas[i], betas[j]).
+	for i, g := range gammas {
+		for j, b := range betas {
+			pt := points[i*len(betas)+j]
+			if len(pt.Gamma) != 1 || len(pt.Beta) != 1 || pt.Gamma[0] != g || pt.Beta[0] != b {
+				t.Fatalf("grid[%d,%d] = %v, want (γ=%g, β=%g)", i, j, pt, g, b)
+			}
+		}
+	}
+	if got := sweep.ArgMin(nil); got != -1 {
+		t.Errorf("ArgMin(nil) = %d, want -1", got)
+	}
+	res := []sweep.Result{{Energy: 2}, {Energy: -1}, {Energy: 0.5}}
+	if got := sweep.ArgMin(res); got != 1 {
+		t.Errorf("ArgMin = %d, want 1", got)
+	}
+}
+
+// TestSweepSharedEngineConcurrent hammers one engine from several
+// goroutines at once (Sweep and Evaluate interleaved) — the serving
+// scenario, and the case the race detector must bless.
+func TestSweepSharedEngineConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 8
+	terms := problems.LABSTerms(n)
+	sim, err := core.New(n, terms, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sweep.New(sim, sweep.Options{Workers: 4})
+	points := randomPoints(rng, 24, 3)
+	want, err := eng.Sweep(points, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 8)
+	for k := 0; k < 8; k++ {
+		go func() {
+			res, err := eng.Sweep(points, nil)
+			if err != nil {
+				done <- err
+				return
+			}
+			for i := range res {
+				if res[i] != want[i] {
+					done <- fmt.Errorf("concurrent sweep result mismatch at point %d", i)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for k := 0; k < 8; k++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

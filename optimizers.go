@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"qokit/internal/optimize"
+	"qokit/internal/sweep"
 )
 
 // NMOptions configures the Nelder–Mead optimizer.
@@ -34,31 +35,44 @@ func SPSA(f func([]float64) float64, x0 []float64, opt SPSAOptions) SPSAResult {
 // parameters (the paper's Ref. [44]).
 func TQAInit(p int, dt float64) (gamma, beta []float64) { return optimize.TQAInit(p, dt) }
 
+// engineObjective adapts a sweep engine's pooled single-point
+// evaluator into an optimizer objective: every call reuses a worker
+// buffer instead of allocating a fresh state vector, so an entire
+// optimization run touches exactly one state buffer. The first
+// simulator error is latched into *simErr (the only possible error —
+// mismatched schedule lengths — cannot occur for JoinAngles vectors).
+func engineObjective(eng *sweep.Engine, simErr *error) optimize.Func {
+	return func(x []float64) float64 {
+		gg, bb := optimize.SplitAngles(x)
+		v, err := eng.Evaluate(gg, bb)
+		if err != nil && *simErr == nil {
+			*simErr = err
+		}
+		return v
+	}
+}
+
 // OptimizeParametersInterp tunes parameters depth by depth: optimize
 // p = 1, INTERP-extend to p = 2, re-optimize, and so on up to pmax —
 // the standard recipe for the high-depth regime this simulator
 // targets, far more robust than optimizing 2·pmax parameters cold.
-// evalsPerDepth bounds the optimizer budget at each level.
+// evalsPerDepth bounds the optimizer budget at each level. All
+// objective evaluations run through one sweep-engine buffer, so the
+// whole schedule allocates a single state vector.
 func OptimizeParametersInterp(sim *Simulator, pmax, evalsPerDepth int) (gamma, beta []float64, energy float64, totalEvals int, err error) {
 	if pmax < 1 {
 		return nil, nil, 0, 0, fmt.Errorf("qokit: depth pmax=%d < 1", pmax)
 	}
+	eng := sweep.New(sim, sweep.Options{Workers: 1})
+	var simErr error
+	objective := engineObjective(eng, &simErr)
 	gamma, beta = TQAInit(1, 0.75)
 	for p := 1; p <= pmax; p++ {
 		if p > 1 {
 			gamma, beta = InterpAngles(gamma, beta)
 		}
 		x0 := optimize.JoinAngles(gamma, beta)
-		var simErr error
-		res := optimize.NelderMead(func(x []float64) float64 {
-			gg, bb := optimize.SplitAngles(x)
-			r, e := sim.SimulateQAOA(gg, bb)
-			if e != nil {
-				simErr = e
-				return 0
-			}
-			return r.Expectation()
-		}, x0, optimize.NMOptions{MaxEvals: evalsPerDepth})
+		res := optimize.NelderMead(objective, x0, optimize.NMOptions{MaxEvals: evalsPerDepth})
 		if simErr != nil {
 			return nil, nil, 0, 0, simErr
 		}
@@ -73,25 +87,20 @@ func OptimizeParametersInterp(sim *Simulator, pmax, evalsPerDepth int) (gamma, b
 // Nelder–Mead from a TQA warm start, minimizing the expectation. It
 // returns the best parameters, the best objective, and the number of
 // objective evaluations — the workload whose end-to-end time the
-// paper's "11× faster optimization" claim is about.
+// paper's "11× faster optimization" claim is about. Evaluations run
+// through a sweep-engine buffer: one state vector serves the entire
+// optimization.
 func OptimizeParameters(sim *Simulator, p int, opt NMOptions) (gamma, beta []float64, energy float64, evals int, err error) {
 	if p < 1 {
 		return nil, nil, 0, 0, fmt.Errorf("qokit: depth p=%d < 1", p)
 	}
 	g0, b0 := TQAInit(p, 0.75)
 	x0 := optimize.JoinAngles(g0, b0)
-	objective := func(x []float64) float64 {
-		gg, bb := optimize.SplitAngles(x)
-		r, simErr := sim.SimulateQAOA(gg, bb)
-		if simErr != nil {
-			err = simErr
-			return 0
-		}
-		return r.Expectation()
-	}
-	res := optimize.NelderMead(objective, x0, opt)
-	if err != nil {
-		return nil, nil, 0, 0, err
+	eng := sweep.New(sim, sweep.Options{Workers: 1})
+	var simErr error
+	res := optimize.NelderMead(engineObjective(eng, &simErr), x0, opt)
+	if simErr != nil {
+		return nil, nil, 0, 0, simErr
 	}
 	gamma, beta = optimize.SplitAngles(res.X)
 	return gamma, beta, res.F, res.Evals, nil

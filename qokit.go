@@ -35,6 +35,7 @@ import (
 	"qokit/internal/costvec"
 	"qokit/internal/poly"
 	"qokit/internal/statevec"
+	"qokit/internal/sweep"
 )
 
 // Term is one weighted monomial of a cost polynomial on spins
@@ -133,6 +134,45 @@ func chooseWithMixer(name string, mixer Mixer) (func(n int, terms Terms) (*Simul
 	return func(n int, terms Terms) (*Simulator, error) {
 		return core.New(n, terms, Options{Backend: backend, Mixer: mixer})
 	}, nil
+}
+
+// SweepPoint is one QAOA parameter set (γ and β schedules of equal
+// length) in a batch evaluation.
+type SweepPoint = sweep.Point
+
+// SweepResult holds the observables evaluated at one sweep point.
+type SweepResult = sweep.Result
+
+// SweepOptions configures a SweepEngine (worker count, whether to
+// also compute overlaps).
+type SweepOptions = sweep.Options
+
+// SweepEngine is the concurrent batch evaluator: one shared simulator
+// (one precomputed diagonal), a worker pool, and one reusable state
+// buffer per worker, so arbitrarily large parameter sweeps perform no
+// per-point state-vector allocations. This is the intended engine for
+// optimizer loops, landscape scans, and any service evaluating many
+// (γ, β) points against one problem.
+type SweepEngine = sweep.Engine
+
+// NewSweepEngine builds a batch evaluator over sim. The simulator is
+// shared by every worker — exactly the reuse the paper's precomputed
+// diagonal is designed for.
+func NewSweepEngine(sim *Simulator, opts SweepOptions) *SweepEngine {
+	return sweep.New(sim, opts)
+}
+
+// SweepGrid builds the p = 1 cartesian product of γ and β values in
+// row-major order (β varies fastest) — the landscape-scan batch of the
+// paper's Figs. 3–4.
+func SweepGrid(gammas, betas []float64) []SweepPoint {
+	return sweep.Grid(gammas, betas)
+}
+
+// SweepArgMin returns the index of the lowest-energy result, −1 for an
+// empty batch.
+func SweepArgMin(results []SweepResult) int {
+	return sweep.ArgMin(results)
 }
 
 // PrecomputeDiagonal evaluates the cost diagonal for the given terms
