@@ -12,6 +12,7 @@
 //	qaoabench fig4   [-n 18] [-pmax 1024]
 //	qaoabench fig5   [-local 16] [-kmax 16] [-reps 3]
 //	qaoabench opt    [-n 14] [-p 6] [-evals 60]
+//	qaoabench grad   [-n 16] [-p 12] [-reps 3] [-backend auto]
 //	qaoabench landscape [-n 14] [-grid 24] [-workers 0]
 //	qaoabench memory [-n 20]
 //	qaoabench gates  [-nmax 31]
@@ -42,6 +43,7 @@ func commands() []command {
 		{"gates", "§VI: compiled gate counts per QAOA layer (LABS)", runGates},
 		{"scaling", "§I/§VII: LABS time-to-solution scaling, QAOA vs simulated annealing", runScaling},
 		{"precision", "§V: single vs double precision — error accumulation with depth", runPrecision},
+		{"grad", "adjoint vs finite-difference gradient wall-clock (speedup ~ p)", runGrad},
 	}
 }
 

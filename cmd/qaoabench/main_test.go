@@ -36,6 +36,8 @@ func TestRunnersSmoke(t *testing.T) {
 			[]string{"fitted growth", "SA flips"}},
 		{"precision", runPrecision, []string{"-n", "8", "-pmax", "16"},
 			[]string{"float64", "norm−1", "extra qubit"}},
+		{"grad", runGrad, []string{"-n", "8", "-p", "4", "-reps", "1"},
+			[]string{"adjoint", "central-fd", "speedup"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,91 @@
+// Gradient-based QAOA optimization: adjoint-mode differentiation
+// gives the exact gradient of ⟨γ,β|Ĉ|γ,β⟩ with respect to all 2p
+// parameters for ≈ 4 simulations' cost, independent of p — so a
+// high-depth optimization that costs Nelder–Mead thousands of full
+// simulations costs Adam a few hundred. This example optimizes LABS
+// at increasing depth twice, derivative-free versus gradient-based,
+// from the identical TQA warm start, and reports energies and
+// simulation budgets side by side.
+//
+//	go run ./examples/gradopt
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"qokit"
+)
+
+var (
+	nQubits       = 12
+	maxDepth      = 8
+	nmEvalsPerP   = 80
+	adamItersPerP = 40
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	n := nQubits
+	terms := qokit.LABSTerms(n)
+	sim, err := qokit.NewSimulator(n, terms, qokit.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "LABS n=%d: Nelder–Mead vs Adam over adjoint gradients (TQA warm start)\n", n)
+	fmt.Fprintf(w, "(one gradient evaluation ≈ 4 simulations; one NM evaluation = 1 simulation)\n\n")
+	fmt.Fprintf(w, "%2s  %12s  %8s  %12s  %10s  %8s\n",
+		"p", "E(NM)", "NM sims", "E(Adam)", "Adam evals", "≈sims")
+
+	for p := 1; p <= maxDepth; p *= 2 {
+		_, _, eNM, nmEvals, err := qokit.OptimizeParameters(sim, p, qokit.NMOptions{MaxEvals: nmEvalsPerP * p})
+		if err != nil {
+			return err
+		}
+		_, _, eAdam, adamEvals, err := qokit.OptimizeParametersAdam(sim, p, qokit.AdamOptions{MaxIter: adamItersPerP * p})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%2d  %12.6f  %8d  %12.6f  %10d  %8d\n",
+			p, eNM, nmEvals, eAdam, adamEvals, 4*adamEvals)
+	}
+
+	// The gradient engine also serves batch workloads: evaluate the
+	// gradient field at several warm-start candidates in one sweep.
+	eng := qokit.NewSweepEngine(sim, qokit.SweepOptions{})
+	var points []qokit.SweepPoint
+	for _, dt := range []float64{0.5, 0.75, 1.0} {
+		g, b := qokit.TQAInit(4, dt)
+		points = append(points, qokit.SweepPoint{Gamma: g, Beta: b})
+	}
+	grads, err := eng.SweepGrad(points, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nGradient field at p=4 TQA starts (batched through SweepGrad):\n")
+	for i, r := range grads {
+		fmt.Fprintf(w, "  dt=%.2f: E=%9.5f  ‖∂E/∂γ‖∞=%8.5f  ‖∂E/∂β‖∞=%8.5f\n",
+			[]float64{0.5, 0.75, 1.0}[i], r.Energy, maxAbs(r.GradGamma), maxAbs(r.GradBeta))
+	}
+	return nil
+}
+
+func maxAbs(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x < 0 {
+			x = -x
+		}
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example at a reduced size: clean exit plus
+// the expected report markers.
+func TestRun(t *testing.T) {
+	defer func(n, d, e, a int) { nQubits, maxDepth, nmEvalsPerP, adamItersPerP = n, d, e, a }(
+		nQubits, maxDepth, nmEvalsPerP, adamItersPerP)
+	nQubits, maxDepth, nmEvalsPerP, adamItersPerP = 8, 2, 30, 15
+
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, marker := range []string{
+		"LABS n=8: Nelder–Mead vs Adam over adjoint gradients",
+		"Gradient field at p=4 TQA starts",
+		"dt=0.75",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q\n---\n%s", marker, out)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package qokit
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSimulateQAOAGradFacade checks the gradient entry point through
+// the public Simulator type and the GradEngine wrapper.
+func TestSimulateQAOAGradFacade(t *testing.T) {
+	const n, p = 8, 4
+	sim, err := NewSimulator(n, LABSTerms(n), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, beta := TQAInit(p, 0.75)
+	e, gG, gB, err := sim.SimulateQAOAGrad(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gG) != p || len(gB) != p {
+		t.Fatalf("gradient lengths (%d, %d), want %d", len(gG), len(gB), p)
+	}
+	eng := NewGradEngine(sim)
+	gG2 := make([]float64, p)
+	gB2 := make([]float64, p)
+	e2, err := eng.EnergyGrad(gamma, beta, gG2, gB2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != e2 {
+		t.Errorf("engine energy %v != simulator energy %v", e2, e)
+	}
+	for l := 0; l < p; l++ {
+		if gG[l] != gG2[l] || gB[l] != gB2[l] {
+			t.Errorf("layer %d: engine grad differs", l)
+		}
+	}
+}
+
+// TestOptimizeParametersAdam checks the gradient-based optimizer
+// façade improves on the warm start and respects its budget.
+func TestOptimizeParametersAdam(t *testing.T) {
+	const n, p = 8, 4
+	sim, err := NewSimulator(n, LABSTerms(n), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, b0 := TQAInit(p, 0.75)
+	r0, err := sim.SimulateQAOA(g0, b0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := r0.Expectation()
+
+	gamma, beta, energy, evals, err := OptimizeParametersAdam(sim, p, AdamOptions{MaxIter: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gamma) != p || len(beta) != p {
+		t.Fatalf("angle lengths (%d, %d), want %d", len(gamma), len(beta), p)
+	}
+	if evals > 60 {
+		t.Errorf("evals = %d, budget was 60", evals)
+	}
+	if energy >= start {
+		t.Errorf("Adam energy %v did not improve on warm start %v", energy, start)
+	}
+	r, err := sim.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(r.Expectation() - energy); d > 1e-9 {
+		t.Errorf("returned angles re-evaluate to %v, reported %v", r.Expectation(), energy)
+	}
+	if _, _, _, _, err := OptimizeParametersAdam(sim, 0, AdamOptions{}); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+// TestOptimizeParametersAdamInterp checks the depth-progressive
+// warm-start schedule.
+func TestOptimizeParametersAdamInterp(t *testing.T) {
+	const n, pmax = 8, 3
+	sim, err := NewSimulator(n, LABSTerms(n), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, beta, energy, totalEvals, err := OptimizeParametersAdamInterp(sim, pmax, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gamma) != pmax || len(beta) != pmax {
+		t.Fatalf("angle lengths (%d, %d), want %d", len(gamma), len(beta), pmax)
+	}
+	if totalEvals == 0 || totalEvals > pmax*25 {
+		t.Errorf("totalEvals = %d, want in (0, %d]", totalEvals, pmax*25)
+	}
+	r, err := sim.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(r.Expectation() - energy); d > 1e-9 {
+		t.Errorf("returned angles re-evaluate to %v, reported %v", r.Expectation(), energy)
+	}
+	if _, _, _, _, err := OptimizeParametersAdamInterp(sim, 0, 10); err == nil {
+		t.Error("pmax=0 accepted")
+	}
+}
+
+// TestOptimizeParametersAdamFourier checks the FOURIER schedule:
+// 2q-dimensional optimization synthesizing a depth-pmax schedule,
+// warm-started depth by depth.
+func TestOptimizeParametersAdamFourier(t *testing.T) {
+	const n, pmax, q = 8, 6, 3
+	sim, err := NewSimulator(n, LABSTerms(n), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, beta, energy, totalEvals, err := OptimizeParametersAdamFourier(sim, pmax, q, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gamma) != pmax || len(beta) != pmax {
+		t.Fatalf("angle lengths (%d, %d), want %d", len(gamma), len(beta), pmax)
+	}
+	if totalEvals == 0 || totalEvals > pmax*25 {
+		t.Errorf("totalEvals = %d, want in (0, %d]", totalEvals, pmax*25)
+	}
+	r, err := sim.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(r.Expectation() - energy); d > 1e-9 {
+		t.Errorf("returned angles re-evaluate to %v, reported %v", r.Expectation(), energy)
+	}
+	// The optimized schedule must beat the unoptimized TQA start at
+	// the same depth.
+	g0, b0 := TQAInit(pmax, 0.75)
+	r0, err := sim.SimulateQAOA(g0, b0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if energy >= r0.Expectation() {
+		t.Errorf("Fourier energy %v did not improve on TQA start %v", energy, r0.Expectation())
+	}
+	if _, _, _, _, err := OptimizeParametersAdamFourier(sim, 4, 0, 10); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, _, _, _, err := OptimizeParametersAdamFourier(sim, 4, 5, 10); err == nil {
+		t.Error("q > pmax accepted")
+	}
+}
+
+// TestSweepGradFacade checks the batched gradient path through the
+// public SweepEngine.
+func TestSweepGradFacade(t *testing.T) {
+	const n = 8
+	sim, err := NewSimulator(n, LABSTerms(n), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewSweepEngine(sim, SweepOptions{Workers: 2})
+	g1, b1 := TQAInit(2, 0.5)
+	g2, b2 := TQAInit(2, 1.0)
+	points := []SweepPoint{{Gamma: g1, Beta: b1}, {Gamma: g2, Beta: b2}}
+	var results []SweepGradResult
+	results, err = eng.SweepGrad(points, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range points {
+		e, gG, gB, err := sim.SimulateQAOAGrad(pt.Gamma, pt.Beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(results[i].Energy-e) > 1e-9 {
+			t.Errorf("point %d energy %v != %v", i, results[i].Energy, e)
+		}
+		for l := range gG {
+			if math.Abs(results[i].GradGamma[l]-gG[l]) > 1e-9 || math.Abs(results[i].GradBeta[l]-gB[l]) > 1e-9 {
+				t.Errorf("point %d layer %d gradient mismatch", i, l)
+			}
+		}
+	}
+}

@@ -112,7 +112,10 @@ type Options struct {
 	Backend Backend
 	Mixer   Mixer
 	// Workers sets the pool size for the Parallel and SoA backends
-	// (≤ 0 means GOMAXPROCS).
+	// (≤ 0 means GOMAXPROCS). The Serial backend always runs
+	// single-threaded: any Workers value is normalized to 1 at
+	// construction (observable through Simulator.Workers), never
+	// silently retained.
 	Workers int
 	// InitialState overrides the default initial state (uniform
 	// superposition for MixerX, a Dicke state for the xy mixers). The
@@ -220,11 +223,18 @@ func NewFromDiagonal(n int, diag []float64, opts Options) (*Simulator, error) {
 	if backend == BackendAuto {
 		backend = BackendSoA
 	}
+	workers := opts.Workers
+	if backend == BackendSerial {
+		// The serial backend never consults the pool; normalize the
+		// worker count to 1 so Options cannot silently claim parallelism
+		// the engine does not deliver.
+		workers = 1
+	}
 	s := &Simulator{
 		n:         n,
 		opts:      opts,
 		backend:   backend,
-		pool:      statevec.NewPool(opts.Workers),
+		pool:      statevec.NewPool(workers),
 		diag:      diag,
 		costCache: &costOrderCache{},
 	}
@@ -343,6 +353,11 @@ func (s *Simulator) NumQubits() int { return s.n }
 
 // Backend returns the resolved execution backend.
 func (s *Simulator) Backend() Backend { return s.backend }
+
+// Workers returns the resolved kernel-pool size: Options.Workers
+// (GOMAXPROCS when ≤ 0) for the pooled backends, always 1 for the
+// Serial backend.
+func (s *Simulator) Workers() int { return s.pool.Workers }
 
 // CostDiagonal returns the precomputed cost vector (shared storage —
 // do not mutate). This is QOKit's get_cost_diagonal.

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qokit/internal/graphs"
+	"qokit/internal/poly"
+	"qokit/internal/problems"
+)
+
+// skTerms builds a Sherrington–Kirkpatrick instance: all-to-all random
+// Gaussian couplings J_ij/√n.
+func skTerms(n int, seed int64) poly.Terms {
+	rng := rand.New(rand.NewSource(seed))
+	var ts poly.Terms
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ts = append(ts, poly.NewTerm(rng.NormFloat64()/math.Sqrt(float64(n)), i, j))
+		}
+	}
+	return ts
+}
+
+// fdGrad computes the central finite-difference gradient of the QAOA
+// objective through one reusable Result buffer — the reference every
+// adjoint gradient is verified against.
+func fdGrad(t *testing.T, s *Simulator, gamma, beta []float64, h float64) (gG, gB []float64) {
+	t.Helper()
+	r := s.NewResult()
+	eval := func() float64 {
+		if err := s.SimulateQAOAInto(r, gamma, beta); err != nil {
+			t.Fatal(err)
+		}
+		return r.Expectation()
+	}
+	gG = make([]float64, len(gamma))
+	gB = make([]float64, len(beta))
+	for _, half := range []struct {
+		ang  []float64
+		grad []float64
+	}{{gamma, gG}, {beta, gB}} {
+		for l := range half.ang {
+			orig := half.ang[l]
+			half.ang[l] = orig + h
+			ep := eval()
+			half.ang[l] = orig - h
+			em := eval()
+			half.ang[l] = orig
+			half.grad[l] = (ep - em) / (2 * h)
+		}
+	}
+	return gG, gB
+}
+
+// maxAbs returns max_i |x_i| over both slices.
+func maxAbs(xs ...[]float64) float64 {
+	var m float64
+	for _, x := range xs {
+		for _, v := range x {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+	}
+	return m
+}
+
+// assertGradClose checks each component of (gG, gB) against the
+// reference within rtol of the gradient scale (floored at 1).
+func assertGradClose(t *testing.T, label string, gG, gB, refG, refB []float64, rtol float64) {
+	t.Helper()
+	scale := math.Max(1, maxAbs(refG, refB))
+	for l := range refG {
+		if d := math.Abs(gG[l] - refG[l]); d > rtol*scale {
+			t.Errorf("%s: ∂E/∂γ_%d = %v, want %v (|Δ|=%.3g > %.3g)", label, l, gG[l], refG[l], d, rtol*scale)
+		}
+		if d := math.Abs(gB[l] - refB[l]); d > rtol*scale {
+			t.Errorf("%s: ∂E/∂β_%d = %v, want %v (|Δ|=%.3g > %.3g)", label, l, gB[l], refB[l], d, rtol*scale)
+		}
+	}
+}
+
+// testInstances are the random problem families of the differential
+// suite: sparse MaxCut, dense high-order LABS, and all-to-all SK.
+func testInstances(t *testing.T, n int) map[string]poly.Terms {
+	t.Helper()
+	g, err := graphs.RandomRegular(n, 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]poly.Terms{
+		"maxcut": problems.MaxCutTerms(g),
+		"labs":   problems.LABSTerms(n),
+		"sk":     skTerms(n, 42),
+	}
+}
+
+// TestAdjointGradientMatchesFiniteDifference is the cross-backend
+// differential suite: every float64 backend × both mixer families ×
+// p ∈ {1, 4, 12} on random MaxCut/LABS/SK instances, adjoint vs
+// central finite differences at rtol 1e-6.
+func TestAdjointGradientMatchesFiniteDifference(t *testing.T) {
+	const n = 8
+	depths := []int{1, 4, 12}
+	if testing.Short() {
+		depths = []int{1, 4}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for name, terms := range testInstances(t, n) {
+		for _, backend := range []Backend{BackendSerial, BackendParallel, BackendSoA} {
+			for _, mixer := range []Mixer{MixerX, MixerXYRing} {
+				for _, p := range depths {
+					s, err := New(n, terms, Options{Backend: backend, Mixer: mixer, Workers: 3})
+					if err != nil {
+						t.Fatal(err)
+					}
+					gamma, beta := randomAngles(rng, p)
+					label := name + "/" + backend.String() + "/" + mixer.String() + "/p=" + itoa(p)
+					e, gG, gB, err := s.SimulateQAOAGrad(gamma, beta)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					refG, refB := fdGrad(t, s, gamma, beta, 1e-6)
+					assertGradClose(t, label, gG, gB, refG, refB, 1e-6)
+					// The adjoint energy is the plain forward objective.
+					r, err := s.SimulateQAOA(gamma, beta)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := math.Abs(e - r.Expectation()); d > 1e-9 {
+						t.Errorf("%s: adjoint energy differs from forward by %v", label, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func itoa(p int) string {
+	if p >= 10 {
+		return string(rune('0'+p/10)) + string(rune('0'+p%10))
+	}
+	return string(rune('0' + p))
+}
+
+// TestAdjointGradientXYComplete covers the densest mixer sweep (all
+// qubit pairs per Trotter step).
+func TestAdjointGradientXYComplete(t *testing.T) {
+	const n = 6
+	rng := rand.New(rand.NewSource(9))
+	for _, backend := range []Backend{BackendSerial, BackendSoA} {
+		for _, p := range []int{1, 4} {
+			s, err := New(n, problems.LABSTerms(n), Options{Backend: backend, Mixer: MixerXYComplete})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gamma, beta := randomAngles(rng, p)
+			_, gG, gB, err := s.SimulateQAOAGrad(gamma, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refG, refB := fdGrad(t, s, gamma, beta, 1e-6)
+			assertGradClose(t, "xy-complete/"+backend.String(), gG, gB, refG, refB, 1e-6)
+		}
+	}
+}
+
+// TestAdjointGradientSinglePrecision pins the SoA32 error band. A
+// float32 state makes finite differences useless (ε/h noise), so the
+// single-precision adjoint gradient is compared against the float64
+// SoA adjoint gradient on identical parameters. Observed deviations at
+// n=8, p≤12 are ~1e-5–1e-4 of the gradient scale; the asserted band is
+// 2e-3, the documented contract for quantitative SoA32 use.
+func TestAdjointGradientSinglePrecision(t *testing.T) {
+	const n = 8
+	depths := []int{1, 4, 12}
+	if testing.Short() {
+		depths = []int{1, 4}
+	}
+	rng := rand.New(rand.NewSource(17))
+	for name, terms := range testInstances(t, n) {
+		for _, mixer := range []Mixer{MixerX, MixerXYRing} {
+			for _, p := range depths {
+				ref, err := New(n, terms, Options{Backend: BackendSoA, Mixer: mixer})
+				if err != nil {
+					t.Fatal(err)
+				}
+				s32, err := New(n, terms, Options{Backend: BackendSoA, Mixer: mixer, SinglePrecision: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				gamma, beta := randomAngles(rng, p)
+				_, refG, refB, err := ref.SimulateQAOAGrad(gamma, beta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, gG, gB, err := s32.SimulateQAOAGrad(gamma, beta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertGradClose(t, name+"/soa32/"+mixer.String(), gG, gB, refG, refB, 2e-3)
+			}
+		}
+	}
+}
+
+// TestAdjointGradientQuantized covers the uint16-quantized-diagonal
+// path. Quantization is exact by construction (Quantize fails on
+// non-representable costs), so the quantized phase tables reproduce
+// e^{−iγ·cost} up to rounding and the adjoint gradient matches both
+// finite differences and the unquantized gradient at float64 tightness
+// — the "error band" of this path is ordinary f64 rounding, not a
+// quantization loss.
+func TestAdjointGradientQuantized(t *testing.T) {
+	const n = 8
+	rng := rand.New(rand.NewSource(23))
+	for _, backend := range []Backend{BackendSerial, BackendParallel, BackendSoA} {
+		for _, p := range []int{1, 4, 12} {
+			terms := problems.LABSTerms(n)
+			q, err := New(n, terms, Options{Backend: backend, Quantize: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := New(n, terms, Options{Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gamma, beta := randomAngles(rng, p)
+			_, gG, gB, err := q.SimulateQAOAGrad(gamma, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refG, refB := fdGrad(t, q, gamma, beta, 1e-6)
+			assertGradClose(t, "quantized-fd/"+backend.String(), gG, gB, refG, refB, 1e-6)
+			_, pG, pB, err := plain.SimulateQAOAGrad(gamma, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertGradClose(t, "quantized-vs-plain/"+backend.String(), gG, gB, pG, pB, 1e-9)
+		}
+	}
+}
+
+// TestAdjointGradientFusedMixer checks the F = 2 fused mixer path
+// differentiates identically to the per-qubit sweep.
+func TestAdjointGradientFusedMixer(t *testing.T) {
+	const n, p = 8, 6
+	rng := rand.New(rand.NewSource(29))
+	for _, backend := range []Backend{BackendSerial, BackendParallel, BackendSoA} {
+		terms := problems.LABSTerms(n)
+		fused, err := New(n, terms, Options{Backend: backend, FusedMixer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := New(n, terms, Options{Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gamma, beta := randomAngles(rng, p)
+		_, fG, fB, err := fused.SimulateQAOAGrad(gamma, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, pG, pB, err := plain.SimulateQAOAGrad(gamma, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertGradClose(t, "fused/"+backend.String(), fG, fB, pG, pB, 1e-10)
+	}
+}
+
+// TestGradBuffersReuse pins the buffer-reuse contract: repeated
+// SimulateQAOAGradInto calls through one GradBuffers reproduce the
+// fresh-buffer results bit-for-bit.
+func TestGradBuffersReuse(t *testing.T) {
+	const n, p = 8, 5
+	rng := rand.New(rand.NewSource(31))
+	for _, backend := range allBackends() {
+		s, err := New(n, problems.LABSTerms(n), Options{Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := s.NewGradBuffers()
+		gG := make([]float64, p)
+		gB := make([]float64, p)
+		for rep := 0; rep < 3; rep++ {
+			gamma, beta := randomAngles(rng, p)
+			e, err := s.SimulateQAOAGradInto(w, gamma, beta, gG, gB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eFresh, fG, fB, err := s.SimulateQAOAGrad(gamma, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e != eFresh {
+				t.Errorf("%v rep %d: reused energy %v != fresh %v", backend, rep, e, eFresh)
+			}
+			for l := 0; l < p; l++ {
+				if gG[l] != fG[l] || gB[l] != fB[l] {
+					t.Errorf("%v rep %d layer %d: reused grad (%v,%v) != fresh (%v,%v)",
+						backend, rep, l, gG[l], gB[l], fG[l], fB[l])
+				}
+			}
+		}
+	}
+}
+
+func TestSimulateQAOAGradValidation(t *testing.T) {
+	s, err := New(4, problems.LABSTerms(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.SimulateQAOAGrad([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched schedule lengths accepted")
+	}
+	w := s.NewGradBuffers()
+	if _, err := s.SimulateQAOAGradInto(w, []float64{1}, []float64{1}, nil, make([]float64, 1)); err == nil {
+		t.Error("short gradGamma accepted")
+	}
+	if _, err := s.SimulateQAOAGradInto(w, []float64{1}, []float64{1}, make([]float64, 1), nil); err == nil {
+		t.Error("short gradBeta accepted")
+	}
+	if _, err := s.SimulateQAOAGradInto(nil, nil, nil, nil, nil); err == nil {
+		t.Error("nil GradBuffers accepted")
+	}
+	other, err := New(5, problems.LABSTerms(5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.SimulateQAOAGradInto(w, []float64{1}, []float64{1}, make([]float64, 1), make([]float64, 1)); err == nil {
+		t.Error("GradBuffers from a smaller simulator accepted")
+	}
+	// p = 0 degenerates to the initial-state energy with no gradient.
+	e, gG, gB, err := s.SimulateQAOAGrad(nil, nil)
+	if err != nil || len(gG) != 0 || len(gB) != 0 {
+		t.Fatalf("p=0 gradient failed: %v", err)
+	}
+	r, _ := s.SimulateQAOA(nil, nil)
+	if math.Abs(e-r.Expectation()) > 1e-12 {
+		t.Errorf("p=0 energy %v != initial-state energy %v", e, r.Expectation())
+	}
+}
+
+// TestSerialWorkersNormalized pins the Options-validation fix: the
+// serial backend normalizes any requested worker count to 1 instead of
+// silently retaining a pool it never uses.
+func TestSerialWorkersNormalized(t *testing.T) {
+	s, err := New(4, problems.LABSTerms(4), Options{Backend: BackendSerial, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Workers(); got != 1 {
+		t.Errorf("serial simulator Workers() = %d, want 1", got)
+	}
+	p, err := New(4, problems.LABSTerms(4), Options{Backend: BackendParallel, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Workers(); got != 3 {
+		t.Errorf("parallel simulator Workers() = %d, want 3", got)
+	}
+	a, err := New(4, problems.LABSTerms(4), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Workers(); got != 2 {
+		t.Errorf("auto(SoA) simulator Workers() = %d, want 2", got)
+	}
+}

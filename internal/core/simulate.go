@@ -77,23 +77,39 @@ func (s *Simulator) SimulateQAOAInto(r *Result, gamma, beta []float64) error {
 // resetResult rebinds r to this simulator and overwrites its storage
 // with the initial state, without allocating.
 func (s *Simulator) resetResult(r *Result) error {
+	if err := s.bindResult(r); err != nil {
+		return err
+	}
+	switch {
+	case r.soa32 != nil:
+		r.soa32.SetFromVec(s.initial)
+	case r.soa != nil:
+		r.soa.SetFromVec(s.initial)
+	default:
+		copy(r.vec, s.initial)
+	}
+	return nil
+}
+
+// bindResult checks that r's storage matches this simulator's backend
+// and qubit count and rebinds it, leaving the amplitudes untouched —
+// the shared validation step of resetResult and the adjoint reverse
+// pass (which rebinds the λ buffer without resetting it).
+func (s *Simulator) bindResult(r *Result) error {
 	size := 1 << uint(s.n)
 	switch {
 	case s.backend == BackendSoA && s.opts.SinglePrecision:
 		if r.soa32 == nil || r.soa32.Len() != size {
 			return fmt.Errorf("core: Result buffer does not match the soa32 backend at n=%d", s.n)
 		}
-		r.soa32.SetFromVec(s.initial)
 	case s.backend == BackendSoA:
 		if r.soa == nil || r.soa.Len() != size {
 			return fmt.Errorf("core: Result buffer does not match the soa backend at n=%d", s.n)
 		}
-		r.soa.SetFromVec(s.initial)
 	default:
 		if r.vec == nil || len(r.vec) != size {
 			return fmt.Errorf("core: Result buffer does not match the %v backend at n=%d", s.backend, s.n)
 		}
-		copy(r.vec, s.initial)
 	}
 	r.sim = s
 	return nil

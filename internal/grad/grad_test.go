@@ -1,0 +1,204 @@
+package grad_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"qokit/internal/core"
+	"qokit/internal/grad"
+	"qokit/internal/problems"
+)
+
+func randomAngles(rng *rand.Rand, p int) (gamma, beta []float64) {
+	gamma = make([]float64, p)
+	beta = make([]float64, p)
+	for i := 0; i < p; i++ {
+		gamma[i] = rng.Float64()*2 - 1
+		beta[i] = rng.Float64()*2 - 1
+	}
+	return gamma, beta
+}
+
+func TestEnergyGradMatchesSimulator(t *testing.T) {
+	const n, p = 8, 5
+	rng := rand.New(rand.NewSource(3))
+	sim, err := core.New(n, problems.LABSTerms(n), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := grad.New(sim)
+	if eng.Sim() != sim {
+		t.Fatal("Sim() does not return the shared simulator")
+	}
+	gamma, beta := randomAngles(rng, p)
+	gG := make([]float64, p)
+	gB := make([]float64, p)
+	for rep := 0; rep < 3; rep++ { // exercises the workspace pool
+		e, err := eng.EnergyGrad(gamma, beta, gG, gB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wG, wB, err := sim.SimulateQAOAGrad(gamma, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != want {
+			t.Errorf("rep %d: energy %v != %v", rep, e, want)
+		}
+		for l := 0; l < p; l++ {
+			if gG[l] != wG[l] || gB[l] != wB[l] {
+				t.Errorf("rep %d layer %d: (%v,%v) != (%v,%v)", rep, l, gG[l], gB[l], wG[l], wB[l])
+			}
+		}
+	}
+}
+
+func TestFlatObjective(t *testing.T) {
+	const n, p = 8, 3
+	rng := rand.New(rand.NewSource(5))
+	sim, err := core.New(n, problems.LABSTerms(n), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := grad.New(sim)
+	var simErr error
+	obj := eng.FlatObjective(&simErr)
+	gamma, beta := randomAngles(rng, p)
+	x := append(append([]float64(nil), gamma...), beta...)
+	g := make([]float64, 2*p)
+	v := obj(x, g)
+	want, wG, wB, err := sim.SimulateQAOAGrad(gamma, beta)
+	if err != nil || simErr != nil {
+		t.Fatal(err, simErr)
+	}
+	if v != want {
+		t.Errorf("flat objective %v != %v", v, want)
+	}
+	for l := 0; l < p; l++ {
+		if g[l] != wG[l] || g[p+l] != wB[l] {
+			t.Errorf("layer %d: flat grad (%v,%v) != (%v,%v)", l, g[l], g[p+l], wG[l], wB[l])
+		}
+	}
+	// Odd-length input latches an error and short-circuits.
+	if got := obj(x[:5], g[:5]); got != 0 || simErr == nil {
+		t.Errorf("odd-length x: got %v, err %v; want 0 and latched error", got, simErr)
+	}
+	if got := obj(x, g); got != 0 {
+		t.Errorf("after latched error: got %v, want 0 (short-circuit)", got)
+	}
+}
+
+func TestFiniteDiffGradMatchesAdjoint(t *testing.T) {
+	const n, p = 8, 4
+	rng := rand.New(rand.NewSource(7))
+	sim, err := core.New(n, problems.LABSTerms(n), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := grad.New(sim)
+	gamma, beta := randomAngles(rng, p)
+	aG := make([]float64, p)
+	aB := make([]float64, p)
+	eAdj, err := eng.EnergyGrad(gamma, beta, aG, aB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fG := make([]float64, p)
+	fB := make([]float64, p)
+	eFD, err := eng.FiniteDiffGrad(gamma, beta, 0, fG, fB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(eAdj - eFD); d > 1e-12 {
+		t.Errorf("center energies differ by %v", d)
+	}
+	for l := 0; l < p; l++ {
+		if d := math.Abs(aG[l] - fG[l]); d > 1e-6 {
+			t.Errorf("∂γ_%d: adjoint %v vs fd %v", l, aG[l], fG[l])
+		}
+		if d := math.Abs(aB[l] - fB[l]); d > 1e-6 {
+			t.Errorf("∂β_%d: adjoint %v vs fd %v", l, aB[l], fB[l])
+		}
+	}
+	// Validation.
+	if _, err := eng.FiniteDiffGrad(gamma, beta[:p-1], 0, fG, fB); err == nil {
+		t.Error("mismatched schedules accepted")
+	}
+	if _, err := eng.FiniteDiffGrad(gamma, beta, 0, fG[:p-1], fB); err == nil {
+		t.Error("short gradient storage accepted")
+	}
+}
+
+// TestEngineConcurrentEnergyGrad drives one engine from many
+// goroutines (run under -race in CI): pooled workspaces must never be
+// shared between concurrent evaluations.
+func TestEngineConcurrentEnergyGrad(t *testing.T) {
+	const n, p, goroutines = 8, 4, 8
+	rng := rand.New(rand.NewSource(9))
+	sim, err := core.New(n, problems.LABSTerms(n), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := grad.New(sim)
+	gamma, beta := randomAngles(rng, p)
+	want, wG, wB, err := sim.SimulateQAOAGrad(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < goroutines; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gG := make([]float64, p)
+			gB := make([]float64, p)
+			for rep := 0; rep < 5; rep++ {
+				e, err := eng.EnergyGrad(gamma, beta, gG, gB)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if e != want {
+					t.Errorf("concurrent energy %v != %v", e, want)
+					return
+				}
+				for l := 0; l < p; l++ {
+					if gG[l] != wG[l] || gB[l] != wB[l] {
+						t.Errorf("concurrent grad layer %d mismatch", l)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEnergyGradZeroAllocsWarm pins the engine's buffer-reuse
+// contract on the serial backend: after warm-up, EnergyGrad allocates
+// nothing.
+func TestEnergyGradZeroAllocsWarm(t *testing.T) {
+	const n, p = 8, 4
+	rng := rand.New(rand.NewSource(11))
+	sim, err := core.New(n, problems.LABSTerms(n), core.Options{Backend: core.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := grad.New(sim)
+	gamma, beta := randomAngles(rng, p)
+	gG := make([]float64, p)
+	gB := make([]float64, p)
+	if _, err := eng.EnergyGrad(gamma, beta, gG, gB); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := eng.EnergyGrad(gamma, beta, gG, gB); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed-up EnergyGrad allocated %.1f times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,84 @@
+package params
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the FOURIER parameterization of Zhou et al.
+// (PRX 10, 021067; the heuristic QOKit pairs with INTERP for
+// high-depth schedules): instead of optimizing the 2p angles directly,
+// the schedule is synthesized from q ≤ p frequency components
+//
+//	γ_ℓ = Σ_{k=1}^{q} u_k sin((k−½)(ℓ−½)π/p)
+//	β_ℓ = Σ_{k=1}^{q} v_k cos((k−½)(ℓ−½)π/p),   ℓ = 1…p,
+//
+// so the optimization dimension is 2q regardless of depth, and a
+// (u, v) optimum at depth p is reused verbatim as the warm start at
+// depth p+1 — smooth annealing-like schedules need only a few
+// components. The synthesis is linear, so the exact adjoint angle
+// gradient maps to the exact (u, v) gradient by the transpose
+// (FourierGrad), which is what lets gradient optimizers run directly
+// in Fourier space.
+
+// FourierAngles synthesizes the depth-p QAOA schedule from Fourier
+// coefficients (u for γ, v for β). u and v must have equal length
+// q ≥ 1 with p ≥ q; it panics otherwise (programmer error, matching
+// SplitAngles).
+func FourierAngles(u, v []float64, p int) (gamma, beta []float64) {
+	gamma = make([]float64, p)
+	beta = make([]float64, p)
+	FourierAnglesInto(u, v, gamma, beta)
+	return gamma, beta
+}
+
+// FourierAnglesInto is FourierAngles into caller-owned storage
+// (gamma and beta of equal length p), allocating nothing.
+func FourierAnglesInto(u, v, gamma, beta []float64) {
+	p := len(gamma)
+	checkFourier(len(u), len(v), p, len(beta))
+	for l := 0; l < p; l++ {
+		var g, b float64
+		for k := range u {
+			phase := (float64(k) + 0.5) * (float64(l) + 0.5) * math.Pi / float64(p)
+			s, c := math.Sincos(phase)
+			g += u[k] * s
+			b += v[k] * c
+		}
+		gamma[l] = g
+		beta[l] = b
+	}
+}
+
+// FourierGrad pulls an angle-space gradient back to Fourier space by
+// the transpose of the synthesis map:
+//
+//	∂E/∂u_k = Σ_ℓ ∂E/∂γ_ℓ · sin((k−½)(ℓ−½)π/p)   (gv analogously
+//	with cos), writing into gu and gv (length q each).
+//
+// Composed with the adjoint engine this yields the exact 2q-dimension
+// gradient of E(u, v) at no extra simulations.
+func FourierGrad(gradGamma, gradBeta, gu, gv []float64) {
+	p := len(gradGamma)
+	checkFourier(len(gu), len(gv), p, len(gradBeta))
+	for k := range gu {
+		var su, sv float64
+		for l := 0; l < p; l++ {
+			phase := (float64(k) + 0.5) * (float64(l) + 0.5) * math.Pi / float64(p)
+			s, c := math.Sincos(phase)
+			su += gradGamma[l] * s
+			sv += gradBeta[l] * c
+		}
+		gu[k] = su
+		gv[k] = sv
+	}
+}
+
+func checkFourier(q, qv, p, pb int) {
+	if q != qv || q < 1 {
+		panic(fmt.Sprintf("params: Fourier coefficient lengths %d/%d, want equal and ≥ 1", q, qv))
+	}
+	if p != pb || p < q {
+		panic(fmt.Sprintf("params: Fourier depth %d/%d, want equal and ≥ q=%d", p, pb, q))
+	}
+}

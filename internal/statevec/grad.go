@@ -1,0 +1,362 @@
+package statevec
+
+import "fmt"
+
+// This file holds the derivative-accumulation kernels behind the
+// adjoint-mode gradient engine (internal/core.SimulateQAOAGrad). The
+// adjoint method walks the QAOA circuit backwards with two states —
+// the ket ψ and the cost-weighted bra λ = Ĉ|ψ⟩ — and reads every
+// parameter derivative off a reduction of the pair:
+//
+//	∂E/∂γ_ℓ = 2·Im ⟨λ|Ĉ|ψ⟩          (ImDotDiag against the diagonal)
+//	∂E/∂β_ℓ = 2·Σ_q Im ⟨λ|X_q|ψ⟩    (ImDotXAll, fused over qubits)
+//	∂E/∂β_ℓ = 2·Σ_e Im ⟨λ|H_e|ψ⟩    (ImDotXY per edge, xy mixers)
+//
+// Each reduction costs one pass over the pair — the same order as the
+// mixer sweep it differentiates — so a full 2p-parameter gradient is
+// O(1) extra state evolutions, independent of p. Like every other
+// kernel in this package, the reductions come in four flavours:
+// serial complex128, worker-pool complex128, SoA float64, and SoA32
+// single precision (always accumulating in float64).
+
+// MulDiag multiplies amplitude x by the real scalar diag_x in place:
+// ψ ← Ĉ|ψ⟩ for a diagonal observable, the "cost-weighted" seed of the
+// adjoint reverse pass. It panics on length mismatch.
+func MulDiag(v Vec, diag []float64) {
+	if len(v) != len(diag) {
+		panic(fmt.Sprintf("statevec: MulDiag length mismatch %d vs %d", len(v), len(diag)))
+	}
+	for i := range v {
+		v[i] *= complex(diag[i], 0)
+	}
+}
+
+// MulDiag is the pool version of the diagonal-observable multiply.
+func (p *Pool) MulDiag(v Vec, diag []float64) {
+	if len(v) != len(diag) {
+		panic(fmt.Sprintf("statevec: MulDiag length mismatch %d vs %d", len(v), len(diag)))
+	}
+	p.Run(len(v), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v[i] *= complex(diag[i], 0)
+		}
+	})
+}
+
+// ImDotDiag returns Σ_x diag_x · Im(conj(lam_x)·psi_x) = Im ⟨λ|Ĉ|ψ⟩:
+// the phase-operator derivative reduction. It panics on length
+// mismatch.
+func ImDotDiag(lam, psi Vec, diag []float64) float64 {
+	if len(lam) != len(psi) || len(lam) != len(diag) {
+		panic(fmt.Sprintf("statevec: ImDotDiag length mismatch %d/%d/%d", len(lam), len(psi), len(diag)))
+	}
+	var s float64
+	for i := range lam {
+		s += diag[i] * (real(lam[i])*imag(psi[i]) - imag(lam[i])*real(psi[i]))
+	}
+	return s
+}
+
+// ImDotDiag is the pool version of the phase-derivative reduction.
+func (p *Pool) ImDotDiag(lam, psi Vec, diag []float64) float64 {
+	if len(lam) != len(psi) || len(lam) != len(diag) {
+		panic(fmt.Sprintf("statevec: ImDotDiag length mismatch %d/%d/%d", len(lam), len(psi), len(diag)))
+	}
+	return p.Reduce(len(lam), func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += diag[i] * (real(lam[i])*imag(psi[i]) - imag(lam[i])*real(psi[i]))
+		}
+		return s
+	})
+}
+
+// ImDotXAll returns Σ_q Im ⟨λ|X_q|ψ⟩ — the whole transverse-field
+// mixer derivative in one pass over the pair, with the qubit loop
+// innermost so the reduction costs one kernel launch instead of n.
+func ImDotXAll(lam, psi Vec) float64 {
+	if len(lam) != len(psi) {
+		panic(fmt.Sprintf("statevec: ImDotXAll length mismatch %d vs %d", len(lam), len(psi)))
+	}
+	n := lam.NumQubits()
+	var s float64
+	for i := range lam {
+		lr, li := real(lam[i]), imag(lam[i])
+		for q := 0; q < n; q++ {
+			j := i ^ (1 << uint(q))
+			s += lr*imag(psi[j]) - li*real(psi[j])
+		}
+	}
+	return s
+}
+
+// ImDotXAll is the pool version of the fused mixer-derivative
+// reduction.
+func (p *Pool) ImDotXAll(lam, psi Vec) float64 {
+	if len(lam) != len(psi) {
+		panic(fmt.Sprintf("statevec: ImDotXAll length mismatch %d vs %d", len(lam), len(psi)))
+	}
+	n := lam.NumQubits()
+	return p.Reduce(len(lam), func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			lr, li := real(lam[i]), imag(lam[i])
+			for q := 0; q < n; q++ {
+				j := i ^ (1 << uint(q))
+				s += lr*imag(psi[j]) - li*real(psi[j])
+			}
+		}
+		return s
+	})
+}
+
+// ImDotXY returns Im ⟨λ|H_e|ψ⟩ for H_e = (X_iX_j + Y_iY_j)/2, which
+// swaps each (|…1_i…0_j…⟩, |…0_i…1_j…⟩) amplitude pair and annihilates
+// the rest — the per-edge xy-mixer derivative reduction.
+func ImDotXY(lam, psi Vec, i, j int) float64 {
+	if i == j {
+		panic("statevec: ImDotXY requires distinct qubits")
+	}
+	n := lam.NumQubits()
+	if i < 0 || i >= n || j < 0 || j >= n {
+		panic(fmt.Sprintf("statevec: ImDotXY qubits (%d,%d) out of range for n=%d", i, j, n))
+	}
+	if len(lam) != len(psi) {
+		panic(fmt.Sprintf("statevec: ImDotXY length mismatch %d vs %d", len(lam), len(psi)))
+	}
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	quarter := len(lam) >> 2
+	maskI, maskJ := 1<<uint(i), 1<<uint(j)
+	var s float64
+	for t := 0; t < quarter; t++ {
+		base := expand2(t, lo, hi)
+		xa := base | maskI
+		xb := base | maskJ
+		s += real(lam[xa])*imag(psi[xb]) - imag(lam[xa])*real(psi[xb])
+		s += real(lam[xb])*imag(psi[xa]) - imag(lam[xb])*real(psi[xa])
+	}
+	return s
+}
+
+// ImDotXY is the pool version of the per-edge xy-derivative reduction.
+func (p *Pool) ImDotXY(lam, psi Vec, i, j int) float64 {
+	if i == j {
+		panic("statevec: ImDotXY requires distinct qubits")
+	}
+	n := lam.NumQubits()
+	if i < 0 || i >= n || j < 0 || j >= n {
+		panic(fmt.Sprintf("statevec: ImDotXY qubits (%d,%d) out of range for n=%d", i, j, n))
+	}
+	if len(lam) != len(psi) {
+		panic(fmt.Sprintf("statevec: ImDotXY length mismatch %d vs %d", len(lam), len(psi)))
+	}
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	maskI, maskJ := 1<<uint(i), 1<<uint(j)
+	return p.Reduce(len(lam)>>2, func(from, to int) float64 {
+		var s float64
+		for t := from; t < to; t++ {
+			base := expand2(t, lo, hi)
+			xa := base | maskI
+			xb := base | maskJ
+			s += real(lam[xa])*imag(psi[xb]) - imag(lam[xa])*real(psi[xb])
+			s += real(lam[xb])*imag(psi[xa]) - imag(lam[xb])*real(psi[xa])
+		}
+		return s
+	})
+}
+
+// Copy overwrites s with src without allocating; it panics on length
+// mismatch. The adjoint reverse pass uses it to seed λ from ψ.
+func (s *SoA) Copy(src *SoA) {
+	if len(s.Re) != len(src.Re) {
+		panic(fmt.Sprintf("statevec: Copy length mismatch %d vs %d", len(s.Re), len(src.Re)))
+	}
+	copy(s.Re, src.Re)
+	copy(s.Im, src.Im)
+}
+
+// MulDiag multiplies amplitude x by diag_x in place (SoA layout: one
+// real scale per component slice).
+func (s *SoA) MulDiag(p *Pool, diag []float64) {
+	if len(s.Re) != len(diag) {
+		panic(fmt.Sprintf("statevec: MulDiag length mismatch %d vs %d", len(s.Re), len(diag)))
+	}
+	re, im := s.Re, s.Im
+	p.Run(len(re), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			re[i] *= diag[i]
+			im[i] *= diag[i]
+		}
+	})
+}
+
+// ImDotDiag returns Im ⟨λ|Ĉ|ψ⟩ with s as λ and psi as ψ.
+func (s *SoA) ImDotDiag(p *Pool, psi *SoA, diag []float64) float64 {
+	if len(s.Re) != len(psi.Re) || len(s.Re) != len(diag) {
+		panic(fmt.Sprintf("statevec: ImDotDiag length mismatch %d/%d/%d", len(s.Re), len(psi.Re), len(diag)))
+	}
+	lr, li := s.Re, s.Im
+	pr, pi := psi.Re, psi.Im
+	return p.Reduce(len(lr), func(lo, hi int) float64 {
+		var acc float64
+		for i := lo; i < hi; i++ {
+			acc += diag[i] * (lr[i]*pi[i] - li[i]*pr[i])
+		}
+		return acc
+	})
+}
+
+// ImDotXAll returns Σ_q Im ⟨λ|X_q|ψ⟩ in one fused pass with s as λ.
+func (s *SoA) ImDotXAll(p *Pool, psi *SoA) float64 {
+	if len(s.Re) != len(psi.Re) {
+		panic(fmt.Sprintf("statevec: ImDotXAll length mismatch %d vs %d", len(s.Re), len(psi.Re)))
+	}
+	n := s.NumQubits()
+	lr, li := s.Re, s.Im
+	pr, pi := psi.Re, psi.Im
+	return p.Reduce(len(lr), func(lo, hi int) float64 {
+		var acc float64
+		for i := lo; i < hi; i++ {
+			r, m := lr[i], li[i]
+			for q := 0; q < n; q++ {
+				j := i ^ (1 << uint(q))
+				acc += r*pi[j] - m*pr[j]
+			}
+		}
+		return acc
+	})
+}
+
+// ImDotXY returns Im ⟨λ|H_e|ψ⟩ for the xy edge term with s as λ.
+func (s *SoA) ImDotXY(p *Pool, psi *SoA, i, j int) float64 {
+	if i == j {
+		panic("statevec: ImDotXY requires distinct qubits")
+	}
+	n := s.NumQubits()
+	if i < 0 || i >= n || j < 0 || j >= n {
+		panic(fmt.Sprintf("statevec: ImDotXY qubits (%d,%d) out of range for n=%d", i, j, n))
+	}
+	if len(s.Re) != len(psi.Re) {
+		panic(fmt.Sprintf("statevec: ImDotXY length mismatch %d vs %d", len(s.Re), len(psi.Re)))
+	}
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	maskI, maskJ := 1<<uint(i), 1<<uint(j)
+	lr, li := s.Re, s.Im
+	pr, pi := psi.Re, psi.Im
+	return p.Reduce(len(lr)>>2, func(from, to int) float64 {
+		var acc float64
+		for t := from; t < to; t++ {
+			base := expand2(t, lo, hi)
+			xa := base | maskI
+			xb := base | maskJ
+			acc += lr[xa]*pi[xb] - li[xa]*pr[xb]
+			acc += lr[xb]*pi[xa] - li[xb]*pr[xa]
+		}
+		return acc
+	})
+}
+
+// Copy overwrites s with src without allocating; it panics on length
+// mismatch.
+func (s *SoA32) Copy(src *SoA32) {
+	if len(s.Re) != len(src.Re) {
+		panic(fmt.Sprintf("statevec: Copy length mismatch %d vs %d", len(s.Re), len(src.Re)))
+	}
+	copy(s.Re, src.Re)
+	copy(s.Im, src.Im)
+}
+
+// MulDiag multiplies amplitude x by diag_x in place. The product is
+// formed in float64 and rounded once on store.
+func (s *SoA32) MulDiag(p *Pool, diag []float64) {
+	if len(s.Re) != len(diag) {
+		panic(fmt.Sprintf("statevec: MulDiag length mismatch %d vs %d", len(s.Re), len(diag)))
+	}
+	re, im := s.Re, s.Im
+	p.Run(len(re), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			re[i] = float32(float64(re[i]) * diag[i])
+			im[i] = float32(float64(im[i]) * diag[i])
+		}
+	})
+}
+
+// ImDotDiag returns Im ⟨λ|Ĉ|ψ⟩ with s as λ, accumulated in float64.
+func (s *SoA32) ImDotDiag(p *Pool, psi *SoA32, diag []float64) float64 {
+	if len(s.Re) != len(psi.Re) || len(s.Re) != len(diag) {
+		panic(fmt.Sprintf("statevec: ImDotDiag length mismatch %d/%d/%d", len(s.Re), len(psi.Re), len(diag)))
+	}
+	lr, li := s.Re, s.Im
+	pr, pi := psi.Re, psi.Im
+	return p.Reduce(len(lr), func(lo, hi int) float64 {
+		var acc float64
+		for i := lo; i < hi; i++ {
+			acc += diag[i] * (float64(lr[i])*float64(pi[i]) - float64(li[i])*float64(pr[i]))
+		}
+		return acc
+	})
+}
+
+// ImDotXAll returns Σ_q Im ⟨λ|X_q|ψ⟩ in one fused pass with s as λ,
+// accumulated in float64.
+func (s *SoA32) ImDotXAll(p *Pool, psi *SoA32) float64 {
+	if len(s.Re) != len(psi.Re) {
+		panic(fmt.Sprintf("statevec: ImDotXAll length mismatch %d vs %d", len(s.Re), len(psi.Re)))
+	}
+	n := s.NumQubits()
+	lr, li := s.Re, s.Im
+	pr, pi := psi.Re, psi.Im
+	return p.Reduce(len(lr), func(lo, hi int) float64 {
+		var acc float64
+		for i := lo; i < hi; i++ {
+			r, m := float64(lr[i]), float64(li[i])
+			for q := 0; q < n; q++ {
+				j := i ^ (1 << uint(q))
+				acc += r*float64(pi[j]) - m*float64(pr[j])
+			}
+		}
+		return acc
+	})
+}
+
+// ImDotXY returns Im ⟨λ|H_e|ψ⟩ for the xy edge term with s as λ,
+// accumulated in float64.
+func (s *SoA32) ImDotXY(p *Pool, psi *SoA32, i, j int) float64 {
+	if i == j {
+		panic("statevec: ImDotXY requires distinct qubits")
+	}
+	n := s.NumQubits()
+	if i < 0 || i >= n || j < 0 || j >= n {
+		panic(fmt.Sprintf("statevec: ImDotXY qubits (%d,%d) out of range for n=%d", i, j, n))
+	}
+	if len(s.Re) != len(psi.Re) {
+		panic(fmt.Sprintf("statevec: ImDotXY length mismatch %d vs %d", len(s.Re), len(psi.Re)))
+	}
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	maskI, maskJ := 1<<uint(i), 1<<uint(j)
+	lr, li := s.Re, s.Im
+	pr, pi := psi.Re, psi.Im
+	return p.Reduce(len(lr)>>2, func(from, to int) float64 {
+		var acc float64
+		for t := from; t < to; t++ {
+			base := expand2(t, lo, hi)
+			xa := base | maskI
+			xb := base | maskJ
+			acc += float64(lr[xa])*float64(pi[xb]) - float64(li[xa])*float64(pr[xb])
+			acc += float64(lr[xb])*float64(pi[xa]) - float64(li[xb])*float64(pr[xa])
+		}
+		return acc
+	})
+}

@@ -1,0 +1,175 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randState returns a random normalized n-qubit state.
+func randState(rng *rand.Rand, n int) Vec {
+	v := New(n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	v.Normalize()
+	return v
+}
+
+// imDot returns Im ⟨a|b⟩ directly.
+func imDot(a, b Vec) float64 { return imag(Dot(a, b)) }
+
+// applyXRef returns X_q|v⟩ by explicit bit flip.
+func applyXRef(v Vec, q int) Vec {
+	out := New(v.NumQubits())
+	for x := range v {
+		out[x^(1<<uint(q))] = v[x]
+	}
+	return out
+}
+
+// applyXYRef returns H_e|v⟩ for H_e = (X_iX_j+Y_iY_j)/2, which swaps
+// the 01/10 amplitude pairs and zeroes the rest.
+func applyXYRef(v Vec, i, j int) Vec {
+	out := New(v.NumQubits())
+	mi, mj := uint64(1)<<uint(i), uint64(1)<<uint(j)
+	for x := range v {
+		bx := uint64(x)
+		if bx&mi != 0 && bx&mj == 0 {
+			out[bx^mi^mj] = v[x]
+		} else if bx&mi == 0 && bx&mj != 0 {
+			out[bx^mi^mj] = v[x]
+		}
+	}
+	return out
+}
+
+// gradPool forces the parallel path regardless of state size
+// (minParallel is zero for in-package composite literals).
+func gradPool() *Pool { return &Pool{Workers: 4} }
+
+func TestImDotDiagAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 5
+	lam, psi := randState(rng, n), randState(rng, n)
+	diag := make([]float64, 1<<n)
+	for i := range diag {
+		diag[i] = rng.NormFloat64()
+	}
+	cpsi := psi.Clone()
+	MulDiag(cpsi, diag)
+	want := imDot(lam, cpsi)
+
+	if got := ImDotDiag(lam, psi, diag); math.Abs(got-want) > 1e-12 {
+		t.Errorf("serial ImDotDiag = %v, want %v", got, want)
+	}
+	if got := gradPool().ImDotDiag(lam, psi, diag); math.Abs(got-want) > 1e-12 {
+		t.Errorf("pool ImDotDiag = %v, want %v", got, want)
+	}
+	sl, sp := SoAFromVec(lam), SoAFromVec(psi)
+	if got := sl.ImDotDiag(gradPool(), sp, diag); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SoA ImDotDiag = %v, want %v", got, want)
+	}
+	sl32, sp32 := SoA32FromVec(lam), SoA32FromVec(psi)
+	if got := sl32.ImDotDiag(gradPool(), sp32, diag); math.Abs(got-want) > 1e-5 {
+		t.Errorf("SoA32 ImDotDiag = %v, want %v", got, want)
+	}
+}
+
+func TestMulDiagBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n = 5
+	v := randState(rng, n)
+	diag := make([]float64, 1<<n)
+	for i := range diag {
+		diag[i] = rng.NormFloat64()
+	}
+	want := v.Clone()
+	MulDiag(want, diag)
+
+	got := v.Clone()
+	gradPool().MulDiag(got, diag)
+	if d := MaxAbsDiff(want, got); d > 0 {
+		t.Errorf("pool MulDiag differs by %v", d)
+	}
+	soa := SoAFromVec(v)
+	soa.MulDiag(gradPool(), diag)
+	if d := MaxAbsDiff(want, soa.ToVec()); d > 1e-15 {
+		t.Errorf("SoA MulDiag differs by %v", d)
+	}
+	soa32 := SoA32FromVec(v)
+	soa32.MulDiag(gradPool(), diag)
+	if d := MaxAbsDiff(want, soa32.ToVec()); d > 1e-6 {
+		t.Errorf("SoA32 MulDiag differs by %v", d)
+	}
+}
+
+func TestImDotXAllAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	const n = 5
+	lam, psi := randState(rng, n), randState(rng, n)
+	// Reference: Σ_q Im ⟨λ|X_q|ψ⟩ by explicit bit-flip application.
+	var want float64
+	for q := 0; q < n; q++ {
+		want += imDot(lam, applyXRef(psi, q))
+	}
+	if got := ImDotXAll(lam, psi); math.Abs(got-want) > 1e-12 {
+		t.Errorf("serial ImDotXAll = %v, want %v", got, want)
+	}
+	if got := gradPool().ImDotXAll(lam, psi); math.Abs(got-want) > 1e-12 {
+		t.Errorf("pool ImDotXAll = %v, want %v", got, want)
+	}
+	sl, sp := SoAFromVec(lam), SoAFromVec(psi)
+	if got := sl.ImDotXAll(gradPool(), sp); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SoA ImDotXAll = %v, want %v", got, want)
+	}
+	sl32, sp32 := SoA32FromVec(lam), SoA32FromVec(psi)
+	if got := sl32.ImDotXAll(gradPool(), sp32); math.Abs(got-want) > 1e-5 {
+		t.Errorf("SoA32 ImDotXAll = %v, want %v", got, want)
+	}
+}
+
+func TestImDotXYAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	const n = 5
+	lam, psi := randState(rng, n), randState(rng, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			want := imDot(lam, applyXYRef(psi, i, j))
+			if got := ImDotXY(lam, psi, i, j); math.Abs(got-want) > 1e-12 {
+				t.Errorf("serial ImDotXY (%d,%d): got %v, want %v", i, j, got, want)
+			}
+			if got := gradPool().ImDotXY(lam, psi, i, j); math.Abs(got-want) > 1e-12 {
+				t.Errorf("pool ImDotXY (%d,%d): got %v, want %v", i, j, got, want)
+			}
+			sl, sp := SoAFromVec(lam), SoAFromVec(psi)
+			if got := sl.ImDotXY(gradPool(), sp, i, j); math.Abs(got-want) > 1e-12 {
+				t.Errorf("SoA ImDotXY (%d,%d): got %v, want %v", i, j, got, want)
+			}
+			sl32, sp32 := SoA32FromVec(lam), SoA32FromVec(psi)
+			if got := sl32.ImDotXY(gradPool(), sp32, i, j); math.Abs(got-want) > 1e-5 {
+				t.Errorf("SoA32 ImDotXY (%d,%d): got %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSoACopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	v := randState(rng, 4)
+	src := SoAFromVec(v)
+	dst := NewSoA(4)
+	dst.Copy(src)
+	if d := MaxAbsDiff(v, dst.ToVec()); d != 0 {
+		t.Errorf("SoA Copy differs by %v", d)
+	}
+	src32 := SoA32FromVec(v)
+	dst32 := NewSoA32(4)
+	dst32.Copy(src32)
+	if d := MaxAbsDiff(src32.ToVec(), dst32.ToVec()); d != 0 {
+		t.Errorf("SoA32 Copy differs by %v", d)
+	}
+}

@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"qokit/internal/core"
+)
+
+// GradResult holds the energy and the full adjoint gradient evaluated
+// at one parameter point.
+type GradResult struct {
+	Energy float64
+	// GradGamma and GradBeta are ∂E/∂γ_ℓ and ∂E/∂β_ℓ, length p.
+	GradGamma, GradBeta []float64
+}
+
+// acquireGrad pops a pooled gradient workspace or allocates the next
+// one; releaseGrad returns it for reuse under the Workers cap.
+func (e *Engine) acquireGrad() *core.GradBuffers {
+	e.mu.Lock()
+	if n := len(e.freeGrad); n > 0 {
+		w := e.freeGrad[n-1]
+		e.freeGrad = e.freeGrad[:n-1]
+		e.mu.Unlock()
+		return w
+	}
+	e.mu.Unlock()
+	return e.sim.NewGradBuffers()
+}
+
+func (e *Engine) releaseGrad(w *core.GradBuffers) {
+	e.mu.Lock()
+	if len(e.freeGrad) < e.workers {
+		e.freeGrad = append(e.freeGrad, w)
+	}
+	e.mu.Unlock()
+}
+
+// SweepGrad evaluates the energy and the exact adjoint gradient at
+// every point, returning results in input order — the batch interface
+// for multi-start gradient optimization and gradient-field landscape
+// scans. Each worker owns one reusable pair of state buffers
+// (core.GradBuffers), so like Sweep, a batch of any size performs zero
+// per-point state-buffer allocations after warm-up. out is reused when
+// its capacity suffices, including each slot's gradient slices — pass
+// a retained slice to make steady-state gradient sweeps
+// allocation-free.
+func (e *Engine) SweepGrad(points []Point, out []GradResult) ([]GradResult, error) {
+	if len(points) == 0 {
+		return out[:0], nil
+	}
+	for i, pt := range points {
+		if len(pt.Gamma) != len(pt.Beta) {
+			return nil, fmt.Errorf("sweep: point %d: len(gamma)=%d != len(beta)=%d", i, len(pt.Gamma), len(pt.Beta))
+		}
+	}
+	if cap(out) < len(points) {
+		grown := make([]GradResult, len(points))
+		// Keep warmed gradient slices from a shorter retained batch.
+		copy(grown, out)
+		out = grown
+	}
+	out = out[:len(points)]
+
+	w := e.workers
+	if w > len(points) {
+		w = len(points)
+	}
+	if w <= 1 {
+		wk := e.acquireGrad()
+		defer e.releaseGrad(wk)
+		for i := range points {
+			if err := e.evalGradIntoWith(e.sim, wk, points[i], &out[i]); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	// res is a never-reassigned copy of the out header: goroutines
+	// capture it by value so the inline path stays allocation-free.
+	res := out
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wk := e.acquireGrad()
+			defer e.releaseGrad(wk)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(res) || firstErr.Load() != nil {
+					return
+				}
+				if err := e.evalGradIntoWith(e.inlineSim, wk, points[i], &res[i]); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errp := firstErr.Load(); errp != nil {
+		return nil, *errp
+	}
+	return out, nil
+}
+
+// evalGradIntoWith evaluates one point's energy and gradient in the
+// worker's workspace against an explicit simulator view. Slot gradient
+// slices are reused when their capacity suffices and every field is
+// (re)written, so retained result slices never leak values from a
+// previous sweep.
+func (e *Engine) evalGradIntoWith(sim *core.Simulator, w *core.GradBuffers, pt Point, slot *GradResult) error {
+	p := len(pt.Gamma)
+	slot.GradGamma = sizedFloats(slot.GradGamma, p)
+	slot.GradBeta = sizedFloats(slot.GradBeta, p)
+	energy, err := sim.SimulateQAOAGradInto(w, pt.Gamma, pt.Beta, slot.GradGamma, slot.GradBeta)
+	if err != nil {
+		return err
+	}
+	slot.Energy = energy
+	return nil
+}
+
+// sizedFloats returns s resliced to length n, reallocating only when
+// the capacity is short.
+func sizedFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

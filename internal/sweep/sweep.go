@@ -71,6 +71,9 @@ type Engine struct {
 
 	mu   sync.Mutex
 	free []*core.Result
+	// freeGrad pools adjoint-gradient workspaces (pairs of state
+	// buffers) for SweepGrad, under the same Workers cap as free.
+	freeGrad []*core.GradBuffers
 }
 
 // New builds an engine over sim. The simulator is shared, not copied:
