@@ -1,0 +1,96 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+
+	"qokit/internal/benchutil"
+	"qokit/internal/cluster"
+	"qokit/internal/core"
+	"qokit/internal/distsim"
+	"qokit/internal/grad"
+	"qokit/internal/optimize"
+	"qokit/internal/problems"
+)
+
+// runDistGrad measures the distributed adjoint gradient: one exact
+// 2p-parameter gradient of the sharded state per evaluation, with the
+// reverse pass replaying the forward mixer's collectives once per
+// adjoint state (3× the forward traffic, nothing else on the wire
+// beyond the two sync-only all-reduces). The gradient is first
+// verified against the single-node adjoint engine, then timed across
+// rank counts; alongside measured wall time (ranks are concurrent
+// goroutines on this host, not parallel nodes) the harness reports
+// per-rank traffic and the modeled fabric time under a Polaris-like
+// network model — the quantity that actually scales on a real
+// machine.
+func runDistGrad(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("distgrad", flag.ContinueOnError)
+	n := fs.Int("n", 14, "qubit count")
+	p := fs.Int("p", 6, "QAOA depth")
+	kmax := fs.Int("kmax", 8, "largest rank count (power of two)")
+	reps := fs.Int("reps", 3, "timing repetitions (best-of)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	terms := problems.LABSTerms(*n)
+	gamma, beta := optimize.TQAInit(*p, 0.75)
+
+	// Single-node adjoint reference: correctness gate + speed baseline.
+	sim, err := core.New(*n, terms, core.Options{Backend: core.BackendSerial})
+	if err != nil {
+		return err
+	}
+	eng := grad.New(sim)
+	refG := make([]float64, *p)
+	refB := make([]float64, *p)
+	if _, err := eng.EnergyGrad(gamma, beta, refG, refB); err != nil {
+		return err
+	}
+	tSingle := bestOf(*reps, func() error {
+		_, err := eng.EnergyGrad(gamma, beta, refG, refB)
+		return err
+	})
+
+	model := cluster.DefaultNetworkModel()
+	tab := benchutil.NewTable("K", "algo", "max|Δ| vs single", "time/grad", "bytes/rank", "msgs/rank", "modeled-net")
+	tab.Add("1", "(single-node)", "0", benchutil.Seconds(tSingle), "0", "0", "0")
+
+	gg := make([]float64, *p)
+	gb := make([]float64, *p)
+	for _, algo := range []cluster.AlltoallAlgo{cluster.Pairwise, cluster.Transpose} {
+		for k := 2; k <= *kmax; k *= 2 {
+			deng, err := distsim.NewGradEngine(*n, terms, distsim.Options{Ranks: k, Algo: algo})
+			if err != nil {
+				return err
+			}
+			if _, err := deng.EnergyGrad(gamma, beta, gg, gb); err != nil {
+				return err
+			}
+			var maxDiff float64
+			for l := 0; l < *p; l++ {
+				maxDiff = math.Max(maxDiff, math.Abs(gg[l]-refG[l]))
+				maxDiff = math.Max(maxDiff, math.Abs(gb[l]-refB[l]))
+			}
+			before := deng.Counters()
+			t := bestOf(*reps, func() error {
+				_, err := deng.EnergyGrad(gamma, beta, gg, gb)
+				return err
+			})
+			perRank := perRankDelta(deng.Counters(), before, *reps, k)
+			tab.Add(fmt.Sprint(k), algo.String(), fmt.Sprintf("%.2g", maxDiff),
+				benchutil.Seconds(t), fmt.Sprint(perRank.BytesSent), fmt.Sprint(perRank.Messages),
+				benchutil.Seconds(perRank.ModeledTime(model)))
+		}
+	}
+
+	fmt.Fprintf(w, "Distributed adjoint gradient, LABS n=%d p=%d (best of %d)\n", *n, *p, *reps)
+	tab.Fprint(w)
+	fmt.Fprintln(w, "\nEach gradient is exact (adjoint reverse pass, ≈4 sharded simulations")
+	fmt.Fprintln(w, "independent of p); traffic is 3× one forward run's mixer collectives —")
+	fmt.Fprintln(w, "per-layer scalar/vector all-reduces ride along as synchronization only.")
+	return nil
+}

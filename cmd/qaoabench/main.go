@@ -13,6 +13,8 @@
 //	qaoabench fig5   [-local 16] [-kmax 16] [-reps 3]
 //	qaoabench opt    [-n 14] [-p 6] [-evals 60]
 //	qaoabench grad   [-n 16] [-p 12] [-reps 3] [-backend auto]
+//	qaoabench distgrad [-n 14] [-p 6] [-kmax 8] [-reps 3]
+//	qaoabench suite  [-n 14] [-p 6] [-ranks 4] [-points 64] [-json] [-out BENCH_qaoa.json]
 //	qaoabench landscape [-n 14] [-grid 24] [-workers 0]
 //	qaoabench memory [-n 20]
 //	qaoabench gates  [-nmax 31]
@@ -44,6 +46,8 @@ func commands() []command {
 		{"scaling", "§I/§VII: LABS time-to-solution scaling, QAOA vs simulated annealing", runScaling},
 		{"precision", "§V: single vs double precision — error accumulation with depth", runPrecision},
 		{"grad", "adjoint vs finite-difference gradient wall-clock (speedup ~ p)", runGrad},
+		{"distgrad", "distributed adjoint gradient: correctness, wall time, modeled fabric time", runDistGrad},
+		{"suite", "fixed-size benchmark trajectory (forward/grad/sweep/distributed), -json for BENCH_qaoa.json", runSuite},
 	}
 }
 

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -38,6 +41,10 @@ func TestRunnersSmoke(t *testing.T) {
 			[]string{"float64", "norm−1", "extra qubit"}},
 		{"grad", runGrad, []string{"-n", "8", "-p", "4", "-reps", "1"},
 			[]string{"adjoint", "central-fd", "speedup"}},
+		{"distgrad", runDistGrad, []string{"-n", "8", "-p", "2", "-kmax", "4", "-reps", "1"},
+			[]string{"single-node", "pairwise", "transpose", "modeled-net"}},
+		{"suite", runSuite, []string{"-n", "8", "-p", "2", "-points", "8", "-reps", "1"},
+			[]string{"forward", "distributed_grad", "BENCH_qaoa.json"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -51,6 +58,50 @@ func TestRunnersSmoke(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSuiteJSONRoundTrips pins the machine-readable contract of
+// `qaoabench suite -json`: valid JSON, the versioned schema tag, and
+// one entry per benchmarked hot path — the shape CI archives as
+// BENCH_qaoa.json.
+func TestSuiteJSONRoundTrips(t *testing.T) {
+	var out strings.Builder
+	if err := runSuite(&out, []string{"-n", "8", "-p", "2", "-points", "4", "-reps", "1", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	var report suiteReport
+	if err := json.Unmarshal([]byte(out.String()), &report); err != nil {
+		t.Fatalf("suite -json emitted invalid JSON: %v\n%s", err, out.String())
+	}
+	if report.Schema != "qaoabench/suite/v1" {
+		t.Errorf("schema = %q", report.Schema)
+	}
+	want := []string{"forward", "grad", "sweep", "distributed_forward", "distributed_grad"}
+	if len(report.Benchmarks) != len(want) {
+		t.Fatalf("got %d benchmarks, want %d", len(report.Benchmarks), len(want))
+	}
+	for i, name := range want {
+		b := report.Benchmarks[i]
+		if b.Name != name {
+			t.Errorf("benchmark %d = %q, want %q", i, b.Name, name)
+		}
+		if b.SecondsPerOp <= 0 {
+			t.Errorf("%s: non-positive seconds_per_op %v", name, b.SecondsPerOp)
+		}
+	}
+
+	// -out must write the same report shape to disk.
+	path := filepath.Join(t.TempDir(), "BENCH_qaoa.json")
+	if err := runSuite(io.Discard, []string{"-n", "8", "-p", "2", "-points", "4", "-reps", "1", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("-out file is invalid JSON: %v", err)
 	}
 }
 

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"qokit/internal/benchutil"
+	"qokit/internal/cluster"
+	"qokit/internal/core"
+	"qokit/internal/distsim"
+	"qokit/internal/grad"
+	"qokit/internal/optimize"
+	"qokit/internal/problems"
+	"qokit/internal/sweep"
+)
+
+// suiteReport is the machine-readable benchmark trajectory: one fixed
+// workload per hot path (forward, adjoint gradient, batched sweep,
+// distributed forward, distributed gradient) at pinned n/p, so
+// successive baselines of BENCH_qaoa.json are comparable point for
+// point. Timing is host-dependent; the committed baseline records the
+// trajectory's starting point and CI uploads a fresh file per run.
+type suiteReport struct {
+	Schema     string           `json:"schema"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Config     suiteConfig      `json:"config"`
+	Benchmarks []suiteBenchmark `json:"benchmarks"`
+}
+
+type suiteConfig struct {
+	N      int `json:"n"`
+	P      int `json:"p"`
+	Ranks  int `json:"ranks"`
+	Points int `json:"sweep_points"`
+	Reps   int `json:"reps"`
+}
+
+type suiteBenchmark struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	P    int    `json:"p"`
+	// Ranks is set only for the distributed workloads.
+	Ranks int `json:"ranks,omitempty"`
+	// Points is set only for the batched sweep.
+	Points int `json:"points,omitempty"`
+	// SecondsPerOp is the median wall time of one operation (one
+	// simulation, one gradient, one full batch, …).
+	SecondsPerOp float64 `json:"seconds_per_op"`
+	// SecondsPerUnit divides the op over its inner unit where one
+	// exists (per sweep point, per gradient component).
+	SecondsPerUnit float64 `json:"seconds_per_unit,omitempty"`
+	// ModeledNetSeconds is the per-rank modeled fabric time for the
+	// distributed workloads (Polaris-like model).
+	ModeledNetSeconds float64 `json:"modeled_net_seconds,omitempty"`
+	// BytesPerRank records the distributed workloads' per-rank traffic
+	// — the machine-independent part of the trajectory.
+	BytesPerRank int64 `json:"bytes_per_rank,omitempty"`
+}
+
+// runSuite measures the five benchmark workloads at fixed sizes and
+// emits the trajectory (text table, or JSON with -json / -out for the
+// committed BENCH_qaoa.json baseline and the CI artifact).
+func runSuite(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("suite", flag.ContinueOnError)
+	n := fs.Int("n", 14, "qubit count (fixed across workloads)")
+	p := fs.Int("p", 6, "QAOA depth")
+	ranks := fs.Int("ranks", 4, "rank count for the distributed workloads")
+	points := fs.Int("points", 64, "batch size for the sweep workload")
+	reps := fs.Int("reps", 3, "timing repetitions (median)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON on stdout")
+	out := fs.String("out", "", "also write the JSON report to this file (e.g. BENCH_qaoa.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	report := suiteReport{
+		Schema:     "qaoabench/suite/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Config:     suiteConfig{N: *n, P: *p, Ranks: *ranks, Points: *points, Reps: *reps},
+	}
+	terms := problems.LABSTerms(*n)
+	gamma, beta := optimize.TQAInit(*p, 0.75)
+	model := cluster.DefaultNetworkModel()
+
+	// Forward: one simulation through a reused state buffer.
+	sim, err := core.New(*n, terms, core.Options{})
+	if err != nil {
+		return err
+	}
+	res := sim.NewResult()
+	if err := sim.SimulateQAOAInto(res, gamma, beta); err != nil {
+		return err
+	}
+	tFwd, _ := benchutil.TimeRepeat(*reps, func() {
+		if err := sim.SimulateQAOAInto(res, gamma, beta); err != nil {
+			panic(err)
+		}
+	})
+	report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
+		Name: "forward", N: *n, P: *p, SecondsPerOp: tFwd.Seconds(),
+	})
+
+	// Gradient: one exact 2p-component adjoint gradient.
+	geng := grad.New(sim)
+	gg := make([]float64, *p)
+	gb := make([]float64, *p)
+	if _, err := geng.EnergyGrad(gamma, beta, gg, gb); err != nil {
+		return err
+	}
+	tGrad, _ := benchutil.TimeRepeat(*reps, func() {
+		if _, err := geng.EnergyGrad(gamma, beta, gg, gb); err != nil {
+			panic(err)
+		}
+	})
+	report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
+		Name: "grad", N: *n, P: *p,
+		SecondsPerOp:   tGrad.Seconds(),
+		SecondsPerUnit: tGrad.Seconds() / float64(2**p),
+	})
+
+	// Sweep: one batch through the concurrent engine, reused buffers.
+	seng := sweep.New(sim, sweep.Options{})
+	pts := make([]sweep.Point, *points)
+	for i := range pts {
+		g2 := append([]float64(nil), gamma...)
+		g2[0] += 0.01 * float64(i)
+		pts[i] = sweep.Point{Gamma: g2, Beta: beta}
+	}
+	sres, err := seng.Sweep(pts, nil)
+	if err != nil {
+		return err
+	}
+	tSweep, _ := benchutil.TimeRepeat(*reps, func() {
+		if _, err := seng.Sweep(pts, sres); err != nil {
+			panic(err)
+		}
+	})
+	report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
+		Name: "sweep", N: *n, P: *p, Points: *points,
+		SecondsPerOp:   tSweep.Seconds(),
+		SecondsPerUnit: tSweep.Seconds() / float64(*points),
+	})
+
+	// Distributed forward: full sharded pipeline.
+	var dres *distsim.Result
+	tDist, _ := benchutil.TimeRepeat(*reps, func() {
+		var err error
+		dres, err = distsim.SimulateQAOA(*n, terms, gamma, beta, distsim.Options{Ranks: *ranks, Algo: cluster.Transpose})
+		if err != nil {
+			panic(err)
+		}
+	})
+	perRankFwd := dres.Comm.BytesSent / int64(*ranks)
+	report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
+		Name: "distributed_forward", N: *n, P: *p, Ranks: *ranks,
+		SecondsPerOp:      tDist.Seconds(),
+		BytesPerRank:      perRankFwd,
+		ModeledNetSeconds: perRankCounters(dres.Comm, *ranks).ModeledTime(model).Seconds(),
+	})
+
+	// Distributed gradient: sharded adjoint through a reused engine.
+	deng, err := distsim.NewGradEngine(*n, terms, distsim.Options{Ranks: *ranks, Algo: cluster.Transpose})
+	if err != nil {
+		return err
+	}
+	if _, err := deng.EnergyGrad(gamma, beta, gg, gb); err != nil {
+		return err
+	}
+	before := deng.Counters()
+	tDGrad, _ := benchutil.TimeRepeat(*reps, func() {
+		if _, err := deng.EnergyGrad(gamma, beta, gg, gb); err != nil {
+			panic(err)
+		}
+	})
+	perRankGrad := perRankDelta(deng.Counters(), before, *reps, *ranks)
+	report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
+		Name: "distributed_grad", N: *n, P: *p, Ranks: *ranks,
+		SecondsPerOp:      tDGrad.Seconds(),
+		BytesPerRank:      perRankGrad.BytesSent,
+		ModeledNetSeconds: perRankGrad.ModeledTime(model).Seconds(),
+	})
+
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	tab := benchutil.NewTable("benchmark", "n", "p", "K", "time/op", "bytes/rank", "modeled-net")
+	for _, b := range report.Benchmarks {
+		k := ""
+		if b.Ranks > 0 {
+			k = fmt.Sprint(b.Ranks)
+		}
+		net := ""
+		if b.ModeledNetSeconds > 0 {
+			net = fmt.Sprintf("%.3g", b.ModeledNetSeconds)
+		}
+		bytes := ""
+		if b.BytesPerRank > 0 {
+			bytes = fmt.Sprint(b.BytesPerRank)
+		}
+		tab.Add(b.Name, fmt.Sprint(b.N), fmt.Sprint(b.P), k, fmt.Sprintf("%.3g", b.SecondsPerOp), bytes, net)
+	}
+	fmt.Fprintf(w, "Benchmark suite, LABS n=%d p=%d (median of %d)\n", *n, *p, *reps)
+	tab.Fprint(w)
+	fmt.Fprintln(w, "\nRegenerate the committed baseline with: qaoabench suite -json -out BENCH_qaoa.json")
+	return nil
+}
+
+// perRankCounters averages group totals over the rank count.
+func perRankCounters(total cluster.Counters, ranks int) cluster.Counters {
+	return perRankDelta(total, cluster.Counters{}, 1, ranks)
+}
+
+// perRankDelta averages the counter growth of evals evaluations over
+// the rank count — the per-evaluation, per-rank traffic of an engine
+// whose group counters accumulate across calls.
+func perRankDelta(after, before cluster.Counters, evals, ranks int) cluster.Counters {
+	div := int64(evals) * int64(ranks)
+	return cluster.Counters{
+		BytesSent: (after.BytesSent - before.BytesSent) / div,
+		Messages:  (after.Messages - before.Messages) / div,
+		Syncs:     (after.Syncs - before.Syncs) / div,
+	}
+}

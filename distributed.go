@@ -31,7 +31,7 @@ func DefaultNetworkModel() NetworkModel { return cluster.DefaultNetworkModel() }
 
 // DistOptions configures a distributed QAOA simulation (§III-C):
 // rank count K (power of two, 2·log2(K) ≤ n), the all-to-all
-// algorithm, and whether to gather the full state.
+// algorithm, the mixer family, and whether to gather the full state.
 type DistOptions = distsim.Options
 
 // DistResult carries the distributed outputs and per-rank counters.
@@ -39,10 +39,44 @@ type DistResult = distsim.Result
 
 // SimulateQAOADistributed runs QAOA with the state vector sharded over
 // K simulated ranks per Algorithm 4: the k = log2(K) global qubits are
-// rotated through two all-to-all transposes per layer, while the
+// rotated through two all-to-all transposes per layer (transverse-
+// field mixer) or per-edge partner exchanges (xy mixers), while the
 // diagonal precompute, phase operator, and objective reduction stay
 // local. Equivalent to the mpi-backed QOKit classes ("gpumpi",
 // "cusvmpi") on this package's in-process cluster substrate.
 func SimulateQAOADistributed(n int, terms Terms, gamma, beta []float64, opts DistOptions) (*DistResult, error) {
 	return distsim.SimulateQAOA(n, terms, gamma, beta, opts)
+}
+
+// DistGradResult carries one distributed adjoint-gradient evaluation:
+// the energy, the exact ∂E/∂γ_ℓ and ∂E/∂β_ℓ, and the run's
+// communication counters.
+type DistGradResult = distsim.GradResult
+
+// DistributedGradEngine evaluates energies and exact adjoint
+// gradients on the sharded state vector: one forward pass plus one
+// cost-weighted reverse pass through exact layer inverses, with every
+// derivative reduction running on each rank's local slice and one
+// vector all-reduce combining the per-layer partials. Bound to one
+// problem; reuses the cluster group and all per-rank buffers across
+// evaluations. Its FlatObjective plugs straight into Adam /
+// GradientDescent, so gradient-based optimization of a state too
+// large for one node costs ≈ 4 sharded simulations per step,
+// independent of depth — the single-node adjoint win (ROADMAP
+// "Gradients") carried onto the cluster. Not safe for concurrent
+// evaluations: parallelism comes from the ranks themselves.
+type DistributedGradEngine = distsim.GradEngine
+
+// NewDistributedGradEngine builds a distributed gradient engine: each
+// rank's diagonal slice is precomputed locally (no communication) and
+// two state buffers per rank are allocated for the adjoint pair.
+func NewDistributedGradEngine(n int, terms Terms, opts DistOptions) (*DistributedGradEngine, error) {
+	return distsim.NewGradEngine(n, terms, opts)
+}
+
+// SimulateQAOADistributedGrad evaluates the distributed energy and
+// exact adjoint gradient with a fresh engine — the one-shot
+// counterpart of DistributedGradEngine for callers that do not loop.
+func SimulateQAOADistributedGrad(n int, terms Terms, gamma, beta []float64, opts DistOptions) (*DistGradResult, error) {
+	return distsim.SimulateQAOAGrad(n, terms, gamma, beta, opts)
 }

@@ -3,6 +3,10 @@
 // (two all-to-all transposes per mixer), verify the result against the
 // single-node simulator, and report the communication profile of both
 // all-to-all backends — the comparison behind the paper's Fig. 5.
+// Then go one rung further than the paper's forward-only pipeline:
+// evaluate the exact adjoint gradient on the sharded state and drive a
+// full Adam optimization through the distributed objective, verifying
+// both against the single-node gradient engine.
 //
 //	go run ./examples/distributed
 package main
@@ -11,15 +15,18 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 
 	"qokit"
 )
 
 var (
-	nQubits = 14
-	depth   = 3
-	rankSet = []int{1, 2, 4, 8}
+	nQubits   = 14
+	depth     = 3
+	rankSet   = []int{1, 2, 4, 8}
+	optRanks  = 4
+	adamIters = 30
 )
 
 func main() {
@@ -74,5 +81,54 @@ func run(w io.Writer) error {
 	fmt.Fprintln(w, "Precompute and phase are communication-free; each mixer costs two")
 	fmt.Fprintln(w, "all-to-alls. Pairwise pays ~2(K−1) synchronization rounds per exchange")
 	fmt.Fprintln(w, "where the direct transpose pays 2 — the gap the paper measures in Fig. 5.")
+
+	// Distributed adjoint gradient: exact ∂E/∂γ, ∂E/∂β on the sharded
+	// state, cross-checked against the single-node adjoint engine.
+	singleE, singleGG, singleGB, err := sim.SimulateQAOAGrad(gamma, beta)
+	if err != nil {
+		return err
+	}
+	distGrad, err := qokit.SimulateQAOADistributedGrad(n, terms, gamma, beta, qokit.DistOptions{
+		Ranks: optRanks, Algo: qokit.Transpose,
+	})
+	if err != nil {
+		return err
+	}
+	var maxDiff float64
+	for l := 0; l < p; l++ {
+		maxDiff = math.Max(maxDiff, math.Abs(distGrad.GradGamma[l]-singleGG[l]))
+		maxDiff = math.Max(maxDiff, math.Abs(distGrad.GradBeta[l]-singleGB[l]))
+	}
+	if maxDiff > 1e-9 || math.Abs(distGrad.Energy-singleE) > 1e-9 {
+		return fmt.Errorf("distributed gradient deviates from single-node adjoint by %g", maxDiff)
+	}
+	fmt.Fprintf(w, "\nDistributed adjoint gradient (K=%d): max |Δ| vs single-node %.2g,\n", optRanks, maxDiff)
+	fmt.Fprintf(w, "traffic 3× one forward run's mixer collectives (%d bytes/rank).\n",
+		distGrad.Comm.BytesSent/int64(optRanks))
+
+	// Gradient-descent optimization on the sharded state: Adam over
+	// the distributed FlatObjective, warm-started from TQA.
+	eng, err := qokit.NewDistributedGradEngine(n, terms, qokit.DistOptions{
+		Ranks: optRanks, Algo: qokit.Transpose,
+	})
+	if err != nil {
+		return err
+	}
+	var simErr error
+	resOpt := qokit.Adam(eng.FlatObjective(&simErr), append(append([]float64(nil), gamma...), beta...),
+		qokit.AdamOptions{MaxIter: adamIters})
+	if simErr != nil {
+		return simErr
+	}
+	fmt.Fprintf(w, "\nDistributed Adam (K=%d, %d iterations, one exact sharded gradient each):\n",
+		optRanks, resOpt.Iters)
+	fmt.Fprintf(w, "  TQA start  E = %.6f\n", refE)
+	fmt.Fprintf(w, "  optimized  E = %.6f  (%d gradient evaluations)\n", resOpt.F, resOpt.Evals)
+	if resOpt.F >= refE {
+		return fmt.Errorf("distributed optimization failed to improve on the TQA start: %v ≥ %v", resOpt.F, refE)
+	}
+	fmt.Fprintln(w, "\nThe optimizer never materializes the full state: every evaluation is")
+	fmt.Fprintln(w, "one forward + one adjoint reverse pass over the K shards, so parameter")
+	fmt.Fprintln(w, "optimization at cluster-only sizes costs ≈4 sharded simulations per step.")
 	return nil
 }

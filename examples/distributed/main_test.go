@@ -11,8 +11,10 @@ import (
 // returns an error on deviation, so a clean exit is the equivalence
 // check.
 func TestRun(t *testing.T) {
-	defer func(n, p int, r []int) { nQubits, depth, rankSet = n, p, r }(nQubits, depth, rankSet)
-	nQubits, depth, rankSet = 8, 2, []int{1, 2, 4}
+	defer func(n, p int, r []int, ok, ai int) {
+		nQubits, depth, rankSet, optRanks, adamIters = n, p, r, ok, ai
+	}(nQubits, depth, rankSet, optRanks, adamIters)
+	nQubits, depth, rankSet, optRanks, adamIters = 8, 2, []int{1, 2, 4}, 4, 12
 
 	var sb strings.Builder
 	if err := run(&sb); err != nil {
@@ -23,6 +25,9 @@ func TestRun(t *testing.T) {
 		"LABS n=8 p=2 — single-node expectation",
 		"bytes/rank",
 		"Every configuration reproduces the single-node expectation exactly.",
+		"Distributed adjoint gradient (K=4)",
+		"Distributed Adam (K=4",
+		"optimized  E =",
 	} {
 		if !strings.Contains(out, marker) {
 			t.Errorf("output missing %q\n---\n%s", marker, out)

@@ -99,9 +99,11 @@ type Group struct {
 	bar *barrier
 
 	// published per-rank pointers, valid between barrier pairs.
-	bufs    [][]complex128
-	scratch [][]complex128
-	floats  []float64
+	bufs     [][]complex128
+	scratch  [][]complex128
+	floats   []float64
+	fvecs    [][]float64
+	fscratch [][]float64
 
 	counters []Counters
 }
@@ -119,6 +121,8 @@ func NewGroup(k int, algo AlltoallAlgo) (*Group, error) {
 		bufs:     make([][]complex128, k),
 		scratch:  make([][]complex128, k),
 		floats:   make([]float64, k),
+		fvecs:    make([][]float64, k),
+		fscratch: make([][]float64, k),
 		counters: make([]Counters, k),
 	}, nil
 }
@@ -292,6 +296,102 @@ func (c *Comm) AllreduceMin(x float64) float64 {
 	}
 	g.bar.wait()
 	return m
+}
+
+// AllreduceSumVec sums x elementwise across ranks, in place: on
+// return every rank's x holds the rank-wise sum. All ranks must call
+// with equal lengths. This is the MPI_Allreduce(…, MPI_SUM) the
+// distributed adjoint gradient uses to combine its per-layer partial
+// derivatives — one vector collective for the whole 2p-component
+// gradient instead of 2p scalar ones. Like the scalar reductions, it
+// is accounted as synchronization (not payload) in the counters; the
+// traffic counters therefore measure exactly the state-sized mixer
+// exchanges, which dominate at any realistic n (2p·8 bytes vs
+// 2^{n−k}·16 per rank).
+func (c *Comm) AllreduceSumVec(x []float64) error {
+	g := c.g
+	start := time.Now()
+	g.fvecs[c.rank] = x
+	if g.fscratch[c.rank] == nil || len(g.fscratch[c.rank]) < len(x) {
+		g.fscratch[c.rank] = make([]float64, len(x))
+	}
+	tmp := g.fscratch[c.rank][:len(x)]
+	g.bar.wait()
+	for _, v := range g.fvecs {
+		if len(v) != len(x) {
+			// Leave no rank stranded at the closing barrier: finish the
+			// collective, then report.
+			g.bar.wait()
+			return fmt.Errorf("cluster: AllreduceSumVec length mismatch: rank %d has %d, rank %d has %d",
+				c.rank, len(x), firstMismatch(g.fvecs, len(x)), len(v))
+		}
+	}
+	for i := range tmp {
+		tmp[i] = 0
+	}
+	for _, v := range g.fvecs {
+		for i, w := range v {
+			tmp[i] += w
+		}
+	}
+	g.bar.wait()
+	copy(x, tmp)
+	ctr := &g.counters[c.rank]
+	ctr.Syncs += 2
+	ctr.CommWall += time.Since(start)
+	return nil
+}
+
+func firstMismatch(vecs [][]float64, want int) int {
+	for r, v := range vecs {
+		if len(v) != want {
+			return r
+		}
+	}
+	return -1
+}
+
+// Sendrecv exchanges buffers between paired ranks: this rank's buf is
+// made visible to partner, and partner's published buffer is copied
+// into recv (len(recv) amplitudes). Every rank in the group must call
+// once per round; a rank with partner < 0 (or partner == its own
+// rank) participates in the synchronization but moves no data.
+// Pairings must be mutual — if rank a names b, rank b must name a.
+// This is the MPI_Sendrecv the distributed xy mixer builds on: an xy
+// edge touching a global qubit couples each amplitude to one on
+// exactly one partner rank (the rank index flipped in that qubit's
+// bit), so the gate needs a point-to-point slice exchange, not a full
+// all-to-all (the cuStateVec index-bit-swap pattern).
+func (c *Comm) Sendrecv(partner int, buf []complex128, recv []complex128) error {
+	g := c.g
+	start := time.Now()
+	// Validation must not strand the peers: an erroring rank still
+	// walks both barriers (moving no data) so the error surfaces
+	// through Run instead of deadlocking the group — the same
+	// no-stranding convention AllreduceSumVec follows.
+	var err error
+	if partner >= g.size {
+		err = fmt.Errorf("cluster: Sendrecv partner %d out of range [0,%d)", partner, g.size)
+		partner = -1
+	}
+	g.bufs[c.rank] = buf
+	g.bar.wait()
+	ctr := &g.counters[c.rank]
+	if partner >= 0 && partner != c.rank {
+		src := g.bufs[partner]
+		if len(src) < len(recv) {
+			err = fmt.Errorf("cluster: Sendrecv rank %d published %d amplitudes, rank %d expects %d",
+				partner, len(src), c.rank, len(recv))
+		} else {
+			copy(recv, src[:len(recv)])
+			ctr.Messages++
+			ctr.BytesSent += int64(len(buf)) * 16
+		}
+	}
+	g.bar.wait()
+	ctr.Syncs += 2
+	ctr.CommWall += time.Since(start)
+	return err
 }
 
 // AllGather concatenates every rank's local buffer in rank order and

@@ -273,3 +273,162 @@ func TestGroupSizeOne(t *testing.T) {
 		t.Error("K=1 sent bytes")
 	}
 }
+
+func TestAllreduceSumVec(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		g, err := NewGroup(k, Transpose)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dim := 5
+		err = g.Run(func(c *Comm) error {
+			x := make([]float64, dim)
+			for i := range x {
+				x[i] = float64((c.Rank() + 1) * (i + 1))
+			}
+			if err := c.AllreduceSumVec(x); err != nil {
+				return err
+			}
+			// Σ_r (r+1)(i+1) = (i+1)·k(k+1)/2 on every rank.
+			for i := range x {
+				want := float64((i + 1) * k * (k + 1) / 2)
+				if x[i] != want {
+					return fmt.Errorf("K=%d rank %d: x[%d]=%v, want %v", k, c.Rank(), i, x[i], want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := g.TotalCounters().BytesSent; b != 0 {
+			t.Errorf("K=%d: vector all-reduce counted %d payload bytes; reductions are sync-only", k, b)
+		}
+	}
+}
+
+func TestAllreduceSumVecRepeatedCalls(t *testing.T) {
+	// The scratch buffers must not leak state between collectives.
+	g, _ := NewGroup(4, Transpose)
+	err := g.Run(func(c *Comm) error {
+		for iter := 0; iter < 3; iter++ {
+			x := []float64{float64(c.Rank()), 1}
+			if err := c.AllreduceSumVec(x); err != nil {
+				return err
+			}
+			if x[0] != 6 || x[1] != 4 {
+				return fmt.Errorf("iter %d rank %d: got %v", iter, c.Rank(), x)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvPairs(t *testing.T) {
+	// Ranks pair as r ↔ r^1: each receives the partner's payload.
+	g, _ := NewGroup(4, Transpose)
+	err := g.Run(func(c *Comm) error {
+		buf := []complex128{complex(float64(c.Rank()), 0), complex(0, float64(c.Rank()))}
+		recv := make([]complex128, 2)
+		if err := c.Sendrecv(c.Rank()^1, buf, recv); err != nil {
+			return err
+		}
+		want := float64(c.Rank() ^ 1)
+		if recv[0] != complex(want, 0) || recv[1] != complex(0, want) {
+			return fmt.Errorf("rank %d received %v", c.Rank(), recv)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := g.TotalCounters()
+	if total.Messages != 4 || total.BytesSent != 4*2*16 {
+		t.Errorf("counters = %+v, want 4 messages / %d bytes", total, 4*2*16)
+	}
+}
+
+func TestSendrecvIdleRanks(t *testing.T) {
+	// Ranks 0,3 exchange; 1,2 sit out (partner −1) but synchronize.
+	g, _ := NewGroup(4, Transpose)
+	err := g.Run(func(c *Comm) error {
+		partner := -1
+		switch c.Rank() {
+		case 0:
+			partner = 3
+		case 3:
+			partner = 0
+		}
+		buf := []complex128{complex(float64(c.Rank()), 0)}
+		recv := make([]complex128, 1)
+		if err := c.Sendrecv(partner, buf, recv); err != nil {
+			return err
+		}
+		if partner >= 0 && recv[0] != complex(float64(partner), 0) {
+			return fmt.Errorf("rank %d received %v", c.Rank(), recv[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Counters(1).Messages != 0 || g.Counters(1).BytesSent != 0 {
+		t.Errorf("idle rank counted traffic: %+v", g.Counters(1))
+	}
+	if g.Counters(0).Messages != 1 {
+		t.Errorf("active rank counters: %+v", g.Counters(0))
+	}
+	if g.Counters(1).Syncs != 2 {
+		t.Errorf("idle rank syncs = %d, want 2", g.Counters(1).Syncs)
+	}
+}
+
+func TestSendrecvSelfIsNoop(t *testing.T) {
+	g, _ := NewGroup(2, Transpose)
+	err := g.Run(func(c *Comm) error {
+		buf := []complex128{complex(float64(c.Rank()), 0)}
+		recv := []complex128{42}
+		if err := c.Sendrecv(c.Rank(), buf, recv); err != nil {
+			return err
+		}
+		if recv[0] != 42 {
+			return fmt.Errorf("self exchange wrote recv: %v", recv[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalCounters().Messages != 0 {
+		t.Error("self exchange counted a message")
+	}
+}
+
+func TestSendrecvBadPartnerDoesNotStrand(t *testing.T) {
+	// One rank naming an out-of-range partner must surface an error
+	// through Run, not deadlock the peers at the barrier.
+	g, _ := NewGroup(4, Transpose)
+	done := make(chan error, 1)
+	go func() {
+		done <- g.Run(func(c *Comm) error {
+			partner := c.Rank() ^ 1
+			if c.Rank() == 0 {
+				partner = 99
+			}
+			buf := []complex128{1}
+			recv := make([]complex128, 1)
+			return c.Sendrecv(partner, buf, recv)
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("out-of-range partner accepted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("group deadlocked on invalid partner")
+	}
+}

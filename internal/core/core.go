@@ -395,6 +395,24 @@ func ringSweep(n int) []graphs.Edge {
 	return out
 }
 
+// MixerSweepEdges returns the ordered edge list one Trotter step of
+// mixer m sweeps over n qubits (nil for MixerX, which has no edges).
+// The xy factors on edges sharing a qubit do not commute, so any
+// engine claiming bit-compatibility with this package — in particular
+// the distributed simulator — must apply them in exactly this order.
+func MixerSweepEdges(n int, m Mixer) ([]graphs.Edge, error) {
+	switch m {
+	case MixerX:
+		return nil, nil
+	case MixerXYRing:
+		return ringSweep(n), nil
+	case MixerXYComplete:
+		return completeSweep(n), nil
+	default:
+		return nil, fmt.Errorf("core: unknown mixer %v", m)
+	}
+}
+
 // completeSweep orders all pairs lexicographically (one Trotter step
 // of the xy-complete mixer).
 func completeSweep(n int) []graphs.Edge {

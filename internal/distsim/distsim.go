@@ -8,15 +8,27 @@
 //   - the phase operator and the cost-diagonal precomputation touch
 //     only local data (each rank computed its diagonal slice from the
 //     terms with PrecomputeRange — no communication, §III-A locality),
-//   - the mixer applies Algorithm 1 to the n−k local qubits, performs
-//     one all-to-all (which transposes the rank bits with the top k
-//     local bits), applies the remaining k rotations — now local, at
-//     positions n−2k…n−k−1 — and restores the layout with a second
-//     all-to-all.
+//   - the transverse-field mixer applies Algorithm 1 to the n−k local
+//     qubits, performs one all-to-all (which transposes the rank bits
+//     with the top k local bits), applies the remaining k rotations —
+//     now local, at positions n−2k…n−k−1 — and restores the layout
+//     with a second all-to-all,
+//   - the xy mixers sweep their edge list in the exact single-node
+//     order (core.MixerSweepEdges): edges between local qubits run the
+//     single-node SU(4) kernel; an edge touching a global qubit
+//     couples each amplitude to one on exactly one partner rank (the
+//     rank id with that qubit's bit flipped), so it costs one
+//     point-to-point slice exchange (cluster.Comm.Sendrecv, the
+//     cuStateVec index-bit-swap pattern) instead of an all-to-all.
 //
 // The objective is one local partial inner product plus an all-reduce.
 // Algorithm 4 requires 2k ≤ n so each all-to-all subchunk holds at
 // least one amplitude.
+//
+// grad.go extends the pipeline to adjoint-mode gradients: the sharded
+// ket and cost-weighted bra walk backwards through exact layer
+// inverses, with per-layer derivative partials combined by one vector
+// all-reduce (Comm.AllreduceSumVec) — communication stays mixer-shaped.
 package distsim
 
 import (
@@ -27,6 +39,7 @@ import (
 	"qokit/internal/cluster"
 	"qokit/internal/core"
 	"qokit/internal/costvec"
+	"qokit/internal/graphs"
 	"qokit/internal/poly"
 	"qokit/internal/statevec"
 )
@@ -41,9 +54,47 @@ type Options struct {
 	// Gather controls whether the full state vector is assembled on
 	// return (the mpi_gather=True output mode of Listing 3).
 	Gather bool
-	// Mixer must be MixerX; the distributed implementation covers the
-	// transverse-field mixer, as in the paper's large-scale runs.
+	// Mixer selects the mixing operator: the transverse-field mixer
+	// (Algorithm 4, as in the paper's large-scale runs) or one of the
+	// Hamming-weight-preserving xy mixers, distributed by per-edge
+	// partner exchanges.
 	Mixer core.Mixer
+	// HammingWeight is the Dicke initial-state weight for the xy
+	// mixers (≤ 0 selects n/2, matching the single-node default).
+	// Ignored for MixerX.
+	HammingWeight int
+}
+
+// validate checks the option set against the problem size and resolves
+// k = log2(Ranks). Every violation names the offending Options field.
+func (o Options) validate(n int) (k int, err error) {
+	if o.Ranks < 1 {
+		return 0, fmt.Errorf("distsim: Options.Ranks=%d must be ≥ 1", o.Ranks)
+	}
+	if bits.OnesCount(uint(o.Ranks)) != 1 {
+		return 0, fmt.Errorf("distsim: Options.Ranks=%d must be a power of two", o.Ranks)
+	}
+	k = bits.TrailingZeros(uint(o.Ranks))
+	if 2*k > n {
+		return 0, fmt.Errorf("distsim: Options.Ranks=%d requires 2·log2(Ranks) ≤ n (Algorithm 4), got k=%d for n=%d", o.Ranks, k, n)
+	}
+	switch o.Mixer {
+	case core.MixerX, core.MixerXYRing, core.MixerXYComplete:
+	default:
+		return 0, fmt.Errorf("distsim: Options.Mixer=%v unknown", o.Mixer)
+	}
+	if o.Mixer != core.MixerX && o.HammingWeight > n {
+		return 0, fmt.Errorf("distsim: Options.HammingWeight=%d exceeds n=%d", o.HammingWeight, n)
+	}
+	return k, nil
+}
+
+// hammingWeight resolves the Dicke weight the options select.
+func (o Options) hammingWeight(n int) int {
+	if o.HammingWeight > 0 {
+		return o.HammingWeight
+	}
+	return n / 2
 }
 
 // Result carries the distributed outputs plus per-run communication
@@ -69,10 +120,11 @@ func SimulateQAOA(n int, terms poly.Terms, gamma, beta []float64, opts Options) 
 	if len(gamma) != len(beta) {
 		return nil, fmt.Errorf("distsim: len(gamma)=%d != len(beta)=%d", len(gamma), len(beta))
 	}
-	if opts.Mixer != core.MixerX {
-		return nil, fmt.Errorf("distsim: only the transverse-field mixer is distributed (got %v)", opts.Mixer)
+	k, err := opts.validate(n)
+	if err != nil {
+		return nil, err
 	}
-	k, err := checkRanks(n, opts.Ranks)
+	edges, err := core.MixerSweepEdges(n, opts.Mixer)
 	if err != nil {
 		return nil, err
 	}
@@ -84,6 +136,8 @@ func SimulateQAOA(n int, terms poly.Terms, gamma, beta []float64, opts Options) 
 
 	localN := n - k
 	localSize := 1 << uint(localN)
+	hw := opts.hammingWeight(n)
+	restrict := opts.Mixer != core.MixerX
 	res := &Result{}
 	locals := make([]statevec.Vec, opts.Ranks)
 	expectParts := make([]float64, opts.Ranks)
@@ -98,16 +152,21 @@ func SimulateQAOA(n int, terms poly.Terms, gamma, beta []float64, opts Options) 
 		diag := make([]float64, localSize)
 		costvec.PrecomputeRange(compiled, offset, diag)
 
-		// Local slice of |+⟩^n.
+		// Local slice of the initial state (|+⟩^n or the Dicke shard).
 		local := make(statevec.Vec, localSize)
-		amp := complex(1/math.Sqrt(float64(uint64(1)<<uint(n))), 0)
-		for i := range local {
-			local[i] = amp
+		initLocalState(local, n, rank, opts.Mixer, hw)
+		var recv statevec.Vec
+		if restrict {
+			recv = make(statevec.Vec, localSize)
 		}
 
 		for l := range gamma {
 			statevec.PhaseDiag(local, diag, gamma[l])
-			if err := distributedMixer(c, local, n, k, beta[l]); err != nil {
+			if opts.Mixer == core.MixerX {
+				if err := distributedMixer(c, local, n, k, beta[l]); err != nil {
+					return err
+				}
+			} else if err := distributedMixerXY(c, local, recv, localN, edges, beta[l]); err != nil {
 				return err
 			}
 		}
@@ -115,12 +174,26 @@ func SimulateQAOA(n int, terms poly.Terms, gamma, beta []float64, opts Options) 
 		// Objective: local partial sums + all-reduce.
 		expectParts[rank] = c.AllreduceSum(statevec.ExpectationDiag(local, diag))
 
-		// Ground states: global minimum, then local overlap mass.
-		localMin, _ := costvec.MinMax(diag)
+		// Ground states: global (feasible-subspace) minimum, then local
+		// overlap mass. The xy mixers never leave the fixed-Hamming-
+		// weight subspace, so their argmin search is restricted to it,
+		// matching the single-node simulator.
+		localMin := math.Inf(1)
+		for i, v := range diag {
+			if restrict && bits.OnesCount64(offset+uint64(i)) != hw {
+				continue
+			}
+			if v < localMin {
+				localMin = v
+			}
+		}
 		globalMin := c.AllreduceMin(localMin)
 		minParts[rank] = globalMin
 		var ov float64
 		for i, v := range diag {
+			if restrict && bits.OnesCount64(offset+uint64(i)) != hw {
+				continue
+			}
 			if v <= globalMin+1e-9 {
 				a := local[i]
 				ov += real(a)*real(a) + imag(a)*imag(a)
@@ -154,6 +227,43 @@ func SimulateQAOA(n int, terms poly.Terms, gamma, beta []float64, opts Options) 
 	return res, nil
 }
 
+// initLocalState fills rank's slice of the QAOA initial state: the
+// uniform superposition for the transverse-field mixer, or the Dicke
+// state |D^n_hw⟩ shard for the xy mixers — entries whose full index
+// (global rank bits ‖ local index) has Hamming weight hw.
+func initLocalState(v statevec.Vec, n, rank int, mixer core.Mixer, hw int) {
+	if mixer == core.MixerX {
+		amp := complex(1/math.Sqrt(float64(uint64(1)<<uint(n))), 0)
+		for i := range v {
+			v[i] = amp
+		}
+		return
+	}
+	need := hw - bits.OnesCount(uint(rank))
+	amp := complex(1/math.Sqrt(float64(binomial(n, hw))), 0)
+	for i := range v {
+		if bits.OnesCount(uint(i)) == need {
+			v[i] = amp
+		} else {
+			v[i] = 0
+		}
+	}
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+	}
+	return c
+}
+
 // distributedMixer is Algorithm 4: local sweeps, transpose, global
 // sweeps (now local), transpose back.
 func distributedMixer(c *cluster.Comm, local statevec.Vec, n, k int, beta float64) error {
@@ -176,18 +286,112 @@ func distributedMixer(c *cluster.Comm, local statevec.Vec, n, k int, beta float6
 	return c.Alltoall(local)
 }
 
-// MixerOnly runs just the distributed mixer once on a caller-provided
-// distributed state (one slice per rank, modified in place) and
-// returns the group counters. It is the kernel benchmarked by the
-// weak-scaling experiment (Fig. 5 measures one LABS layer, which is
-// dominated by this collective pattern).
+// distributedMixerXY applies one Trotter step of an xy mixer to the
+// sharded state, sweeping edges in the exact single-node order. Local
+// edges are communication-free; each edge touching a global qubit
+// costs one slice exchange with the partner rank.
+func distributedMixerXY(c *cluster.Comm, local, recv statevec.Vec, localN int, edges []graphs.Edge, beta float64) error {
+	s64, c64 := math.Sincos(beta)
+	cc, ss := complex(c64, 0), complex(0, -s64)
+	for _, e := range edges {
+		u, v := orderEdge(e)
+		if v < localN {
+			statevec.ApplyXY(local, u, v, beta)
+			continue
+		}
+		partner, uMask, selMask, selVal := xyEdgePlan(c.Rank(), localN, u, v)
+		if err := c.Sendrecv(partner, local, recv); err != nil {
+			return err
+		}
+		if partner >= 0 {
+			applyRemotePairs(local, recv, uMask, selMask, selVal, cc, ss)
+		}
+	}
+	return nil
+}
+
+// orderEdge returns the edge's qubits with u < v (the xy factor is
+// symmetric in its qubits, so normalizing loses nothing).
+func orderEdge(e graphs.Edge) (u, v int) {
+	if e.U < e.V {
+		return e.U, e.V
+	}
+	return e.V, e.U
+}
+
+// xyEdgePlan maps an xy edge with at least one global qubit
+// (u < v, v ≥ localN) onto this rank's exchange: the partner rank
+// holding the paired amplitudes, the local-index bit flip between
+// pair halves (uMask), and the selector (selMask, selVal) of the
+// entries this rank owns and updates. partner < 0 means the edge acts
+// as the identity on this rank's amplitudes (both of the edge's rank
+// bits agree: the |00⟩/|11⟩ subspace); such ranks still join the
+// exchange's synchronization but move no data.
+//
+// The xy factor rotates each (|…1_u…0_v…⟩, |…0_u…1_v…⟩) amplitude
+// pair by the symmetric matrix [[cos β, −i sin β], [−i sin β, cos β]]
+// — symmetry is what lets one formula (local ← c·local + s·remote)
+// cover both halves of every pair.
+func xyEdgePlan(rank, localN, u, v int) (partner, uMask, selMask, selVal int) {
+	jb := 1 << uint(v-localN)
+	if u < localN {
+		// Half-remote: u stays a local bit, v is rank bit j. A rank
+		// with v-bit b owns the pair halves whose u-bit is 1−b.
+		partner = rank ^ jb
+		uMask = 1 << uint(u)
+		selMask = uMask
+		if rank&jb == 0 {
+			selVal = uMask
+		}
+		return partner, uMask, selMask, selVal
+	}
+	ib := 1 << uint(u-localN)
+	if (rank&ib != 0) == (rank&jb != 0) {
+		return -1, 0, 0, 0
+	}
+	// Both qubits are rank bits: the paired amplitude sits at the same
+	// local index on the rank with both bits flipped.
+	return rank ^ ib ^ jb, 0, 0, 0
+}
+
+// applyRemotePairs rotates the selected amplitude pairs (local[x],
+// remote[x^uMask]) by [[cc, ss], [ss, cc]], writing only the local
+// half — the partner rank runs the same kernel for the other half.
+func applyRemotePairs(local, remote statevec.Vec, uMask, selMask, selVal int, cc, ss complex128) {
+	for x := range local {
+		if x&selMask == selVal {
+			local[x] = cc*local[x] + ss*remote[x^uMask]
+		}
+	}
+}
+
+// imDotRemotePairs accumulates this rank's half of Im ⟨λ|H_e|ψ⟩ for a
+// global-touching xy edge: the terms whose λ index is local, against
+// the partner's exchanged ψ slice. Summed over ranks (the gradient's
+// vector all-reduce) the halves reassemble statevec.ImDotXY exactly.
+func imDotRemotePairs(lam, psiRemote statevec.Vec, uMask, selMask, selVal int) float64 {
+	var s float64
+	for x := range lam {
+		if x&selMask == selVal {
+			p := psiRemote[x^uMask]
+			s += real(lam[x])*imag(p) - imag(lam[x])*real(p)
+		}
+	}
+	return s
+}
+
+// MixerOnly runs just the distributed transverse-field mixer once on a
+// caller-provided distributed state (one slice per rank, modified in
+// place) and returns the group counters. It is the kernel benchmarked
+// by the weak-scaling experiment (Fig. 5 measures one LABS layer,
+// which is dominated by this collective pattern).
 func MixerOnly(n int, ranks int, algo cluster.AlltoallAlgo, slices []statevec.Vec, beta float64) (cluster.Counters, error) {
-	k, err := checkRanks(n, ranks)
+	k, err := Options{Ranks: ranks, Algo: algo}.validate(n)
 	if err != nil {
 		return cluster.Counters{}, err
 	}
 	if len(slices) != ranks {
-		return cluster.Counters{}, fmt.Errorf("distsim: %d slices for %d ranks", len(slices), ranks)
+		return cluster.Counters{}, fmt.Errorf("distsim: len(slices)=%d != Options.Ranks=%d", len(slices), ranks)
 	}
 	g, err := cluster.NewGroup(ranks, algo)
 	if err != nil {
@@ -200,18 +404,4 @@ func MixerOnly(n int, ranks int, algo cluster.AlltoallAlgo, slices []statevec.Ve
 		return cluster.Counters{}, err
 	}
 	return g.TotalCounters(), nil
-}
-
-func checkRanks(n, ranks int) (k int, err error) {
-	if ranks < 1 {
-		return 0, fmt.Errorf("distsim: ranks=%d < 1", ranks)
-	}
-	if bits.OnesCount(uint(ranks)) != 1 {
-		return 0, fmt.Errorf("distsim: ranks=%d must be a power of two", ranks)
-	}
-	k = bits.TrailingZeros(uint(ranks))
-	if 2*k > n {
-		return 0, fmt.Errorf("distsim: Algorithm 4 requires 2·log2(K) ≤ n, got K=%d (k=%d) for n=%d", ranks, k, n)
-	}
-	return k, nil
 }

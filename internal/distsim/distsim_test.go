@@ -103,11 +103,79 @@ func TestValidation(t *testing.T) {
 	if _, err := SimulateQAOA(4, ts, []float64{1}, []float64{1, 2}, Options{Ranks: 2}); err == nil {
 		t.Error("mismatched angles accepted")
 	}
-	if _, err := SimulateQAOA(4, ts, []float64{1}, []float64{1}, Options{Ranks: 2, Mixer: core.MixerXYRing}); err == nil {
-		t.Error("xy mixer accepted by distributed simulator")
+	if _, err := SimulateQAOA(4, ts, []float64{1}, []float64{1}, Options{Ranks: 2, Mixer: core.Mixer(42)}); err == nil {
+		t.Error("unknown mixer accepted by distributed simulator")
 	}
 	if _, err := SimulateQAOA(4, ts, nil, nil, Options{Ranks: 0}); err == nil {
 		t.Error("zero ranks accepted")
+	}
+}
+
+// TestDistributedXYMatchesSingleNode verifies the xy-mixer extension
+// of the forward pipeline: sharded evolution with per-edge partner
+// exchanges reproduces the single-node xy simulators — state,
+// expectation, feasible-subspace overlap, and restricted minimum.
+func TestDistributedXYMatchesSingleNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	n, p := 8, 3
+	g, err := graphs.RandomRegular(n, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := problems.MaxCutTerms(g)
+	gamma := make([]float64, p)
+	beta := make([]float64, p)
+	for i := range gamma {
+		gamma[i] = rng.Float64() - 0.5
+		beta[i] = rng.Float64() - 0.5
+	}
+	for _, mixer := range []core.Mixer{core.MixerXYRing, core.MixerXYComplete} {
+		single, err := core.New(n, ts, core.Options{Backend: core.BackendSerial, Mixer: mixer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := single.SimulateQAOA(gamma, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refState := ref.StateVector()
+		for _, k := range []int{1, 2, 4, 8, 16} {
+			res, err := SimulateQAOA(n, ts, gamma, beta, Options{Ranks: k, Algo: cluster.Transpose, Mixer: mixer, Gather: true})
+			if err != nil {
+				t.Fatalf("%v K=%d: %v", mixer, k, err)
+			}
+			if d := statevec.MaxAbsDiff(res.State, refState); d > 1e-11 {
+				t.Errorf("%v K=%d: state differs by %g", mixer, k, d)
+			}
+			if math.Abs(res.Expectation-ref.Expectation()) > 1e-9 {
+				t.Errorf("%v K=%d: expectation %v, want %v", mixer, k, res.Expectation, ref.Expectation())
+			}
+			if math.Abs(res.Overlap-ref.Overlap()) > 1e-9 {
+				t.Errorf("%v K=%d: overlap %v, want %v", mixer, k, res.Overlap, ref.Overlap())
+			}
+			if math.Abs(res.MinCost-single.MinCost()) > 1e-9 {
+				t.Errorf("%v K=%d: min cost %v, want %v", mixer, k, res.MinCost, single.MinCost())
+			}
+		}
+	}
+	// A non-default Hamming weight must track the single-node option.
+	single, err := core.New(n, ts, core.Options{Backend: core.BackendSerial, Mixer: core.MixerXYRing, HammingWeight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := single.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateQAOA(n, ts, gamma, beta, Options{Ranks: 4, Mixer: core.MixerXYRing, HammingWeight: 3, Gather: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := statevec.MaxAbsDiff(res.State, ref.StateVector()); d > 1e-11 {
+		t.Errorf("HammingWeight=3: state differs by %g", d)
+	}
+	if math.Abs(res.Overlap-ref.Overlap()) > 1e-9 {
+		t.Errorf("HammingWeight=3: overlap %v, want %v", res.Overlap, ref.Overlap())
 	}
 }
 

@@ -1,0 +1,368 @@
+// Distributed adjoint-mode gradients: the exact ∂E/∂γ_ℓ, ∂E/∂β_ℓ of
+// the QAOA objective, evaluated on the state vector sharded over the
+// in-process cluster. The algorithm is core.SimulateQAOAGradInto run
+// per rank: one forward pass fills the sharded ket ψ, the bra is
+// seeded locally as λ = Ĉψ (the diagonal is already sharded), and both
+// states walk backwards through exact layer inverses with every
+// reduction evaluated on the local slice — the PR 2 derivative kernels
+// ImDotDiag/ImDotXAll (plus ImDotXRange for the transposed global
+// qubits, and the partner-exchange xy reductions). Per-layer partials
+// accumulate rank-locally; one vector all-reduce
+// (cluster.Comm.AllreduceSumVec) at the end combines all 2p of them.
+//
+// Communication therefore stays mixer-shaped: the reverse pass replays
+// the forward mixer's collectives once per state (two states ⇒ exactly
+// 3× the forward mixer traffic in bytes and messages), and the only
+// additions are the energy's scalar all-reduce and the gradient's one
+// vector all-reduce — both accounted as synchronization, not payload.
+// This is the paper's locality analysis (§III-C) carried over to the
+// reverse pass: phase, diagonal seeding, and every derivative
+// reduction are communication-free.
+package distsim
+
+import (
+	"fmt"
+	"math"
+
+	"qokit/internal/cluster"
+	"qokit/internal/core"
+	"qokit/internal/costvec"
+	"qokit/internal/graphs"
+	"qokit/internal/poly"
+	"qokit/internal/statevec"
+)
+
+// GradEngine evaluates distributed energies and exact adjoint
+// gradients for one problem instance: the cluster group, per-rank
+// diagonal slices, and per-rank state buffers are built once and
+// reused by every evaluation, so a warmed-up optimizer loop performs
+// no per-evaluation state-vector allocations. An engine is bound to
+// one problem the way core.Simulator is; unlike the sweep engines it
+// is NOT safe for concurrent use — each evaluation owns every rank
+// buffer (parallelism comes from the ranks themselves).
+type GradEngine struct {
+	n, k, hw int
+	opts     Options
+	group    *cluster.Group
+	edges    []graphs.Edge
+
+	diags [][]float64
+	psi   []statevec.Vec
+	lam   []statevec.Vec
+	// recvPsi/recvLam are the per-rank Sendrecv scratch slices the xy
+	// partner exchanges land in (nil for the transverse-field mixer,
+	// whose collectives are in-place all-to-alls).
+	recvPsi []statevec.Vec
+	recvLam []statevec.Vec
+	// flat is the per-rank [∂γ…, ∂β…] partial buffer the final vector
+	// all-reduce combines, grown to 2p on first use.
+	flat [][]float64
+}
+
+// NewGradEngine builds a distributed gradient engine for an n-qubit
+// problem given as polynomial terms: each rank's diagonal slice is
+// precomputed locally (no communication), and two state buffers per
+// rank are allocated for the adjoint pair.
+func NewGradEngine(n int, terms poly.Terms, opts Options) (*GradEngine, error) {
+	if err := terms.Validate(n); err != nil {
+		return nil, err
+	}
+	k, err := opts.validate(n)
+	if err != nil {
+		return nil, err
+	}
+	edges, err := core.MixerSweepEdges(n, opts.Mixer)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cluster.NewGroup(opts.Ranks, opts.Algo)
+	if err != nil {
+		return nil, err
+	}
+	compiled := poly.Compile(terms)
+	localN := n - k
+	localSize := 1 << uint(localN)
+	e := &GradEngine{
+		n: n, k: k, hw: opts.hammingWeight(n),
+		opts:  opts,
+		group: g,
+		edges: edges,
+		diags: make([][]float64, opts.Ranks),
+		psi:   make([]statevec.Vec, opts.Ranks),
+		lam:   make([]statevec.Vec, opts.Ranks),
+		flat:  make([][]float64, opts.Ranks),
+	}
+	if opts.Mixer != core.MixerX {
+		e.recvPsi = make([]statevec.Vec, opts.Ranks)
+		e.recvLam = make([]statevec.Vec, opts.Ranks)
+	}
+	for r := 0; r < opts.Ranks; r++ {
+		diag := make([]float64, localSize)
+		costvec.PrecomputeRange(compiled, uint64(r)<<uint(localN), diag)
+		e.diags[r] = diag
+		e.psi[r] = make(statevec.Vec, localSize)
+		e.lam[r] = make(statevec.Vec, localSize)
+		if opts.Mixer != core.MixerX {
+			e.recvPsi[r] = make(statevec.Vec, localSize)
+			e.recvLam[r] = make(statevec.Vec, localSize)
+		}
+	}
+	return e, nil
+}
+
+// NumQubits returns n.
+func (e *GradEngine) NumQubits() int { return e.n }
+
+// Ranks returns K, the number of simulated nodes.
+func (e *GradEngine) Ranks() int { return e.opts.Ranks }
+
+// Counters returns the summed communication counters accumulated over
+// every evaluation so far (critical-path wall time across ranks).
+func (e *GradEngine) Counters() cluster.Counters { return e.group.TotalCounters() }
+
+// RankCounters returns rank r's accumulated counters.
+func (e *GradEngine) RankCounters(r int) cluster.Counters { return e.group.Counters(r) }
+
+// EnergyGrad evaluates E(γ,β) on the sharded state and writes the
+// exact adjoint gradients ∂E/∂γ_ℓ, ∂E/∂β_ℓ into gradGamma and
+// gradBeta (length p each). The result is identical (to floating-point
+// reassociation) to core.SimulateQAOAGrad on a single node.
+func (e *GradEngine) EnergyGrad(gamma, beta, gradGamma, gradBeta []float64) (float64, error) {
+	p := len(gamma)
+	if len(beta) != p {
+		return 0, fmt.Errorf("distsim: len(gamma)=%d != len(beta)=%d", p, len(beta))
+	}
+	if len(gradGamma) != p || len(gradBeta) != p {
+		return 0, fmt.Errorf("distsim: gradient storage lengths (%d, %d) do not match depth p=%d",
+			len(gradGamma), len(gradBeta), p)
+	}
+	var energy float64
+	err := e.group.Run(func(c *cluster.Comm) error {
+		rank := c.Rank()
+		psi, lam, diag := e.psi[rank], e.lam[rank], e.diags[rank]
+
+		// Forward pass: evolve the sharded ket.
+		initLocalState(psi, e.n, rank, e.opts.Mixer, e.hw)
+		for l := 0; l < p; l++ {
+			statevec.PhaseDiag(psi, diag, gamma[l])
+			if err := e.forwardMixer(c, psi, rank, beta[l]); err != nil {
+				return err
+			}
+		}
+		eAll := c.AllreduceSum(statevec.ExpectationDiag(psi, diag))
+		if rank == 0 {
+			energy = eAll
+		}
+
+		// Seed the bra: λ = Ĉψ is elementwise against the local slice.
+		copy(lam, psi)
+		statevec.MulDiag(lam, diag)
+
+		// Reverse pass: per-layer partials accumulate rank-locally.
+		flat := e.flatBuffer(rank, 2*p)
+		gG, gB := flat[:p], flat[p:]
+		for l := p - 1; l >= 0; l-- {
+			d, err := e.reverseMixer(c, psi, lam, rank, beta[l])
+			if err != nil {
+				return err
+			}
+			gB[l] = 2 * d
+			gG[l] = 2 * statevec.ImDotDiag(lam, psi, diag)
+			if l > 0 {
+				statevec.PhaseDiag(psi, diag, -gamma[l])
+				statevec.PhaseDiag(lam, diag, -gamma[l])
+			}
+		}
+
+		// One vector all-reduce combines every per-layer partial.
+		if err := c.AllreduceSumVec(flat); err != nil {
+			return err
+		}
+		if rank == 0 {
+			copy(gradGamma, flat[:p])
+			copy(gradBeta, flat[p:])
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return energy, nil
+}
+
+// forwardMixer applies one mixer layer to a sharded state.
+func (e *GradEngine) forwardMixer(c *cluster.Comm, state statevec.Vec, rank int, beta float64) error {
+	if e.opts.Mixer == core.MixerX {
+		return distributedMixer(c, state, e.n, e.k, beta)
+	}
+	return distributedMixerXY(c, state, e.recvPsi[rank], e.n-e.k, e.edges, beta)
+}
+
+// reverseMixer accumulates this rank's share of Im ⟨λ|∂B/∂β·B†|…⟩ for
+// one layer and rewinds both states through the exact mixer inverse,
+// mirroring core's mixerDerivUndo on the sharded pair.
+func (e *GradEngine) reverseMixer(c *cluster.Comm, psi, lam statevec.Vec, rank int, beta float64) (float64, error) {
+	if e.opts.Mixer == core.MixerX {
+		return reverseMixerX(c, psi, lam, e.n, e.k, beta)
+	}
+	return reverseMixerXY(c, psi, lam, e.recvPsi[rank], e.recvLam[rank], e.n-e.k, e.edges, beta)
+}
+
+func (e *GradEngine) flatBuffer(rank, size int) []float64 {
+	if cap(e.flat[rank]) < size {
+		e.flat[rank] = make([]float64, size)
+	}
+	return e.flat[rank][:size]
+}
+
+// reverseMixerX is the transverse-field reverse sweep: the local-qubit
+// derivative reduction runs in the sharded layout, the k global-qubit
+// terms in the transposed layout — reusing the forward mixer's
+// all-to-all exchange, once per state. Every X_q commutes with the
+// whole mixer product, so splitting the reduction across the partial
+// undo is an exact operator identity, not an approximation.
+func reverseMixerX(c *cluster.Comm, psi, lam statevec.Vec, n, k int, beta float64) (float64, error) {
+	s, cs := math.Sincos(-beta)
+	a, b := complex(cs, 0), complex(0, -s)
+	localN := n - k
+	d := statevec.ImDotXAll(lam, psi)
+	for q := 0; q < localN; q++ {
+		statevec.ApplySU2(psi, q, a, b)
+		statevec.ApplySU2(lam, q, a, b)
+	}
+	if k == 0 {
+		return d, nil
+	}
+	if err := c.Alltoall(psi); err != nil {
+		return 0, err
+	}
+	if err := c.Alltoall(lam); err != nil {
+		return 0, err
+	}
+	// Global qubit j now lives at local bit localN−k+j (Algorithm 4).
+	d += statevec.ImDotXRange(lam, psi, localN-k, localN)
+	for j := 0; j < k; j++ {
+		statevec.ApplySU2(psi, localN-k+j, a, b)
+		statevec.ApplySU2(lam, localN-k+j, a, b)
+	}
+	if err := c.Alltoall(psi); err != nil {
+		return 0, err
+	}
+	if err := c.Alltoall(lam); err != nil {
+		return 0, err
+	}
+	return d, nil
+}
+
+// reverseMixerXY interleaves one edge reduction with one edge undo in
+// reverse application order (the xy factors do not commute), exactly
+// as the single-node engine does. Each global-touching edge exchanges
+// both states' slices with the partner rank — the same Sendrecv the
+// forward sweep uses, twice.
+func reverseMixerXY(c *cluster.Comm, psi, lam, recvPsi, recvLam statevec.Vec, localN int, edges []graphs.Edge, beta float64) (float64, error) {
+	s64, c64 := math.Sincos(-beta)
+	cc, ss := complex(c64, 0), complex(0, -s64)
+	var d float64
+	for i := len(edges) - 1; i >= 0; i-- {
+		u, v := orderEdge(edges[i])
+		if v < localN {
+			d += statevec.ImDotXY(lam, psi, u, v)
+			statevec.ApplyXY(psi, u, v, -beta)
+			statevec.ApplyXY(lam, u, v, -beta)
+			continue
+		}
+		partner, uMask, selMask, selVal := xyEdgePlan(c.Rank(), localN, u, v)
+		if err := c.Sendrecv(partner, psi, recvPsi); err != nil {
+			return 0, err
+		}
+		if err := c.Sendrecv(partner, lam, recvLam); err != nil {
+			return 0, err
+		}
+		if partner >= 0 {
+			d += imDotRemotePairs(lam, recvPsi, uMask, selMask, selVal)
+			applyRemotePairs(psi, recvPsi, uMask, selMask, selVal, cc, ss)
+			applyRemotePairs(lam, recvLam, uMask, selMask, selVal, cc, ss)
+		}
+	}
+	return d, nil
+}
+
+// FlatObjective adapts the engine into a value-and-gradient objective
+// over the flat parameter vector [γ₀…γ_{p−1}, β₀…β_{p−1}] — the form
+// internal/optimize's gradient optimizers consume, so optimize.Adam
+// runs unchanged against the sharded state. The first simulator error
+// is latched into *simErr; subsequent calls return 0 without
+// evaluating. This mirrors internal/grad.Engine.FlatObjective.
+func (e *GradEngine) FlatObjective(simErr *error) func(x, g []float64) float64 {
+	return func(x, g []float64) float64 {
+		if *simErr != nil {
+			return 0
+		}
+		if len(x)%2 != 0 || len(g) != len(x) {
+			*simErr = fmt.Errorf("distsim: flat objective needs even len(x) with len(g)=len(x), got %d/%d", len(x), len(g))
+			return 0
+		}
+		p := len(x) / 2
+		v, err := e.EnergyGrad(x[:p], x[p:], g[:p], g[p:])
+		if err != nil {
+			*simErr = err
+			return 0
+		}
+		return v
+	}
+}
+
+// GradResult carries one distributed gradient evaluation's outputs
+// plus the run's communication counters.
+type GradResult struct {
+	Energy    float64
+	GradGamma []float64
+	GradBeta  []float64
+	// Comm is the summed traffic with critical-path wall time.
+	Comm cluster.Counters
+	// PerRank holds each rank's counters.
+	PerRank []cluster.Counters
+}
+
+// SimulateQAOAGrad evaluates the distributed energy and exact adjoint
+// gradient with a fresh engine. Optimizer loops should build one
+// GradEngine (or use FlatObjective) and call EnergyGrad instead.
+func SimulateQAOAGrad(n int, terms poly.Terms, gamma, beta []float64, opts Options) (*GradResult, error) {
+	gradGamma := make([]float64, len(gamma))
+	gradBeta := make([]float64, len(beta))
+	energy, comm, perRank, err := simulateGradInto(n, terms, gamma, beta, gradGamma, gradBeta, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &GradResult{
+		Energy:    energy,
+		GradGamma: gradGamma,
+		GradBeta:  gradBeta,
+		Comm:      comm,
+		PerRank:   perRank,
+	}, nil
+}
+
+// SimulateQAOAGradInto is SimulateQAOAGrad writing into caller-owned
+// gradient storage (length p each); it returns the energy and the
+// run's summed communication counters.
+func SimulateQAOAGradInto(n int, terms poly.Terms, gamma, beta, gradGamma, gradBeta []float64, opts Options) (float64, cluster.Counters, error) {
+	energy, comm, _, err := simulateGradInto(n, terms, gamma, beta, gradGamma, gradBeta, opts)
+	return energy, comm, err
+}
+
+func simulateGradInto(n int, terms poly.Terms, gamma, beta, gradGamma, gradBeta []float64, opts Options) (float64, cluster.Counters, []cluster.Counters, error) {
+	eng, err := NewGradEngine(n, terms, opts)
+	if err != nil {
+		return 0, cluster.Counters{}, nil, err
+	}
+	energy, err := eng.EnergyGrad(gamma, beta, gradGamma, gradBeta)
+	if err != nil {
+		return 0, cluster.Counters{}, nil, err
+	}
+	perRank := make([]cluster.Counters, opts.Ranks)
+	for r := 0; r < opts.Ranks; r++ {
+		perRank[r] = eng.RankCounters(r)
+	}
+	return energy, eng.Counters(), perRank, nil
+}

@@ -1,0 +1,289 @@
+package distsim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qokit/internal/cluster"
+	"qokit/internal/core"
+	"qokit/internal/grad"
+	"qokit/internal/graphs"
+	"qokit/internal/optimize"
+	"qokit/internal/poly"
+	"qokit/internal/problems"
+)
+
+func maxAbs(xs ...[]float64) float64 {
+	var m float64
+	for _, v := range xs {
+		for _, x := range v {
+			if a := math.Abs(x); a > m {
+				m = a
+			}
+		}
+	}
+	return m
+}
+
+func randomAngles(rng *rand.Rand, p int) (gamma, beta []float64) {
+	gamma = make([]float64, p)
+	beta = make([]float64, p)
+	for i := range gamma {
+		gamma[i] = rng.Float64() - 0.5
+		beta[i] = rng.Float64() - 0.5
+	}
+	return gamma, beta
+}
+
+// TestDistributedGradMatchesSingleNode is the acceptance matrix: the
+// distributed adjoint gradient reproduces core.SimulateQAOAGrad to
+// rtol 1e-10 for ranks ∈ {1,2,4,8} × both mixer families (transverse-
+// field x and the Hamming-weight-preserving xy ring/complete) ×
+// p ∈ {1,4,12}, on both problem shapes (quadratic MaxCut, quartic
+// LABS).
+func TestDistributedGradMatchesSingleNode(t *testing.T) {
+	const n = 8
+	const rtol = 1e-10
+	rng := rand.New(rand.NewSource(73))
+	g, err := graphs.RandomRegular(n, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problemSet := map[string]poly.Terms{
+		"maxcut": problems.MaxCutTerms(g),
+		"labs":   problems.LABSTerms(n),
+	}
+	mixers := []core.Mixer{core.MixerX, core.MixerXYRing, core.MixerXYComplete}
+
+	for probName, terms := range problemSet {
+		for _, mixer := range mixers {
+			single, err := core.New(n, terms, core.Options{Backend: core.BackendSerial, Mixer: mixer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{1, 4, 12} {
+				gamma, beta := randomAngles(rng, p)
+				refE, refGG, refGB, err := single.SimulateQAOAGrad(gamma, beta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scale := math.Max(maxAbs(refGG, refGB), 1)
+				for _, ranks := range []int{1, 2, 4, 8} {
+					res, err := SimulateQAOAGrad(n, terms, gamma, beta, Options{
+						Ranks: ranks, Algo: cluster.Transpose, Mixer: mixer,
+					})
+					if err != nil {
+						t.Fatalf("%s %v K=%d p=%d: %v", probName, mixer, ranks, p, err)
+					}
+					if d := math.Abs(res.Energy - refE); d > rtol*math.Max(math.Abs(refE), 1) {
+						t.Errorf("%s %v K=%d p=%d: energy differs by %g", probName, mixer, ranks, p, d)
+					}
+					for l := 0; l < p; l++ {
+						if d := math.Abs(res.GradGamma[l] - refGG[l]); d > rtol*scale {
+							t.Errorf("%s %v K=%d p=%d: ∂γ_%d differs by %g (scale %g)", probName, mixer, ranks, p, l, d, scale)
+						}
+						if d := math.Abs(res.GradBeta[l] - refGB[l]); d > rtol*scale {
+							t.Errorf("%s %v K=%d p=%d: ∂β_%d differs by %g (scale %g)", probName, mixer, ranks, p, l, d, scale)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDistributedGradPairwiseAlgo spot-checks that the gradient is
+// algorithm-independent: the pairwise all-to-all backend produces the
+// same derivatives as the transpose backend.
+func TestDistributedGradPairwiseAlgo(t *testing.T) {
+	n, p := 8, 3
+	terms := problems.LABSTerms(n)
+	rng := rand.New(rand.NewSource(74))
+	gamma, beta := randomAngles(rng, p)
+	a, err := SimulateQAOAGrad(n, terms, gamma, beta, Options{Ranks: 4, Algo: cluster.Transpose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateQAOAGrad(n, terms, gamma, beta, Options{Ranks: 4, Algo: cluster.Pairwise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < p; l++ {
+		if a.GradGamma[l] != b.GradGamma[l] || a.GradBeta[l] != b.GradBeta[l] {
+			t.Errorf("layer %d: transpose (%g, %g) vs pairwise (%g, %g)",
+				l, a.GradGamma[l], a.GradBeta[l], b.GradGamma[l], b.GradBeta[l])
+		}
+	}
+}
+
+// TestGradCommStaysMixerShaped pins the communication contract: the
+// reverse pass replays the forward mixer collectives once per adjoint
+// state, so a gradient evaluation moves exactly 3× the forward run's
+// bytes and messages — the per-layer scalar/vector all-reduces are
+// accounted as synchronization only. Checked for both mixer families
+// and, for the transverse-field mixer, against the closed-form
+// Algorithm 4 volume.
+func TestGradCommStaysMixerShaped(t *testing.T) {
+	const n, p, ranks = 8, 3, 4
+	terms := problems.LABSTerms(n)
+	rng := rand.New(rand.NewSource(75))
+	gamma, beta := randomAngles(rng, p)
+
+	for _, mixer := range []core.Mixer{core.MixerX, core.MixerXYRing, core.MixerXYComplete} {
+		opts := Options{Ranks: ranks, Algo: cluster.Transpose, Mixer: mixer}
+		fwd, err := SimulateQAOA(n, terms, gamma, beta, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SimulateQAOAGrad(n, terms, gamma, beta, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Comm.BytesSent != 3*fwd.Comm.BytesSent {
+			t.Errorf("%v: grad moved %d bytes, want 3× forward mixer volume %d", mixer, res.Comm.BytesSent, 3*fwd.Comm.BytesSent)
+		}
+		if res.Comm.Messages != 3*fwd.Comm.Messages {
+			t.Errorf("%v: grad sent %d messages, want 3× forward %d", mixer, res.Comm.Messages, 3*fwd.Comm.Messages)
+		}
+	}
+
+	// Transverse-field closed form: per rank, 2p forward + 4p reverse
+	// all-to-alls, each moving (K−1) subchunks of 2^{n−k}/K amplitudes.
+	k := 2 // log2(4)
+	sub := (1 << uint(n-k)) / ranks
+	res, err := SimulateQAOAGrad(n, terms, gamma, beta, Options{Ranks: ranks, Algo: cluster.Transpose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPerRank := int64(6*p) * int64(ranks-1) * int64(sub) * 16
+	for r, ctr := range res.PerRank {
+		if ctr.BytesSent != wantPerRank {
+			t.Errorf("rank %d sent %d bytes, want %d", r, ctr.BytesSent, wantPerRank)
+		}
+		if ctr.Messages != int64(6*p)*int64(ranks-1) {
+			t.Errorf("rank %d sent %d messages, want %d", r, ctr.Messages, 6*p*(ranks-1))
+		}
+	}
+}
+
+// TestGradEngineReuse drives one engine through repeated evaluations
+// at several depths and checks each against a fresh single-shot run —
+// the buffer-reuse contract of the optimizer path.
+func TestGradEngineReuse(t *testing.T) {
+	n := 8
+	terms := problems.LABSTerms(n)
+	eng, err := NewGradEngine(n, terms, Options{Ranks: 4, Algo: cluster.Transpose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(76))
+	for iter := 0; iter < 4; iter++ {
+		p := 1 + iter
+		gamma, beta := randomAngles(rng, p)
+		gg := make([]float64, p)
+		gb := make([]float64, p)
+		e1, err := eng.EnergyGrad(gamma, beta, gg, gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := SimulateQAOAGrad(n, terms, gamma, beta, Options{Ranks: 4, Algo: cluster.Transpose})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e1 != fresh.Energy {
+			t.Errorf("iter %d: reused engine energy %g, fresh %g", iter, e1, fresh.Energy)
+		}
+		for l := 0; l < p; l++ {
+			if gg[l] != fresh.GradGamma[l] || gb[l] != fresh.GradBeta[l] {
+				t.Errorf("iter %d layer %d: reused (%g, %g) vs fresh (%g, %g)",
+					iter, l, gg[l], gb[l], fresh.GradGamma[l], fresh.GradBeta[l])
+			}
+		}
+	}
+}
+
+// TestFlatObjectiveAdamMatchesSingleNode runs the same Adam
+// optimization through the distributed FlatObjective and through the
+// single-node gradient engine: identical trajectories, identical
+// optimum (the distributed objective is a drop-in).
+func TestFlatObjectiveAdamMatchesSingleNode(t *testing.T) {
+	n, p := 8, 3
+	terms := problems.LABSTerms(n)
+	g0, b0 := optimize.TQAInit(p, 0.75)
+	x0 := optimize.JoinAngles(g0, b0)
+	opt := optimize.AdamOptions{MaxIter: 25}
+
+	eng, err := NewGradEngine(n, terms, Options{Ranks: 4, Algo: cluster.Transpose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var distErr error
+	distRes := optimize.Adam(eng.FlatObjective(&distErr), x0, opt)
+	if distErr != nil {
+		t.Fatal(distErr)
+	}
+
+	single, err := core.New(n, terms, core.Options{Backend: core.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var singleErr error
+	singleRes := optimize.Adam(grad.New(single).FlatObjective(&singleErr), x0, opt)
+	if singleErr != nil {
+		t.Fatal(singleErr)
+	}
+
+	if distRes.Evals != singleRes.Evals {
+		t.Errorf("evals: distributed %d, single %d", distRes.Evals, singleRes.Evals)
+	}
+	if d := math.Abs(distRes.F - singleRes.F); d > 1e-9 {
+		t.Errorf("optimum differs by %g: distributed %v, single %v", d, distRes.F, singleRes.F)
+	}
+	for i := range distRes.X {
+		if d := math.Abs(distRes.X[i] - singleRes.X[i]); d > 1e-9 {
+			t.Errorf("x[%d] differs by %g", i, d)
+		}
+	}
+}
+
+// TestGradValidationNamesFields asserts every option-validation error
+// names the offending Options field, so misconfigurations are
+// self-diagnosing.
+func TestGradValidationNamesFields(t *testing.T) {
+	terms := problems.LABSTerms(4)
+	cases := []struct {
+		opts Options
+		want string
+	}{
+		{Options{Ranks: 0}, "Options.Ranks"},
+		{Options{Ranks: 3}, "Options.Ranks"},
+		{Options{Ranks: 8}, "Options.Ranks"}, // 2k > n
+		{Options{Ranks: 2, Mixer: core.Mixer(99)}, "Options.Mixer"},
+		{Options{Ranks: 2, Mixer: core.MixerXYRing, HammingWeight: 9}, "Options.HammingWeight"},
+	}
+	for _, tc := range cases {
+		if _, err := NewGradEngine(4, terms, tc.opts); err == nil {
+			t.Errorf("opts %+v accepted", tc.opts)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("opts %+v: error %q does not name %s", tc.opts, err, tc.want)
+		}
+		if _, err := SimulateQAOA(4, terms, nil, nil, tc.opts); err == nil {
+			t.Errorf("SimulateQAOA opts %+v accepted", tc.opts)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("SimulateQAOA opts %+v: error %q does not name %s", tc.opts, err, tc.want)
+		}
+	}
+
+	eng, err := NewGradEngine(4, terms, Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.EnergyGrad([]float64{1}, []float64{1, 2}, []float64{0}, []float64{0}); err == nil {
+		t.Error("mismatched angle lengths accepted")
+	}
+	if _, err := eng.EnergyGrad([]float64{1}, []float64{1}, nil, nil); err == nil {
+		t.Error("missing gradient storage accepted")
+	}
+}

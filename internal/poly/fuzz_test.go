@@ -1,0 +1,114 @@
+package poly_test
+
+// Native Go fuzz targets for the term-compilation pipeline: arbitrary
+// byte strings decode into arbitrary spin polynomials (including
+// duplicate variables, zero weights, and merging collisions — exactly
+// the inputs Canonical must fold away), and every downstream
+// representation is checked against direct summation on the full
+// 2^n assignment space:
+//
+//	Terms.Eval  ==  Canonical().Eval  ==  Compiled.Eval
+//	            ==  costvec.Precompute == costvec.PrecomputePool
+//	            ==  Quantize(…, 1/8).Expand()   (weights are dyadic)
+//
+// Seed corpora live in testdata/fuzz/; CI runs a short -fuzztime
+// smoke on top of the checked-in seeds.
+
+import (
+	"math"
+	"testing"
+
+	"qokit/internal/costvec"
+	"qokit/internal/poly"
+	"qokit/internal/statevec"
+)
+
+// decodeTerms maps an arbitrary byte string onto (n, terms): byte 0
+// selects n ∈ [4,8]; each following chunk is one term — a dyadic
+// weight in [−16, 15.875], a degree in [0,3], and degree variable
+// bytes reduced mod n (duplicates intentionally allowed: s_i² = 1
+// folding is part of what is under test).
+func decodeTerms(data []byte) (int, poly.Terms) {
+	n := 4
+	if len(data) > 0 {
+		n += int(data[0] % 5)
+		data = data[1:]
+	}
+	var ts poly.Terms
+	for len(data) >= 2 && len(ts) < 32 {
+		w := float64(int8(data[0])) / 8
+		deg := int(data[1] % 4)
+		if len(data) < 2+deg {
+			break
+		}
+		vars := make([]int, deg)
+		for i := range vars {
+			vars[i] = int(data[2+i]) % n
+		}
+		ts = append(ts, poly.Term{Weight: w, Vars: vars})
+		data = data[2+deg:]
+	}
+	return n, ts
+}
+
+func FuzzTermsCompileAndPrecompute(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 8, 2, 0, 1, 248, 2, 1, 2})
+	f.Add([]byte{4, 16, 0, 255, 3, 0, 0, 0, 8, 1, 7})
+	f.Add([]byte{2, 200, 2, 3, 3, 56, 2, 2, 2, 8, 3, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, ts := decodeTerms(data)
+		canon := ts.Canonical()
+		if err := canon.Validate(n); err != nil {
+			t.Fatalf("canonical form fails validation: %v", err)
+		}
+		// Canonicalization must be idempotent and evaluation-preserving.
+		if again := canon.Canonical(); len(again) != len(canon) {
+			t.Fatalf("Canonical not idempotent: %d terms, then %d", len(canon), len(again))
+		}
+		compiled := poly.Compile(ts)
+		if compiled.Len() != len(canon) {
+			t.Fatalf("Compile kept %d terms, canonical has %d", compiled.Len(), len(canon))
+		}
+
+		var sumW float64
+		for _, tm := range ts {
+			sumW += math.Abs(tm.Weight)
+		}
+		tol := 1e-9 * (1 + sumW)
+
+		diag := costvec.Precompute(compiled, n)
+		diagPool := costvec.PrecomputePool(statevec.NewPool(2), compiled, n)
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			direct := ts.Eval(x)
+			if d := math.Abs(canon.Eval(x) - direct); d > tol {
+				t.Fatalf("x=%d: Canonical eval differs by %g", x, d)
+			}
+			if d := math.Abs(compiled.Eval(x) - direct); d > tol {
+				t.Fatalf("x=%d: Compiled eval differs by %g", x, d)
+			}
+			if d := math.Abs(diag[x] - direct); d > tol {
+				t.Fatalf("x=%d: precomputed diagonal differs by %g", x, d)
+			}
+			if diagPool[x] != diag[x] {
+				t.Fatalf("x=%d: pool precompute %v != serial %v", x, diagPool[x], diag[x])
+			}
+		}
+
+		// Dyadic weights (multiples of 1/8) make every cost an exact
+		// multiple of 1/8, so the §V-B uint16 quantization must round-
+		// trip exactly whenever the range fits its capacity.
+		lo, hi := costvec.MinMax(diag)
+		if hi-lo <= 0.125*65535 {
+			q, err := costvec.Quantize(diag, 0.125)
+			if err != nil {
+				t.Fatalf("exact-representable diagonal rejected: %v", err)
+			}
+			for x, v := range q.Expand() {
+				if v != diag[x] {
+					t.Fatalf("x=%d: quantized round-trip %v != %v", x, v, diag[x])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package statevec
+
+// Native Go fuzz target for the fast Walsh–Hadamard transform: H^⊗n
+// is an involution and an isometry, so for any state decoded from the
+// fuzzer's bytes, applying FWHT twice must return the input and one
+// application must preserve the norm. Seed corpora live in
+// testdata/fuzz/; CI runs a short -fuzztime smoke on top of them.
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// decodeState maps an arbitrary byte string onto an n-qubit state:
+// byte 0 selects n ∈ [1,6]; amplitudes are read from the remaining
+// bytes (cycled when short, so even tiny inputs produce full states).
+func decodeState(data []byte) Vec {
+	n := 1
+	if len(data) > 0 {
+		n += int(data[0] % 6)
+		data = data[1:]
+	}
+	v := New(n)
+	if len(data) == 0 {
+		data = []byte{1}
+	}
+	at := func(i int) float64 { return (float64(data[i%len(data)]) - 127.5) / 128 }
+	for i := range v {
+		v[i] = complex(at(2*i), at(2*i+1))
+	}
+	return v
+}
+
+func FuzzFWHTInvolution(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 7, 200, 13, 0, 0, 255})
+	f.Add([]byte{5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 128})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v := decodeState(data)
+		orig := v.Clone()
+		normBefore := v.Norm()
+
+		FWHT(v)
+		if d := math.Abs(v.Norm() - normBefore); d > 1e-12*(1+normBefore) {
+			t.Fatalf("FWHT changed the norm by %g (‖v‖=%g)", d, normBefore)
+		}
+		FWHT(v)
+		scale := normBefore
+		if scale < 1 {
+			scale = 1
+		}
+		for i := range v {
+			if d := cmplx.Abs(v[i] - orig[i]); d > 1e-12*scale {
+				t.Fatalf("index %d: FWHT² deviates from identity by %g", i, d)
+			}
+		}
+	})
+}

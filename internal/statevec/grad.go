@@ -90,6 +90,33 @@ func ImDotXAll(lam, psi Vec) float64 {
 	return s
 }
 
+// ImDotXRange returns Σ_{q∈[lo,hi)} Im ⟨λ|X_q|ψ⟩ — ImDotXAll
+// restricted to a contiguous qubit range. The distributed adjoint
+// gradient uses it to split the transverse-field mixer derivative at
+// the shard boundary: each rank reduces its local qubits with
+// ImDotXAll, transposes, and reduces the k global qubits (then local,
+// at the top of the slice) with this kernel. Both reductions are
+// invariant under the commuting RX undo sweeps, so the split sums to
+// the single-node value exactly.
+func ImDotXRange(lam, psi Vec, lo, hi int) float64 {
+	if len(lam) != len(psi) {
+		panic(fmt.Sprintf("statevec: ImDotXRange length mismatch %d vs %d", len(lam), len(psi)))
+	}
+	n := lam.NumQubits()
+	if lo < 0 || hi > n || lo > hi {
+		panic(fmt.Sprintf("statevec: ImDotXRange qubit range [%d,%d) invalid for n=%d", lo, hi, n))
+	}
+	var s float64
+	for i := range lam {
+		lr, li := real(lam[i]), imag(lam[i])
+		for q := lo; q < hi; q++ {
+			j := i ^ (1 << uint(q))
+			s += lr*imag(psi[j]) - li*real(psi[j])
+		}
+	}
+	return s
+}
+
 // ImDotXAll is the pool version of the fused mixer-derivative
 // reduction.
 func (p *Pool) ImDotXAll(lam, psi Vec) float64 {

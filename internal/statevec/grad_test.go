@@ -173,3 +173,38 @@ func TestSoACopy(t *testing.T) {
 		t.Errorf("SoA32 Copy differs by %v", d)
 	}
 }
+
+func TestImDotXRangeAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 6
+	lam, psi := randState(rng, n), randState(rng, n)
+	for _, r := range [][2]int{{0, n}, {0, 3}, {3, 6}, {2, 5}, {4, 4}} {
+		lo, hi := r[0], r[1]
+		var want float64
+		for q := lo; q < hi; q++ {
+			want += imDot(lam, applyXRef(psi, q))
+		}
+		got := ImDotXRange(lam, psi, lo, hi)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("range [%d,%d): got %v, want %v", lo, hi, got, want)
+		}
+	}
+	// The full range must agree with the fused all-qubit kernel.
+	if a, b := ImDotXRange(lam, psi, 0, n), ImDotXAll(lam, psi); math.Abs(a-b) > 1e-12 {
+		t.Errorf("ImDotXRange(0,n)=%v != ImDotXAll=%v", a, b)
+	}
+}
+
+func TestImDotXRangePanics(t *testing.T) {
+	lam, psi := New(3), New(3)
+	for _, r := range [][2]int{{-1, 2}, {0, 4}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range [%d,%d) did not panic", r[0], r[1])
+				}
+			}()
+			ImDotXRange(lam, psi, r[0], r[1])
+		}()
+	}
+}

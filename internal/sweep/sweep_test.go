@@ -341,6 +341,9 @@ func TestGridAndArgMin(t *testing.T) {
 	if got := sweep.ArgMin(nil); got != -1 {
 		t.Errorf("ArgMin(nil) = %d, want -1", got)
 	}
+	if got := sweep.ArgMin([]sweep.Result{}); got != -1 {
+		t.Errorf("ArgMin(empty) = %d, want -1", got)
+	}
 	res := []sweep.Result{{Energy: 2}, {Energy: -1}, {Energy: 0.5}}
 	if got := sweep.ArgMin(res); got != 1 {
 		t.Errorf("ArgMin = %d, want 1", got)

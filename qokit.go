@@ -169,8 +169,9 @@ func SweepGrid(gammas, betas []float64) []SweepPoint {
 	return sweep.Grid(gammas, betas)
 }
 
-// SweepArgMin returns the index of the lowest-energy result, −1 for an
-// empty batch.
+// SweepArgMin returns the index of the lowest-energy result. An empty
+// (or nil) batch returns −1, never a panic — callers must check the
+// sign before indexing, exactly like a not-found sentinel.
 func SweepArgMin(results []SweepResult) int {
 	return sweep.ArgMin(results)
 }

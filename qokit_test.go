@@ -282,3 +282,17 @@ func TestPortfolioEndToEnd(t *testing.T) {
 		t.Errorf("expectation %v below feasible optimum %v", e, bestFeasible)
 	}
 }
+
+// TestSweepArgMinEmpty pins the façade's empty-batch contract: −1 and
+// no panic, for both nil and zero-length result slices.
+func TestSweepArgMinEmpty(t *testing.T) {
+	if got := SweepArgMin(nil); got != -1 {
+		t.Errorf("SweepArgMin(nil) = %d, want -1", got)
+	}
+	if got := SweepArgMin([]SweepResult{}); got != -1 {
+		t.Errorf("SweepArgMin(empty) = %d, want -1", got)
+	}
+	if got := SweepArgMin([]SweepResult{{Energy: 3}, {Energy: -2}, {Energy: 1}}); got != 1 {
+		t.Errorf("SweepArgMin = %d, want 1", got)
+	}
+}
