@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// compareBaseline diffs a freshly measured suite report against the
+// committed baseline (BENCH_qaoa.json) and fails on regression — the
+// CI gate the ROADMAP's "Baseline tracking" item asked for. Two kinds
+// of regression are checked per workload, matched by name:
+//
+//   - Traffic (bytes_per_rank) is machine-independent and exact: any
+//     increase over the baseline fails, because it means a code change
+//     moved more data over the modeled fabric. Decreases (like the xy
+//     half-slice optimization) just tighten the next baseline.
+//   - Timing (seconds_per_op) is host-dependent, so it fails only past
+//     maxRatio× the baseline — a threshold wide enough for runner
+//     noise but narrow enough to catch an accidental algorithmic
+//     slowdown (a p×-cost regression blows any sane ratio).
+//
+// Workloads present in only one report are listed but never fail the
+// gate, so adding a benchmark does not break CI against the previous
+// baseline; the config (n, p, ranks, points) must match for timings
+// and traffic to be comparable, and a mismatch fails loudly.
+func compareBaseline(w io.Writer, fresh suiteReport, path string, maxRatio float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base suiteReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.Config != fresh.Config {
+		return fmt.Errorf("baseline: config mismatch: baseline %+v vs fresh %+v (rerun with matching flags)",
+			base.Config, fresh.Config)
+	}
+	if maxRatio <= 1 {
+		return fmt.Errorf("baseline: -maxratio %g must be > 1", maxRatio)
+	}
+
+	byName := make(map[string]suiteBenchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(w, "\nBaseline comparison vs %s (timing threshold %.2g×):\n", path, maxRatio)
+	var failures []string
+	for _, f := range fresh.Benchmarks {
+		b, ok := byName[f.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-20s new workload, no baseline — skipped\n", f.Name)
+			continue
+		}
+		delete(byName, f.Name)
+		ratio := f.SecondsPerOp / b.SecondsPerOp
+		status := "ok"
+		if f.BytesPerRank > b.BytesPerRank {
+			status = "TRAFFIC REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %d bytes/rank vs baseline %d", f.Name, f.BytesPerRank, b.BytesPerRank))
+		} else if ratio > maxRatio {
+			status = "TIMING REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.3gs/op is %.2f× baseline %.3gs/op", f.Name, f.SecondsPerOp, ratio, b.SecondsPerOp))
+		}
+		fmt.Fprintf(w, "  %-20s time %.2f× baseline, bytes/rank %d vs %d — %s\n",
+			f.Name, ratio, f.BytesPerRank, b.BytesPerRank, status)
+	}
+	for name := range byName {
+		fmt.Fprintf(w, "  %-20s present only in baseline — skipped\n", name)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("baseline: %d regression(s): %v", len(failures), failures)
+	}
+	fmt.Fprintln(w, "  no regressions")
+	return nil
+}

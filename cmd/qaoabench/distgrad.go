@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -10,9 +11,11 @@ import (
 	"qokit/internal/cluster"
 	"qokit/internal/core"
 	"qokit/internal/distsim"
+	"qokit/internal/evaluator"
 	"qokit/internal/grad"
 	"qokit/internal/optimize"
 	"qokit/internal/problems"
+	"qokit/internal/serve"
 )
 
 // runDistGrad measures the distributed adjoint gradient: one exact
@@ -44,14 +47,15 @@ func runDistGrad(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 	eng := grad.New(sim)
 	refG := make([]float64, *p)
 	refB := make([]float64, *p)
-	if _, err := eng.EnergyGrad(gamma, beta, refG, refB); err != nil {
+	if _, err := eng.EnergyGradAngles(ctx, gamma, beta, refG, refB); err != nil {
 		return err
 	}
 	tSingle := bestOf(*reps, func() error {
-		_, err := eng.EnergyGrad(gamma, beta, refG, refB)
+		_, err := eng.EnergyGradAngles(ctx, gamma, beta, refG, refB)
 		return err
 	})
 
@@ -59,28 +63,37 @@ func runDistGrad(w io.Writer, args []string) error {
 	tab := benchutil.NewTable("K", "algo", "max|Δ| vs single", "time/grad", "bytes/rank", "msgs/rank", "modeled-net")
 	tab.Add("1", "(single-node)", "0", benchutil.Seconds(tSingle), "0", "0", "0")
 
-	gg := make([]float64, *p)
-	gb := make([]float64, *p)
+	// Each distributed configuration is driven through a one-worker
+	// evaluation service over its engine — the production request
+	// path — with the flat-parameter contract the service schedules.
+	x := optimize.JoinAngles(gamma, beta)
+	gFlat := make([]float64, 2**p)
 	for _, algo := range []cluster.AlltoallAlgo{cluster.Pairwise, cluster.Transpose} {
 		for k := 2; k <= *kmax; k *= 2 {
 			deng, err := distsim.NewGradEngine(*n, terms, distsim.Options{Ranks: k, Algo: algo})
 			if err != nil {
 				return err
 			}
-			if _, err := deng.EnergyGrad(gamma, beta, gg, gb); err != nil {
+			svc, err := serve.New([]evaluator.Evaluator{deng}, serve.Options{WorkersPerEvaluator: 1})
+			if err != nil {
+				return err
+			}
+			if _, err := svc.EnergyGrad(ctx, x, gFlat); err != nil {
+				svc.Close()
 				return err
 			}
 			var maxDiff float64
 			for l := 0; l < *p; l++ {
-				maxDiff = math.Max(maxDiff, math.Abs(gg[l]-refG[l]))
-				maxDiff = math.Max(maxDiff, math.Abs(gb[l]-refB[l]))
+				maxDiff = math.Max(maxDiff, math.Abs(gFlat[l]-refG[l]))
+				maxDiff = math.Max(maxDiff, math.Abs(gFlat[*p+l]-refB[l]))
 			}
 			before := deng.Counters()
 			t := bestOf(*reps, func() error {
-				_, err := deng.EnergyGrad(gamma, beta, gg, gb)
+				_, err := svc.EnergyGrad(ctx, x, gFlat)
 				return err
 			})
 			perRank := perRankDelta(deng.Counters(), before, *reps, k)
+			svc.Close()
 			tab.Add(fmt.Sprint(k), algo.String(), fmt.Sprintf("%.2g", maxDiff),
 				benchutil.Seconds(t), fmt.Sprint(perRank.BytesSent), fmt.Sprint(perRank.Messages),
 				benchutil.Seconds(perRank.ModeledTime(model)))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -9,9 +10,11 @@ import (
 
 	"qokit/internal/benchutil"
 	"qokit/internal/core"
+	"qokit/internal/evaluator"
 	"qokit/internal/grad"
 	"qokit/internal/optimize"
 	"qokit/internal/problems"
+	"qokit/internal/serve"
 )
 
 // runGrad measures what adjoint-mode differentiation buys over central
@@ -41,32 +44,42 @@ func runGrad(w io.Writer, args []string) error {
 		return err
 	}
 	eng := grad.New(sim)
+	// The adjoint path runs through a one-worker evaluation service —
+	// the production route for optimizer gradients — so its timing
+	// includes the (sub-µs) queue hop; the FD baseline stays on the
+	// bare engine, being generous to the baseline.
+	svc, err := serve.New([]evaluator.Evaluator{eng}, serve.Options{WorkersPerEvaluator: 1})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	ctx := context.Background()
 	gamma, beta := optimize.TQAInit(*p, 0.75)
-	gAdj := make([]float64, *p)
-	bAdj := make([]float64, *p)
+	x := optimize.JoinAngles(gamma, beta)
+	gradFlat := make([]float64, 2**p)
 	gFD := make([]float64, *p)
 	bFD := make([]float64, *p)
 
 	// Warm up both paths (buffer pools, page faults), then verify the
 	// two gradients agree before timing anything.
-	if _, err := eng.EnergyGrad(gamma, beta, gAdj, bAdj); err != nil {
+	if _, err := svc.EnergyGrad(ctx, x, gradFlat); err != nil {
 		return err
 	}
-	if _, err := eng.FiniteDiffGrad(gamma, beta, 0, gFD, bFD); err != nil {
+	if _, err := eng.FiniteDiffGrad(ctx, gamma, beta, 0, gFD, bFD); err != nil {
 		return err
 	}
 	var maxDiff float64
 	for l := 0; l < *p; l++ {
-		maxDiff = math.Max(maxDiff, math.Abs(gAdj[l]-gFD[l]))
-		maxDiff = math.Max(maxDiff, math.Abs(bAdj[l]-bFD[l]))
+		maxDiff = math.Max(maxDiff, math.Abs(gradFlat[l]-gFD[l]))
+		maxDiff = math.Max(maxDiff, math.Abs(gradFlat[*p+l]-bFD[l]))
 	}
 
 	tAdj := bestOf(*reps, func() error {
-		_, err := eng.EnergyGrad(gamma, beta, gAdj, bAdj)
+		_, err := svc.EnergyGrad(ctx, x, gradFlat)
 		return err
 	})
 	tFD := bestOf(*reps, func() error {
-		_, err := eng.FiniteDiffGrad(gamma, beta, 0, gFD, bFD)
+		_, err := eng.FiniteDiffGrad(ctx, gamma, beta, 0, gFD, bFD)
 		return err
 	})
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -9,7 +10,9 @@ import (
 
 	"qokit/internal/benchutil"
 	"qokit/internal/core"
+	"qokit/internal/evaluator"
 	"qokit/internal/problems"
+	"qokit/internal/serve"
 	"qokit/internal/sweep"
 )
 
@@ -18,8 +21,9 @@ import (
 // and the canonical batch of many cheap evaluations against one
 // precomputed diagonal. The same grid is evaluated twice: with
 // point-at-a-time SimulateQAOA (a fresh state vector per point) and
-// with the sweep engine (shared diagonal, per-worker reusable
-// buffers), verifying both agree and reporting the throughput gap.
+// as one batch request through the evaluation service (FIFO queue →
+// sweep-engine workers with per-worker reusable buffers), verifying
+// both agree and reporting the throughput gap.
 func runLandscape(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("landscape", flag.ContinueOnError)
 	n := fs.Int("n", 14, "qubit count")
@@ -62,19 +66,29 @@ func runLandscape(w io.Writer, args []string) error {
 	}
 	tSerial := time.Since(startSerial)
 
-	// Batched: the sweep engine fans the same grid across its worker
-	// pool, each worker reusing one buffer.
+	// Batched: one request through the evaluation service fans the
+	// same grid across the sweep-engine workers, each reusing one
+	// buffer.
 	eng := sweep.New(sim, sweep.Options{Workers: *workers})
+	svc, err := serve.New([]evaluator.Evaluator{eng}, serve.Options{WorkersPerEvaluator: *workers})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	xs := make([][]float64, len(points))
+	for i, pt := range points {
+		xs[i] = []float64{pt.Gamma[0], pt.Beta[0]}
+	}
 	startBatch := time.Now()
-	res, err := eng.Sweep(points, nil)
+	energies, err := svc.EnergyBatch(context.Background(), xs, nil)
 	if err != nil {
 		return err
 	}
 	tBatch := time.Since(startBatch)
 
 	var maxDiff, scale float64
-	for i := range res {
-		if d := math.Abs(res[i].Energy - serialRes[i]); d > maxDiff {
+	for i := range energies {
+		if d := math.Abs(energies[i] - serialRes[i]); d > maxDiff {
 			maxDiff = d
 		}
 		if a := math.Abs(serialRes[i]); a > scale {
@@ -90,17 +104,17 @@ func runLandscape(w io.Writer, args []string) error {
 		return fmt.Errorf("landscape: batched results deviate from point-at-a-time by %g", maxDiff)
 	}
 
-	best := sweep.ArgMin(res)
+	best := sweep.ArgMinEnergies(energies)
 	fmt.Fprintf(w, "p=1 landscape scan, LABS n=%d, %d×%d grid (%d evaluations, one shared diagonal)\n",
 		*n, *grid, *grid, len(points))
 	tab := benchutil.NewTable("path", "total(s)", "µs/point")
 	tab.Add("point-at-a-time", benchutil.Seconds(tSerial),
 		fmt.Sprintf("%.1f", float64(tSerial.Microseconds())/float64(len(points))))
-	tab.Add("sweep-engine", benchutil.Seconds(tBatch),
+	tab.Add("service-batch", benchutil.Seconds(tBatch),
 		fmt.Sprintf("%.1f", float64(tBatch.Microseconds())/float64(len(points))))
 	tab.Fprint(w)
 	fmt.Fprintf(w, "\nbatched/serial agreement: max |Δ| = %.2g; speedup %.2f×\n", maxDiff, tSerial.Seconds()/tBatch.Seconds())
 	fmt.Fprintf(w, "landscape minimum E = %.6f at γ = %.4f, β = %.4f\n",
-		res[best].Energy, points[best].Gamma[0], points[best].Beta[0])
+		energies[best], points[best].Gamma[0], points[best].Beta[0])
 	return nil
 }

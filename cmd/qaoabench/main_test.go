@@ -30,7 +30,7 @@ func TestRunnersSmoke(t *testing.T) {
 		{"opt", runOpt, []string{"-n", "8", "-p", "2", "-evals", "10"},
 			[]string{"speedup", "gate-based"}},
 		{"landscape", runLandscape, []string{"-n", "8", "-grid", "6"},
-			[]string{"sweep-engine", "point-at-a-time", "landscape minimum"}},
+			[]string{"service-batch", "point-at-a-time", "landscape minimum"}},
 		{"memory", runMemory, []string{"-n", "8"},
 			[]string{"12.5%", "uint16 store exact: true"}},
 		{"gates", runGates, []string{"-nmax", "13"},
@@ -119,5 +119,73 @@ func TestLandscapeRejectsDegenerateSizes(t *testing.T) {
 	}
 	if err := runLandscape(&out, []string{"-n", "0"}); err == nil {
 		t.Error("landscape accepted -n 0")
+	}
+}
+
+// TestSuiteBaselineGate pins the bench-regression gate: a fresh run
+// compared against its own artifact passes; a baseline doctored to
+// claim less traffic or much faster timings fails with the offending
+// workload named; a config mismatch fails loudly.
+func TestSuiteBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_qaoa.json")
+	args := []string{"-n", "8", "-p", "2", "-ranks", "2", "-points", "4", "-reps", "1"}
+	if err := runSuite(io.Discard, append([]string{"-out", base}, args...)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Self-comparison passes (generous ratio absorbs timing noise).
+	var out strings.Builder
+	if err := runSuite(&out, append([]string{"-baseline", base, "-maxratio", "50"}, args...)); err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Errorf("comparison output missing verdict:\n%s", out.String())
+	}
+
+	// Doctored baseline: claim the distributed gradient moved fewer
+	// bytes — the fresh (unchanged) run must now read as a traffic
+	// regression, deterministically.
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report suiteReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	for i := range report.Benchmarks {
+		if report.Benchmarks[i].BytesPerRank > 0 {
+			report.Benchmarks[i].BytesPerRank /= 2
+		}
+	}
+	doctored := filepath.Join(dir, "doctored.json")
+	tampered, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(doctored, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = runSuite(io.Discard, append([]string{"-baseline", doctored, "-maxratio", "50"}, args...))
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Errorf("traffic regression not detected: %v", err)
+	}
+
+	// Config mismatch (different n) must refuse to compare.
+	err = runSuite(io.Discard, []string{"-n", "6", "-p", "2", "-ranks", "2", "-points", "4", "-reps", "1", "-baseline", base})
+	if err == nil || !strings.Contains(err.Error(), "config mismatch") {
+		t.Errorf("config mismatch not detected: %v", err)
+	}
+
+	// -json with -baseline keeps stdout pure JSON (the comparison's
+	// verdict travels through the error only).
+	out.Reset()
+	if err := runSuite(&out, append([]string{"-json", "-baseline", base, "-maxratio", "50"}, args...)); err != nil {
+		t.Fatalf("json self-comparison failed: %v", err)
+	}
+	var rep suiteReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Errorf("-json -baseline polluted stdout: %v\n%s", err, out.String())
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -9,9 +10,11 @@ import (
 
 	"qokit/internal/benchutil"
 	"qokit/internal/core"
+	"qokit/internal/evaluator"
 	"qokit/internal/gatesim"
 	"qokit/internal/optimize"
 	"qokit/internal/problems"
+	"qokit/internal/serve"
 	"qokit/internal/statevec"
 	"qokit/internal/sweep"
 )
@@ -39,22 +42,25 @@ func runOpt(w io.Writer, args []string) error {
 	nm := optimize.NMOptions{MaxEvals: *evals}
 
 	// Fast simulator: one construction (includes precompute), then
-	// cheap evaluations through a sweep-engine buffer — the entire
-	// optimization reuses a single state vector.
+	// cheap evaluations through a one-worker evaluation service over a
+	// sweep-engine buffer — the production optimizer path, reusing a
+	// single state vector for the entire optimization.
 	startFast := time.Now()
 	sim, err := core.New(*n, terms, core.Options{Backend: core.BackendSoA})
 	if err != nil {
 		return err
 	}
 	eng := sweep.New(sim, sweep.Options{Workers: 1})
-	resFast := optimize.NelderMead(func(x []float64) float64 {
-		gg, bb := optimize.SplitAngles(x)
-		v, err := eng.Evaluate(gg, bb)
-		if err != nil {
-			panic(err)
-		}
-		return v
-	}, x0, nm)
+	svc, err := serve.New([]evaluator.Evaluator{eng}, serve.Options{WorkersPerEvaluator: 1})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	var simErr error
+	resFast := optimize.NelderMead(svc.Objective(context.Background(), &simErr), x0, nm)
+	if simErr != nil {
+		return simErr
+	}
 	tFast := time.Since(startFast)
 
 	// Gate-based baseline: every evaluation compiles and simulates the

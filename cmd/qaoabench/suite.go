@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -12,9 +13,11 @@ import (
 	"qokit/internal/cluster"
 	"qokit/internal/core"
 	"qokit/internal/distsim"
+	"qokit/internal/evaluator"
 	"qokit/internal/grad"
 	"qokit/internal/optimize"
 	"qokit/internal/problems"
+	"qokit/internal/serve"
 	"qokit/internal/sweep"
 )
 
@@ -76,6 +79,8 @@ func runSuite(w io.Writer, args []string) error {
 	reps := fs.Int("reps", 3, "timing repetitions (median)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON on stdout")
 	out := fs.String("out", "", "also write the JSON report to this file (e.g. BENCH_qaoa.json)")
+	baseline := fs.String("baseline", "", "committed baseline JSON to diff against; regressions fail the run")
+	maxRatio := fs.Float64("maxratio", 4, "fail when a workload is this many times slower than the baseline (timing term of -baseline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,15 +115,21 @@ func runSuite(w io.Writer, args []string) error {
 		Name: "forward", N: *n, P: *p, SecondsPerOp: tFwd.Seconds(),
 	})
 
-	// Gradient: one exact 2p-component adjoint gradient.
-	geng := grad.New(sim)
-	gg := make([]float64, *p)
-	gb := make([]float64, *p)
-	if _, err := geng.EnergyGrad(gamma, beta, gg, gb); err != nil {
+	// Gradient: one exact 2p-component adjoint gradient through a
+	// one-worker evaluation service (the production optimizer path).
+	ctx := context.Background()
+	x := optimize.JoinAngles(gamma, beta)
+	gFlat := make([]float64, 2**p)
+	gsvc, err := serve.New([]evaluator.Evaluator{grad.New(sim)}, serve.Options{WorkersPerEvaluator: 1})
+	if err != nil {
+		return err
+	}
+	defer gsvc.Close()
+	if _, err := gsvc.EnergyGrad(ctx, x, gFlat); err != nil {
 		return err
 	}
 	tGrad, _ := benchutil.TimeRepeat(*reps, func() {
-		if _, err := geng.EnergyGrad(gamma, beta, gg, gb); err != nil {
+		if _, err := gsvc.EnergyGrad(ctx, x, gFlat); err != nil {
 			panic(err)
 		}
 	})
@@ -128,20 +139,26 @@ func runSuite(w io.Writer, args []string) error {
 		SecondsPerUnit: tGrad.Seconds() / float64(2**p),
 	})
 
-	// Sweep: one batch through the concurrent engine, reused buffers.
+	// Sweep: one batch request through the evaluation service over the
+	// concurrent engine, reused buffers.
 	seng := sweep.New(sim, sweep.Options{})
-	pts := make([]sweep.Point, *points)
-	for i := range pts {
-		g2 := append([]float64(nil), gamma...)
-		g2[0] += 0.01 * float64(i)
-		pts[i] = sweep.Point{Gamma: g2, Beta: beta}
+	ssvc, err := serve.New([]evaluator.Evaluator{seng}, serve.Options{})
+	if err != nil {
+		return err
 	}
-	sres, err := seng.Sweep(pts, nil)
+	defer ssvc.Close()
+	xs := make([][]float64, *points)
+	for i := range xs {
+		xi := optimize.JoinAngles(gamma, beta)
+		xi[0] += 0.01 * float64(i)
+		xs[i] = xi
+	}
+	sres, err := ssvc.EnergyBatch(ctx, xs, nil)
 	if err != nil {
 		return err
 	}
 	tSweep, _ := benchutil.TimeRepeat(*reps, func() {
-		if _, err := seng.Sweep(pts, sres); err != nil {
+		if _, err := ssvc.EnergyBatch(ctx, xs, sres); err != nil {
 			panic(err)
 		}
 	})
@@ -155,7 +172,7 @@ func runSuite(w io.Writer, args []string) error {
 	var dres *distsim.Result
 	tDist, _ := benchutil.TimeRepeat(*reps, func() {
 		var err error
-		dres, err = distsim.SimulateQAOA(*n, terms, gamma, beta, distsim.Options{Ranks: *ranks, Algo: cluster.Transpose})
+		dres, err = distsim.SimulateQAOA(ctx, *n, terms, gamma, beta, distsim.Options{Ranks: *ranks, Algo: cluster.Transpose})
 		if err != nil {
 			panic(err)
 		}
@@ -168,17 +185,23 @@ func runSuite(w io.Writer, args []string) error {
 		ModeledNetSeconds: perRankCounters(dres.Comm, *ranks).ModeledTime(model).Seconds(),
 	})
 
-	// Distributed gradient: sharded adjoint through a reused engine.
+	// Distributed gradient: sharded adjoint through a one-worker
+	// service over a reused engine lease.
 	deng, err := distsim.NewGradEngine(*n, terms, distsim.Options{Ranks: *ranks, Algo: cluster.Transpose})
 	if err != nil {
 		return err
 	}
-	if _, err := deng.EnergyGrad(gamma, beta, gg, gb); err != nil {
+	dsvc, err := serve.New([]evaluator.Evaluator{deng}, serve.Options{WorkersPerEvaluator: 1})
+	if err != nil {
+		return err
+	}
+	defer dsvc.Close()
+	if _, err := dsvc.EnergyGrad(ctx, x, gFlat); err != nil {
 		return err
 	}
 	before := deng.Counters()
 	tDGrad, _ := benchutil.TimeRepeat(*reps, func() {
-		if _, err := deng.EnergyGrad(gamma, beta, gg, gb); err != nil {
+		if _, err := dsvc.EnergyGrad(ctx, x, gFlat); err != nil {
 			panic(err)
 		}
 	})
@@ -202,7 +225,15 @@ func runSuite(w io.Writer, args []string) error {
 	if *asJSON {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		return enc.Encode(report)
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+		if *baseline != "" {
+			// Keep stdout valid JSON: the comparison's verdict arrives
+			// through the error, its table is suppressed.
+			return compareBaseline(io.Discard, report, *baseline, *maxRatio)
+		}
+		return nil
 	}
 	tab := benchutil.NewTable("benchmark", "n", "p", "K", "time/op", "bytes/rank", "modeled-net")
 	for _, b := range report.Benchmarks {
@@ -223,6 +254,9 @@ func runSuite(w io.Writer, args []string) error {
 	fmt.Fprintf(w, "Benchmark suite, LABS n=%d p=%d (median of %d)\n", *n, *p, *reps)
 	tab.Fprint(w)
 	fmt.Fprintln(w, "\nRegenerate the committed baseline with: qaoabench suite -json -out BENCH_qaoa.json")
+	if *baseline != "" {
+		return compareBaseline(w, report, *baseline, *maxRatio)
+	}
 	return nil
 }
 

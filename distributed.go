@@ -1,6 +1,8 @@
 package qokit
 
 import (
+	"context"
+
 	"qokit/internal/cluster"
 	"qokit/internal/distsim"
 )
@@ -45,7 +47,7 @@ type DistResult = distsim.Result
 // local. Equivalent to the mpi-backed QOKit classes ("gpumpi",
 // "cusvmpi") on this package's in-process cluster substrate.
 func SimulateQAOADistributed(n int, terms Terms, gamma, beta []float64, opts DistOptions) (*DistResult, error) {
-	return distsim.SimulateQAOA(n, terms, gamma, beta, opts)
+	return distsim.SimulateQAOA(context.Background(), n, terms, gamma, beta, opts)
 }
 
 // DistGradResult carries one distributed adjoint-gradient evaluation:
@@ -63,8 +65,10 @@ type DistGradResult = distsim.GradResult
 // GradientDescent, so gradient-based optimization of a state too
 // large for one node costs ≈ 4 sharded simulations per step,
 // independent of depth — the single-node adjoint win (ROADMAP
-// "Gradients") carried onto the cluster. Not safe for concurrent
-// evaluations: parallelism comes from the ranks themselves.
+// "Gradients") carried onto the cluster. Safe for up to
+// DistOptions.Concurrency concurrent evaluations: each one leases its
+// own rank group and buffers (NewDistributedService builds a request
+// queue over exactly this).
 type DistributedGradEngine = distsim.GradEngine
 
 // NewDistributedGradEngine builds a distributed gradient engine: each
@@ -78,5 +82,5 @@ func NewDistributedGradEngine(n int, terms Terms, opts DistOptions) (*Distribute
 // exact adjoint gradient with a fresh engine — the one-shot
 // counterpart of DistributedGradEngine for callers that do not loop.
 func SimulateQAOADistributedGrad(n int, terms Terms, gamma, beta []float64, opts DistOptions) (*DistGradResult, error) {
-	return distsim.SimulateQAOAGrad(n, terms, gamma, beta, opts)
+	return distsim.SimulateQAOAGrad(context.Background(), n, terms, gamma, beta, opts)
 }

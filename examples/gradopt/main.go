@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -57,22 +58,31 @@ func run(w io.Writer) error {
 			p, eNM, nmEvals, eAdam, adamEvals, 4*adamEvals)
 	}
 
-	// The gradient engine also serves batch workloads: evaluate the
-	// gradient field at several warm-start candidates in one sweep.
-	eng := qokit.NewSweepEngine(sim, qokit.SweepOptions{})
-	var points []qokit.SweepPoint
-	for _, dt := range []float64{0.5, 0.75, 1.0} {
-		g, b := qokit.TQAInit(4, dt)
-		points = append(points, qokit.SweepPoint{Gamma: g, Beta: b})
-	}
-	grads, err := eng.SweepGrad(points, nil)
+	// The evaluation service also serves batch gradient workloads:
+	// evaluate the gradient field at several warm-start candidates in
+	// one request, fanned across the pool.
+	svc, err := qokit.NewLocalService(sim, qokit.ServiceOptions{})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "\nGradient field at p=4 TQA starts (batched through SweepGrad):\n")
-	for i, r := range grads {
+	defer svc.Close()
+	dts := []float64{0.5, 0.75, 1.0}
+	const pf = 4
+	var xs [][]float64
+	grads := make([][]float64, len(dts))
+	for i, dt := range dts {
+		g, b := qokit.TQAInit(pf, dt)
+		xs = append(xs, append(g, b...))
+		grads[i] = make([]float64, 2*pf)
+	}
+	energies, err := svc.EnergyGradBatch(context.Background(), xs, nil, grads)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nGradient field at p=4 TQA starts (one batched service request):\n")
+	for i := range xs {
 		fmt.Fprintf(w, "  dt=%.2f: E=%9.5f  ‖∂E/∂γ‖∞=%8.5f  ‖∂E/∂β‖∞=%8.5f\n",
-			[]float64{0.5, 0.75, 1.0}[i], r.Energy, maxAbs(r.GradGamma), maxAbs(r.GradBeta))
+			dts[i], energies[i], maxAbs(grads[i][:pf]), maxAbs(grads[i][pf:]))
 	}
 	return nil
 }

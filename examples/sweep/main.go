@@ -1,14 +1,16 @@
 // Parameter sweep: batch-evaluating many (γ, β) points against one
-// precomputed diagonal with the concurrent sweep engine. This is the
+// precomputed diagonal through the evaluation service. This is the
 // access pattern the paper's precomputation is built for — optimizers
 // and landscape scans evaluate thousands of parameter sets against a
-// diagonal that is computed exactly once — served here by a worker
-// pool in which each worker reuses a single state buffer.
+// diagonal that is computed exactly once — served here by a FIFO
+// request queue over a worker pool in which each worker reuses a
+// single state buffer.
 //
 //	go run ./examples/sweep
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -36,9 +38,14 @@ func run(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	// One engine over one shared simulator; Overlap asks for the
-	// ground-state probability alongside the energy at every point.
-	eng := qokit.NewSweepEngine(sim, qokit.SweepOptions{Overlap: true})
+	// One service over one shared simulator: every batch and point
+	// request below goes through its FIFO queue onto pooled buffers.
+	svc, err := qokit.NewLocalService(sim, qokit.ServiceOptions{})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	ctx := context.Background()
 
 	// Batch 1: the p = 1 energy landscape on a γ × β grid.
 	gammas := make([]float64, gridSize)
@@ -48,34 +55,43 @@ func run(w io.Writer) error {
 		betas[i] = math.Pi / 2 * float64(i) / float64(gridSize)
 	}
 	points := qokit.SweepGrid(gammas, betas)
-	res, err := eng.Sweep(points, nil)
+	xs := make([][]float64, len(points))
+	for i, pt := range points {
+		xs[i] = []float64{pt.Gamma[0], pt.Beta[0]}
+	}
+	energies, err := svc.EnergyBatch(ctx, xs, nil)
 	if err != nil {
 		return err
 	}
-	best := qokit.SweepArgMin(res)
-	fmt.Fprintf(w, "LABS n=%d: swept %d-point p=1 landscape against one precomputed diagonal\n",
+	best := qokit.ArgMinEnergies(energies)
+	// The overlap of the winning point comes from one direct
+	// simulation — cheaper than computing it for the whole grid.
+	bestRes, err := sim.SimulateQAOA(points[best].Gamma, points[best].Beta)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "LABS n=%d: swept %d-point p=1 landscape through the evaluation service\n",
 		n, len(points))
 	fmt.Fprintf(w, "landscape minimum E = %.4f at γ = %.4f, β = %.4f (overlap %.4g)\n",
-		res[best].Energy, points[best].Gamma[0], points[best].Beta[0], res[best].Overlap)
+		energies[best], points[best].Gamma[0], points[best].Beta[0], bestRes.Overlap())
 
 	// Batch 2: a multi-start depth-p batch — TQA schedules at many
 	// time steps, the standard way to seed high-depth optimization.
 	const p = 8
-	var starts []qokit.SweepPoint
+	var starts [][]float64
 	var dts []float64
 	for dt := 0.3; dt <= 1.2; dt += 0.05 {
 		g, b := qokit.TQAInit(p, dt)
-		starts = append(starts, qokit.SweepPoint{Gamma: g, Beta: b})
+		starts = append(starts, append(g, b...))
 		dts = append(dts, dt)
 	}
-	res2, err := eng.Sweep(starts, nil)
+	res2, err := svc.EnergyBatch(ctx, starts, nil)
 	if err != nil {
 		return err
 	}
-	best2 := qokit.SweepArgMin(res2)
+	best2 := qokit.ArgMinEnergies(res2)
 	fmt.Fprintf(w, "\nswept %d TQA schedules at p=%d in one batch:\n", len(starts), p)
-	fmt.Fprintf(w, "best time step dt = %.2f with E = %.4f (overlap %.4g)\n",
-		dts[best2], res2[best2].Energy, res2[best2].Overlap)
+	fmt.Fprintf(w, "best time step dt = %.2f with E = %.4f\n", dts[best2], res2[best2])
 
 	// The same engine then serves the optimizer: OptimizeParameters
 	// routes every Nelder–Mead evaluation through a pooled buffer.
@@ -89,7 +105,7 @@ func run(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\nrefined with Nelder–Mead (%d evaluations, one reused state buffer):\n", evals)
 	fmt.Fprintf(w, "E = %.4f, overlap %.4g\n", energy, r.Overlap())
-	fmt.Fprintln(w, "\n(every evaluation above shared the same cost diagonal — the sweep")
-	fmt.Fprintln(w, " engine turns the paper's precompute-once design into batch throughput)")
+	fmt.Fprintln(w, "\n(every evaluation above shared the same cost diagonal — the evaluation")
+	fmt.Fprintln(w, " service turns the paper's precompute-once design into batch throughput)")
 	return nil
 }

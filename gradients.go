@@ -1,6 +1,7 @@
 package qokit
 
 import (
+	"context"
 	"fmt"
 
 	"qokit/internal/grad"
@@ -84,9 +85,13 @@ func OptimizeParametersAdam(sim *Simulator, p int, opt AdamOptions) (gamma, beta
 		return nil, nil, 0, 0, fmt.Errorf("qokit: depth p=%d < 1", p)
 	}
 	g0, b0 := TQAInit(p, 0.75)
-	eng := grad.New(sim)
+	svc, err := NewLocalService(sim, ServiceOptions{WorkersPerEvaluator: 1})
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	defer svc.Close()
 	var simErr error
-	res := optimize.Adam(eng.FlatObjective(&simErr), optimize.JoinAngles(g0, b0), opt)
+	res := optimize.Adam(svc.GradObjective(context.Background(), &simErr), optimize.JoinAngles(g0, b0), opt)
 	if simErr != nil {
 		return nil, nil, 0, 0, simErr
 	}
@@ -106,9 +111,13 @@ func OptimizeParametersAdamInterp(sim *Simulator, pmax, itersPerDepth int) (gamm
 	if pmax < 1 {
 		return nil, nil, 0, 0, fmt.Errorf("qokit: depth pmax=%d < 1", pmax)
 	}
-	eng := grad.New(sim)
+	svc, err := NewLocalService(sim, ServiceOptions{WorkersPerEvaluator: 1})
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	defer svc.Close()
 	var simErr error
-	objective := eng.FlatObjective(&simErr)
+	objective := svc.GradObjective(context.Background(), &simErr)
 	gamma, beta = TQAInit(1, 0.75)
 	for p := 1; p <= pmax; p++ {
 		if p > 1 {
@@ -158,11 +167,17 @@ func OptimizeParametersAdamFourier(sim *Simulator, pmax, q, itersPerDepth int) (
 	if q < 1 || q > pmax {
 		return nil, nil, 0, 0, fmt.Errorf("qokit: Fourier components q=%d outside [1, pmax=%d]", q, pmax)
 	}
-	eng := NewGradEngine(sim)
+	svc, err := NewLocalService(sim, ServiceOptions{WorkersPerEvaluator: 1})
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	defer svc.Close()
 	gamma = make([]float64, pmax)
 	beta = make([]float64, pmax)
-	gG := make([]float64, pmax)
-	gB := make([]float64, pmax)
+	// xang/gang are the packed [γ…|β…] vectors the service contract
+	// takes; each depth uses their 2p prefix.
+	xang := make([]float64, 2*pmax)
+	gang := make([]float64, 2*pmax)
 
 	// Seed the single-component schedule from the TQA p = 1 start:
 	// at p = 1 the synthesis is γ₀ = u₁ sin(π/4), β₀ = v₁ cos(π/4).
@@ -177,13 +192,13 @@ func OptimizeParametersAdamFourier(sim *Simulator, pmax, q, itersPerDepth int) (
 			return 0
 		}
 		qe := len(xk) / 2
-		params.FourierAnglesInto(xk[:qe], xk[qe:], gamma[:p], beta[:p])
-		e, err := eng.EnergyGrad(gamma[:p], beta[:p], gG[:p], gB[:p])
+		params.FourierAnglesInto(xk[:qe], xk[qe:], xang[:p], xang[p:2*p])
+		e, err := svc.EnergyGrad(context.Background(), xang[:2*p], gang[:2*p])
 		if err != nil {
 			simErr = err
 			return 0
 		}
-		params.FourierGrad(gG[:p], gB[:p], g[:qe], g[qe:])
+		params.FourierGrad(gang[:p], gang[p:2*p], g[:qe], g[qe:])
 		return e
 	}
 	var res AdamResult

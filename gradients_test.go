@@ -1,6 +1,7 @@
 package qokit
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -24,7 +25,7 @@ func TestSimulateQAOAGradFacade(t *testing.T) {
 	eng := NewGradEngine(sim)
 	gG2 := make([]float64, p)
 	gB2 := make([]float64, p)
-	e2, err := eng.EnergyGrad(gamma, beta, gG2, gB2)
+	e2, err := eng.EnergyGradAngles(context.Background(), gamma, beta, gG2, gB2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestSweepGradFacade(t *testing.T) {
 	g2, b2 := TQAInit(2, 1.0)
 	points := []SweepPoint{{Gamma: g1, Beta: b1}, {Gamma: g2, Beta: b2}}
 	var results []SweepGradResult
-	results, err = eng.SweepGrad(points, nil)
+	results, err = eng.SweepGrad(context.Background(), points, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

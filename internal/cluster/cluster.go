@@ -23,11 +23,22 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// ErrAborted is the error collectives return after the group has been
+// aborted (context cancellation, or an explicit Abort). An aborted
+// group is permanently unusable — ranks blocked in any collective are
+// released with this error instead of deadlocking, and later Run calls
+// fail immediately — so owners of long-lived groups (engine leases)
+// must discard an aborted group and build a fresh one.
+var ErrAborted = errors.New("cluster: group aborted")
 
 // AlltoallAlgo selects the all-to-all implementation.
 type AlltoallAlgo int
@@ -106,6 +117,10 @@ type Group struct {
 	fscratch [][]float64
 
 	counters []Counters
+
+	// abortCause latches the first Abort cause; once set, the barrier
+	// is poisoned and every collective returns the cause.
+	abortCause atomic.Pointer[error]
 }
 
 // NewGroup creates the fabric for k ranks (k ≥ 1; Pairwise requires a
@@ -155,9 +170,59 @@ func (g *Group) TotalCounters() Counters {
 	return t
 }
 
+// Abort poisons the group: every rank blocked in (or later entering) a
+// collective is released with cause (ErrAborted when cause is nil), and
+// the group is permanently dead. This is the only way to interrupt
+// ranks waiting at a barrier without stranding their peers — the
+// poison is observed by all ranks at whichever synchronization point
+// each reaches next, so the unwind itself needs no coordination.
+func (g *Group) Abort(cause error) {
+	if cause == nil {
+		cause = ErrAborted
+	}
+	g.abortCause.CompareAndSwap(nil, &cause)
+	g.bar.poison()
+}
+
+// aborted returns the latched abort cause, or nil.
+func (g *Group) aborted() error {
+	if p := g.abortCause.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Run launches fn on k goroutine ranks and waits for all to return,
 // collecting the first non-nil error.
 func (g *Group) Run(fn func(c *Comm) error) error {
+	return g.RunContext(context.Background(), fn)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled mid-run,
+// the group is aborted (all ranks unwind from their next collective
+// with ErrAborted) and RunContext returns ctx.Err(). The group cannot
+// be used again after a cancelled run — collectives may have been torn
+// down mid-exchange, so there is no consistent state to resume from.
+func (g *Group) RunContext(ctx context.Context, fn func(c *Comm) error) error {
+	if err := g.aborted(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var stop, watcherDone chan struct{}
+	if ctx.Done() != nil {
+		stop = make(chan struct{})
+		watcherDone = make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-ctx.Done():
+				g.Abort(ctx.Err())
+			case <-stop:
+			}
+		}()
+	}
 	errs := make([]error, g.size)
 	var wg sync.WaitGroup
 	for r := 0; r < g.size; r++ {
@@ -168,6 +233,13 @@ func (g *Group) Run(fn func(c *Comm) error) error {
 		}(r)
 	}
 	wg.Wait()
+	if stop != nil {
+		close(stop)
+		<-watcherDone
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -191,13 +263,25 @@ func (c *Comm) Size() int { return c.g.size }
 // Counters returns this rank's traffic counters so far.
 func (c *Comm) Counters() Counters { return c.g.counters[c.rank] }
 
-// Barrier synchronizes all ranks.
-func (c *Comm) Barrier() {
+// Barrier synchronizes all ranks. It returns non-nil only when the
+// group has been aborted.
+func (c *Comm) Barrier() error {
 	start := time.Now()
-	c.g.bar.wait()
+	if !c.g.bar.wait() {
+		return c.abortErr()
+	}
 	ctr := &c.g.counters[c.rank]
 	ctr.Syncs++
 	ctr.CommWall += time.Since(start)
+	return nil
+}
+
+// abortErr names the abort cause from inside a collective.
+func (c *Comm) abortErr() error {
+	if err := c.g.aborted(); err != nil {
+		return err
+	}
+	return ErrAborted
 }
 
 // Alltoall performs the in-place all-to-all exchange: buf is split
@@ -227,7 +311,9 @@ func (c *Comm) Alltoall(buf []complex128) error {
 			g.scratch[c.rank] = make([]complex128, len(buf))
 		}
 		tmp := g.scratch[c.rank][:len(buf)]
-		g.bar.wait()
+		if !g.bar.wait() {
+			return c.abortErr()
+		}
 		for s := 0; s < k; s++ {
 			copy(tmp[s*sub:(s+1)*sub], g.bufs[s][c.rank*sub:(c.rank+1)*sub])
 			if s != c.rank {
@@ -235,7 +321,9 @@ func (c *Comm) Alltoall(buf []complex128) error {
 				ctr.BytesSent += int64(sub) * 16
 			}
 		}
-		g.bar.wait()
+		if !g.bar.wait() {
+			return c.abortErr()
+		}
 		copy(buf, tmp)
 		ctr.Syncs += 2
 	case Pairwise:
@@ -246,20 +334,26 @@ func (c *Comm) Alltoall(buf []complex128) error {
 		g.bufs[c.rank] = buf
 		for round := 1; round < k; round++ {
 			partner := c.rank ^ round
-			g.bar.wait()
+			if !g.bar.wait() {
+				return c.abortErr()
+			}
 			// Read partner's subchunk[c.rank] into scratch.
 			if g.scratch[c.rank] == nil || len(g.scratch[c.rank]) < sub {
 				g.scratch[c.rank] = make([]complex128, len(buf))
 			}
 			tmp := g.scratch[c.rank][:sub]
 			copy(tmp, g.bufs[partner][c.rank*sub:(c.rank+1)*sub])
-			g.bar.wait()
+			if !g.bar.wait() {
+				return c.abortErr()
+			}
 			copy(buf[partner*sub:(partner+1)*sub], tmp)
 			ctr.Messages++
 			ctr.BytesSent += int64(sub) * 16
 			ctr.Syncs += 2
 		}
-		g.bar.wait()
+		if !g.bar.wait() {
+			return c.abortErr()
+		}
 		ctr.Syncs++
 	default:
 		return fmt.Errorf("cluster: unknown all-to-all algorithm %v", g.algo)
@@ -269,33 +363,41 @@ func (c *Comm) Alltoall(buf []complex128) error {
 }
 
 // AllreduceSum returns the sum of x across ranks, on every rank.
-func (c *Comm) AllreduceSum(x float64) float64 {
+func (c *Comm) AllreduceSum(x float64) (float64, error) {
 	g := c.g
 	g.floats[c.rank] = x
 	c.syncCount(2)
-	g.bar.wait()
+	if !g.bar.wait() {
+		return 0, c.abortErr()
+	}
 	var s float64
 	for _, v := range g.floats {
 		s += v
 	}
-	g.bar.wait()
-	return s
+	if !g.bar.wait() {
+		return 0, c.abortErr()
+	}
+	return s, nil
 }
 
 // AllreduceMin returns the minimum of x across ranks, on every rank.
-func (c *Comm) AllreduceMin(x float64) float64 {
+func (c *Comm) AllreduceMin(x float64) (float64, error) {
 	g := c.g
 	g.floats[c.rank] = x
 	c.syncCount(2)
-	g.bar.wait()
+	if !g.bar.wait() {
+		return 0, c.abortErr()
+	}
 	m := g.floats[0]
 	for _, v := range g.floats[1:] {
 		if v < m {
 			m = v
 		}
 	}
-	g.bar.wait()
-	return m
+	if !g.bar.wait() {
+		return 0, c.abortErr()
+	}
+	return m, nil
 }
 
 // AllreduceSumVec sums x elementwise across ranks, in place: on
@@ -316,7 +418,9 @@ func (c *Comm) AllreduceSumVec(x []float64) error {
 		g.fscratch[c.rank] = make([]float64, len(x))
 	}
 	tmp := g.fscratch[c.rank][:len(x)]
-	g.bar.wait()
+	if !g.bar.wait() {
+		return c.abortErr()
+	}
 	for _, v := range g.fvecs {
 		if len(v) != len(x) {
 			// Leave no rank stranded at the closing barrier: finish the
@@ -334,7 +438,9 @@ func (c *Comm) AllreduceSumVec(x []float64) error {
 			tmp[i] += w
 		}
 	}
-	g.bar.wait()
+	if !g.bar.wait() {
+		return c.abortErr()
+	}
 	copy(x, tmp)
 	ctr := &g.counters[c.rank]
 	ctr.Syncs += 2
@@ -375,7 +481,9 @@ func (c *Comm) Sendrecv(partner int, buf []complex128, recv []complex128) error 
 		partner = -1
 	}
 	g.bufs[c.rank] = buf
-	g.bar.wait()
+	if !g.bar.wait() {
+		return c.abortErr()
+	}
 	ctr := &g.counters[c.rank]
 	if partner >= 0 && partner != c.rank {
 		src := g.bufs[partner]
@@ -388,7 +496,9 @@ func (c *Comm) Sendrecv(partner int, buf []complex128, recv []complex128) error 
 			ctr.BytesSent += int64(len(buf)) * 16
 		}
 	}
-	g.bar.wait()
+	if !g.bar.wait() {
+		return c.abortErr()
+	}
 	ctr.Syncs += 2
 	ctr.CommWall += time.Since(start)
 	return err
@@ -397,11 +507,13 @@ func (c *Comm) Sendrecv(partner int, buf []complex128, recv []complex128) error 
 // AllGather concatenates every rank's local buffer in rank order and
 // returns the full vector on every rank (the paper's mpi_gather=True
 // output path).
-func (c *Comm) AllGather(local []complex128) []complex128 {
+func (c *Comm) AllGather(local []complex128) ([]complex128, error) {
 	g := c.g
 	g.bufs[c.rank] = local
 	c.syncCount(2)
-	g.bar.wait()
+	if !g.bar.wait() {
+		return nil, c.abortErr()
+	}
 	total := 0
 	for _, b := range g.bufs {
 		total += len(b)
@@ -410,8 +522,10 @@ func (c *Comm) AllGather(local []complex128) []complex128 {
 	for _, b := range g.bufs {
 		out = append(out, b...)
 	}
-	g.bar.wait()
-	return out
+	if !g.bar.wait() {
+		return nil, c.abortErr()
+	}
+	return out, nil
 }
 
 func (c *Comm) syncCount(n int64) {
@@ -419,13 +533,17 @@ func (c *Comm) syncCount(n int64) {
 	ctr.Syncs += n
 }
 
-// barrier is a reusable (cyclic) barrier for a fixed party count.
+// barrier is a reusable (cyclic) barrier for a fixed party count. It
+// can be poisoned: every waiter (current and future) is released with
+// wait() == false, which is how an aborted group unwinds ranks blocked
+// in collectives without deadlocking their peers.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	size  int
-	count int
-	gen   uint64
+	mu       sync.Mutex
+	cond     *sync.Cond
+	size     int
+	count    int
+	gen      uint64
+	poisoned bool
 }
 
 func newBarrier(size int) *barrier {
@@ -434,8 +552,14 @@ func newBarrier(size int) *barrier {
 	return b
 }
 
-func (b *barrier) wait() {
+// wait blocks until all parties arrive and reports true, or returns
+// false immediately once the barrier is poisoned.
+func (b *barrier) wait() bool {
 	b.mu.Lock()
+	if b.poisoned {
+		b.mu.Unlock()
+		return false
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.size {
@@ -443,10 +567,21 @@ func (b *barrier) wait() {
 		b.gen++
 		b.cond.Broadcast()
 		b.mu.Unlock()
-		return
+		return true
 	}
-	for gen == b.gen {
+	for gen == b.gen && !b.poisoned {
 		b.cond.Wait()
 	}
+	ok := !b.poisoned
+	b.mu.Unlock()
+	return ok
+}
+
+// poison releases all waiters with false and makes every future wait
+// fail. Irreversible: the arrival count is left inconsistent.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
 	b.mu.Unlock()
 }

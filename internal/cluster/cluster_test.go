@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -107,11 +109,11 @@ func TestAllreduceSumAndMin(t *testing.T) {
 	}
 	err = g.Run(func(c *Comm) error {
 		x := float64(c.Rank() + 1)
-		if got := c.AllreduceSum(x); got != 15 {
-			return fmt.Errorf("rank %d: sum %v, want 15", c.Rank(), got)
+		if got, err := c.AllreduceSum(x); err != nil || got != 15 {
+			return fmt.Errorf("rank %d: sum %v (err %v), want 15", c.Rank(), got, err)
 		}
-		if got := c.AllreduceMin(-x); got != -5 {
-			return fmt.Errorf("rank %d: min %v, want -5", c.Rank(), got)
+		if got, err := c.AllreduceMin(-x); err != nil || got != -5 {
+			return fmt.Errorf("rank %d: min %v (err %v), want -5", c.Rank(), got, err)
 		}
 		return nil
 	})
@@ -127,7 +129,10 @@ func TestAllGather(t *testing.T) {
 	}
 	err = g.Run(func(c *Comm) error {
 		local := []complex128{complex(float64(c.Rank()), 0), complex(float64(c.Rank()), 1)}
-		full := c.AllGather(local)
+		full, err := c.AllGather(local)
+		if err != nil {
+			return err
+		}
 		if len(full) != 6 {
 			return fmt.Errorf("gathered %d elements", len(full))
 		}
@@ -151,7 +156,9 @@ func TestBarrierSynchronizes(t *testing.T) {
 	var phase atomic.Int64
 	err = g.Run(func(c *Comm) error {
 		phase.Add(1)
-		c.Barrier()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
 		if got := phase.Load(); got != 4 {
 			return fmt.Errorf("rank %d passed barrier with phase %d", c.Rank(), got)
 		}
@@ -261,8 +268,8 @@ func TestGroupSizeOne(t *testing.T) {
 		if buf[0] != 1 || buf[1] != 2 {
 			return fmt.Errorf("K=1 all-to-all changed data")
 		}
-		if s := c.AllreduceSum(3.5); s != 3.5 {
-			return fmt.Errorf("K=1 sum %v", s)
+		if s, err := c.AllreduceSum(3.5); err != nil || s != 3.5 {
+			return fmt.Errorf("K=1 sum %v (err %v)", s, err)
 		}
 		return nil
 	})
@@ -404,6 +411,104 @@ func TestSendrecvSelfIsNoop(t *testing.T) {
 	}
 	if g.TotalCounters().Messages != 0 {
 		t.Error("self exchange counted a message")
+	}
+}
+
+// TestRunContextCancellation is the cancellation contract of the
+// substrate: cancelling the context mid-collective releases every rank
+// (no deadlock at the barrier), RunContext reports ctx.Err(), and the
+// poisoned group refuses further runs.
+func TestRunContextCancellation(t *testing.T) {
+	g, err := NewGroup(4, Transpose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var entered atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- g.RunContext(ctx, func(c *Comm) error {
+			buf := make([]complex128, 8)
+			for {
+				// Rank 3 never joins the second collective, so without
+				// poisoning the peers would block forever.
+				if c.Rank() == 3 && entered.Load() >= 4 {
+					<-ctx.Done()
+					return ctx.Err()
+				}
+				entered.Add(1)
+				if err := c.Alltoall(buf); err != nil {
+					return err
+				}
+			}
+		})
+	}()
+	for entered.Load() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("RunContext returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled group deadlocked")
+	}
+	// The group is permanently dead.
+	if err := g.Run(func(c *Comm) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("aborted group ran again: %v", err)
+	}
+}
+
+// TestRunContextPreCancelled: a context that is already cancelled must
+// fail fast without launching ranks or poisoning the group.
+func TestRunContextPreCancelled(t *testing.T) {
+	g, _ := NewGroup(2, Transpose)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.RunContext(ctx, func(c *Comm) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled RunContext returned %v", err)
+	}
+	// The group was not poisoned: a normal run still works.
+	if err := g.Run(func(c *Comm) error { return c.Barrier() }); err != nil {
+		t.Errorf("group unusable after pre-cancelled run: %v", err)
+	}
+}
+
+// TestAbortReleasesBlockedCollectives covers every collective kind:
+// ranks parked in scalar reductions, gathers, and barriers all unwind
+// with ErrAborted when the group is aborted explicitly.
+func TestAbortReleasesBlockedCollectives(t *testing.T) {
+	g, _ := NewGroup(4, Transpose)
+	done := make(chan error, 1)
+	go func() {
+		done <- g.Run(func(c *Comm) error {
+			switch c.Rank() {
+			case 0:
+				_, err := c.AllreduceSum(1)
+				return err
+			case 1:
+				_, err := c.AllreduceMin(1)
+				return err
+			case 2:
+				_, err := c.AllGather([]complex128{1})
+				return err
+			default:
+				// Rank 3 aborts instead of joining, stranding the rest.
+				time.Sleep(10 * time.Millisecond)
+				g.Abort(nil)
+				return nil
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrAborted) {
+			t.Errorf("aborted collectives returned %v, want ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abort did not release blocked collectives")
 	}
 }
 

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"qokit/internal/poly"
+)
+
+// TestSimulatorEvaluatorContract pins the Simulator's direct
+// evaluator.Evaluator implementation against the SimulateQAOA paths.
+func TestSimulatorEvaluatorContract(t *testing.T) {
+	const n, p = 6, 2
+	terms := poly.New(poly.NewTerm(1, 0, 1), poly.NewTerm(-0.5, 2, 4), poly.NewTerm(0.7, 1, 3, 5))
+	sim, err := New(n, terms, Options{Backend: BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := []float64{0.3, 0.8}
+	beta := []float64{0.5, 0.1}
+	x := append(append([]float64(nil), gamma...), beta...)
+
+	e, err := sim.Energy(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != ref.Expectation() {
+		t.Errorf("Energy %v != SimulateQAOA %v", e, ref.Expectation())
+	}
+
+	g := make([]float64, 2*p)
+	eg, err := sim.EnergyGrad(context.Background(), x, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantE, wG, wB, err := sim.SimulateQAOAGrad(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eg != wantE {
+		t.Errorf("EnergyGrad energy %v != %v", eg, wantE)
+	}
+	for l := 0; l < p; l++ {
+		if g[l] != wG[l] || g[p+l] != wB[l] {
+			t.Errorf("layer %d: flat grad (%v, %v) != (%v, %v)", l, g[l], g[p+l], wG[l], wB[l])
+		}
+	}
+
+	caps := sim.Caps()
+	if caps.NumQubits != n || !caps.Grad || caps.Ranks != 1 || caps.StateBytes != 16<<n {
+		t.Errorf("Caps = %+v", caps)
+	}
+
+	// Validation and cancellation.
+	if _, err := sim.Energy(context.Background(), x[:3]); err == nil {
+		t.Error("odd-length vector accepted")
+	}
+	if _, err := sim.EnergyGrad(context.Background(), x, g[:2]); err == nil {
+		t.Error("short gradient storage accepted")
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.Energy(cancelled, x); err == nil {
+		t.Error("cancelled Energy evaluated")
+	}
+}

@@ -32,6 +32,7 @@
 package distsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -63,6 +64,11 @@ type Options struct {
 	// mixers (≤ 0 selects n/2, matching the single-node default).
 	// Ignored for MixerX.
 	HammingWeight int
+	// Concurrency is the number of evaluations a GradEngine may run in
+	// flight at once (≤ 0 selects 1, the memory footprint of the old
+	// single-flight engine). Each concurrent evaluation leases its own
+	// rank group and state buffers, so memory grows linearly with it.
+	Concurrency int
 }
 
 // validate checks the option set against the problem size and resolves
@@ -86,7 +92,18 @@ func (o Options) validate(n int) (k int, err error) {
 	if o.Mixer != core.MixerX && o.HammingWeight > n {
 		return 0, fmt.Errorf("distsim: Options.HammingWeight=%d exceeds n=%d", o.HammingWeight, n)
 	}
+	if o.Concurrency < 0 {
+		return 0, fmt.Errorf("distsim: Options.Concurrency=%d must be ≥ 0", o.Concurrency)
+	}
 	return k, nil
+}
+
+// concurrency resolves the lease cap the options select.
+func (o Options) concurrency() int {
+	if o.Concurrency > 0 {
+		return o.Concurrency
+	}
+	return 1
 }
 
 // hammingWeight resolves the Dicke weight the options select.
@@ -112,8 +129,9 @@ type Result struct {
 }
 
 // SimulateQAOA runs the full distributed Algorithm 3/4 pipeline for
-// the problem given by terms.
-func SimulateQAOA(n int, terms poly.Terms, gamma, beta []float64, opts Options) (*Result, error) {
+// the problem given by terms. Cancelling ctx releases every rank from
+// its next collective and returns ctx.Err().
+func SimulateQAOA(ctx context.Context, n int, terms poly.Terms, gamma, beta []float64, opts Options) (*Result, error) {
 	if err := terms.Validate(n); err != nil {
 		return nil, err
 	}
@@ -144,7 +162,7 @@ func SimulateQAOA(n int, terms poly.Terms, gamma, beta []float64, opts Options) 
 	overlapParts := make([]float64, opts.Ranks)
 	minParts := make([]float64, opts.Ranks)
 
-	err = g.Run(func(c *cluster.Comm) error {
+	err = g.RunContext(ctx, func(c *cluster.Comm) error {
 		rank := c.Rank()
 		offset := uint64(rank) << uint(localN)
 
@@ -155,9 +173,10 @@ func SimulateQAOA(n int, terms poly.Terms, gamma, beta []float64, opts Options) 
 		// Local slice of the initial state (|+⟩^n or the Dicke shard).
 		local := make(statevec.Vec, localSize)
 		initLocalState(local, n, rank, opts.Mixer, hw)
-		var recv statevec.Vec
+		var recv, send statevec.Vec
 		if restrict {
 			recv = make(statevec.Vec, localSize)
+			send = make(statevec.Vec, localSize/2)
 		}
 
 		for l := range gamma {
@@ -166,13 +185,17 @@ func SimulateQAOA(n int, terms poly.Terms, gamma, beta []float64, opts Options) 
 				if err := distributedMixer(c, local, n, k, beta[l]); err != nil {
 					return err
 				}
-			} else if err := distributedMixerXY(c, local, recv, localN, edges, beta[l]); err != nil {
+			} else if err := distributedMixerXY(c, local, recv, send, localN, edges, beta[l]); err != nil {
 				return err
 			}
 		}
 
 		// Objective: local partial sums + all-reduce.
-		expectParts[rank] = c.AllreduceSum(statevec.ExpectationDiag(local, diag))
+		e, err := c.AllreduceSum(statevec.ExpectationDiag(local, diag))
+		if err != nil {
+			return err
+		}
+		expectParts[rank] = e
 
 		// Ground states: global (feasible-subspace) minimum, then local
 		// overlap mass. The xy mixers never leave the fixed-Hamming-
@@ -187,7 +210,10 @@ func SimulateQAOA(n int, terms poly.Terms, gamma, beta []float64, opts Options) 
 				localMin = v
 			}
 		}
-		globalMin := c.AllreduceMin(localMin)
+		globalMin, err := c.AllreduceMin(localMin)
+		if err != nil {
+			return err
+		}
 		minParts[rank] = globalMin
 		var ov float64
 		for i, v := range diag {
@@ -199,10 +225,15 @@ func SimulateQAOA(n int, terms poly.Terms, gamma, beta []float64, opts Options) 
 				ov += real(a)*real(a) + imag(a)*imag(a)
 			}
 		}
-		overlapParts[rank] = c.AllreduceSum(ov)
+		if overlapParts[rank], err = c.AllreduceSum(ov); err != nil {
+			return err
+		}
 
 		if opts.Gather {
-			full := c.AllGather(local)
+			full, err := c.AllGather(local)
+			if err != nil {
+				return err
+			}
 			if rank == 0 {
 				locals[0] = full
 			}
@@ -288,9 +319,13 @@ func distributedMixer(c *cluster.Comm, local statevec.Vec, n, k int, beta float6
 
 // distributedMixerXY applies one Trotter step of an xy mixer to the
 // sharded state, sweeping edges in the exact single-node order. Local
-// edges are communication-free; each edge touching a global qubit
-// costs one slice exchange with the partner rank.
-func distributedMixerXY(c *cluster.Comm, local, recv statevec.Vec, localN int, edges []graphs.Edge, beta float64) error {
+// edges are communication-free. A half-remote edge (one local, one
+// global qubit) exchanges only the selected half-slice — each rank
+// sends exactly the entries its partner consumes, packed contiguously
+// into send — halving the wire volume relative to a full-slice
+// exchange. A fully-global edge pairs every local amplitude with the
+// same index on the partner rank, so its full slice is irreducible.
+func distributedMixerXY(c *cluster.Comm, local, recv, send statevec.Vec, localN int, edges []graphs.Edge, beta float64) error {
 	s64, c64 := math.Sincos(beta)
 	cc, ss := complex(c64, 0), complex(0, -s64)
 	for _, e := range edges {
@@ -300,6 +335,15 @@ func distributedMixerXY(c *cluster.Comm, local, recv statevec.Vec, localN int, e
 			continue
 		}
 		partner, uMask, selMask, selVal := xyEdgePlan(c.Rank(), localN, u, v)
+		if uMask != 0 {
+			half := len(local) / 2
+			packHalf(send[:half], local, uMask, selVal)
+			if err := c.Sendrecv(partner, send[:half], recv[:half]); err != nil {
+				return err
+			}
+			applyRemotePairsHalf(local, recv[:half], uMask, selVal, cc, ss)
+			continue
+		}
 		if err := c.Sendrecv(partner, local, recv); err != nil {
 			return err
 		}
@@ -357,12 +401,60 @@ func xyEdgePlan(rank, localN, u, v int) (partner, uMask, selMask, selVal int) {
 // applyRemotePairs rotates the selected amplitude pairs (local[x],
 // remote[x^uMask]) by [[cc, ss], [ss, cc]], writing only the local
 // half — the partner rank runs the same kernel for the other half.
+// remote is a full partner slice; the half-remote fast path uses
+// applyRemotePairsHalf on a packed half-slice instead.
 func applyRemotePairs(local, remote statevec.Vec, uMask, selMask, selVal int, cc, ss complex128) {
 	for x := range local {
 		if x&selMask == selVal {
 			local[x] = cc*local[x] + ss*remote[x^uMask]
 		}
 	}
+}
+
+// packHalf gathers the entries this rank contributes to a half-remote
+// exchange — src[x] for x & uMask == selVal, in ascending x — into the
+// contiguous dst. Because both sides of the pair share every index bit
+// except bit u, ascending order on the sender lines packed index i up
+// with the receiver's ascending selected x: entry i is exactly
+// src[x^uMask] for the receiver's i-th selected x. The packed
+// half-slice is what crosses the wire — half the bytes of the full
+// slice the pre-optimization exchange moved.
+func packHalf(dst, src statevec.Vec, uMask, selVal int) {
+	i := 0
+	for x := selVal; x < len(src); x++ {
+		if x&uMask == selVal {
+			dst[i] = src[x]
+			i++
+		}
+	}
+}
+
+// applyRemotePairsHalf is applyRemotePairs against a packed half-slice
+// from packHalf: the i-th selected local entry pairs with remoteHalf[i].
+func applyRemotePairsHalf(local statevec.Vec, remoteHalf statevec.Vec, uMask, selVal int, cc, ss complex128) {
+	i := 0
+	for x := selVal; x < len(local); x++ {
+		if x&uMask == selVal {
+			local[x] = cc*local[x] + ss*remoteHalf[i]
+			i++
+		}
+	}
+}
+
+// imDotRemotePairsHalf is imDotRemotePairs against a packed half-slice:
+// this rank's half of Im ⟨λ|H_e|ψ⟩ with the partner's ψ entries
+// arriving as packHalf output.
+func imDotRemotePairsHalf(lam statevec.Vec, psiHalf statevec.Vec, uMask, selVal int) float64 {
+	var s float64
+	i := 0
+	for x := selVal; x < len(lam); x++ {
+		if x&uMask == selVal {
+			p := psiHalf[i]
+			s += real(lam[x])*imag(p) - imag(lam[x])*real(p)
+			i++
+		}
+	}
+	return s
 }
 
 // imDotRemotePairs accumulates this rank's half of Im ⟨λ|H_e|ψ⟩ for a

@@ -1,6 +1,7 @@
 package distsim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -43,7 +44,7 @@ func TestDistributedMatchesSingleNode(t *testing.T) {
 
 		for _, algo := range []cluster.AlltoallAlgo{cluster.Pairwise, cluster.Transpose} {
 			for _, k := range []int{1, 2, 4, 8, 16} {
-				res, err := SimulateQAOA(n, ts, gamma, beta, Options{Ranks: k, Algo: algo, Gather: true})
+				res, err := SimulateQAOA(context.Background(), n, ts, gamma, beta, Options{Ranks: k, Algo: algo, Gather: true})
 				if err != nil {
 					t.Fatalf("%s %v K=%d: %v", problem, algo, k, err)
 				}
@@ -71,14 +72,14 @@ func TestCommunicationOnlyForGlobalQubits(t *testing.T) {
 	ts := problems.LABSTerms(n)
 	gamma := []float64{0.3, 0.5}
 	beta := []float64{0.4, 0.1}
-	res1, err := SimulateQAOA(n, ts, gamma[:p], beta[:p], Options{Ranks: 1, Algo: cluster.Transpose})
+	res1, err := SimulateQAOA(context.Background(), n, ts, gamma[:p], beta[:p], Options{Ranks: 1, Algo: cluster.Transpose})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res1.Comm.BytesSent != 0 {
 		t.Errorf("K=1 sent %d bytes", res1.Comm.BytesSent)
 	}
-	res4, err := SimulateQAOA(n, ts, gamma[:p], beta[:p], Options{Ranks: 4, Algo: cluster.Transpose})
+	res4, err := SimulateQAOA(context.Background(), n, ts, gamma[:p], beta[:p], Options{Ranks: 4, Algo: cluster.Transpose})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,19 +95,19 @@ func TestCommunicationOnlyForGlobalQubits(t *testing.T) {
 
 func TestValidation(t *testing.T) {
 	ts := problems.LABSTerms(4)
-	if _, err := SimulateQAOA(4, ts, []float64{1}, []float64{1}, Options{Ranks: 3}); err == nil {
+	if _, err := SimulateQAOA(context.Background(), 4, ts, []float64{1}, []float64{1}, Options{Ranks: 3}); err == nil {
 		t.Error("non-power-of-two ranks accepted")
 	}
-	if _, err := SimulateQAOA(4, ts, []float64{1}, []float64{1}, Options{Ranks: 8}); err == nil {
+	if _, err := SimulateQAOA(context.Background(), 4, ts, []float64{1}, []float64{1}, Options{Ranks: 8}); err == nil {
 		t.Error("2k > n accepted")
 	}
-	if _, err := SimulateQAOA(4, ts, []float64{1}, []float64{1, 2}, Options{Ranks: 2}); err == nil {
+	if _, err := SimulateQAOA(context.Background(), 4, ts, []float64{1}, []float64{1, 2}, Options{Ranks: 2}); err == nil {
 		t.Error("mismatched angles accepted")
 	}
-	if _, err := SimulateQAOA(4, ts, []float64{1}, []float64{1}, Options{Ranks: 2, Mixer: core.Mixer(42)}); err == nil {
+	if _, err := SimulateQAOA(context.Background(), 4, ts, []float64{1}, []float64{1}, Options{Ranks: 2, Mixer: core.Mixer(42)}); err == nil {
 		t.Error("unknown mixer accepted by distributed simulator")
 	}
-	if _, err := SimulateQAOA(4, ts, nil, nil, Options{Ranks: 0}); err == nil {
+	if _, err := SimulateQAOA(context.Background(), 4, ts, nil, nil, Options{Ranks: 0}); err == nil {
 		t.Error("zero ranks accepted")
 	}
 }
@@ -140,7 +141,7 @@ func TestDistributedXYMatchesSingleNode(t *testing.T) {
 		}
 		refState := ref.StateVector()
 		for _, k := range []int{1, 2, 4, 8, 16} {
-			res, err := SimulateQAOA(n, ts, gamma, beta, Options{Ranks: k, Algo: cluster.Transpose, Mixer: mixer, Gather: true})
+			res, err := SimulateQAOA(context.Background(), n, ts, gamma, beta, Options{Ranks: k, Algo: cluster.Transpose, Mixer: mixer, Gather: true})
 			if err != nil {
 				t.Fatalf("%v K=%d: %v", mixer, k, err)
 			}
@@ -167,7 +168,7 @@ func TestDistributedXYMatchesSingleNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := SimulateQAOA(n, ts, gamma, beta, Options{Ranks: 4, Mixer: core.MixerXYRing, HammingWeight: 3, Gather: true})
+	res, err := SimulateQAOA(context.Background(), n, ts, gamma, beta, Options{Ranks: 4, Mixer: core.MixerXYRing, HammingWeight: 3, Gather: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestMixerOnlyValidation(t *testing.T) {
 }
 
 func TestGatherFalseOmitsState(t *testing.T) {
-	res, err := SimulateQAOA(6, problems.LABSTerms(6), []float64{0.3}, []float64{0.4},
+	res, err := SimulateQAOA(context.Background(), 6, problems.LABSTerms(6), []float64{0.3}, []float64{0.4},
 		Options{Ranks: 2, Algo: cluster.Transpose, Gather: false})
 	if err != nil {
 		t.Fatal(err)
@@ -241,7 +242,7 @@ func TestDistributedPrecomputeMatchesDiag(t *testing.T) {
 	// and expectation must equal the true mean cost.
 	n := 6
 	ts := problems.LABSTerms(n)
-	res, err := SimulateQAOA(n, ts, nil, nil, Options{Ranks: 4, Algo: cluster.Pairwise, Gather: true})
+	res, err := SimulateQAOA(context.Background(), n, ts, nil, nil, Options{Ranks: 4, Algo: cluster.Pairwise, Gather: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,4 +257,65 @@ func TestDistributedPrecomputeMatchesDiag(t *testing.T) {
 	if math.Abs(res.Expectation-mean) > 1e-9 {
 		t.Errorf("uniform-state expectation %v, want mean cost %v", res.Expectation, mean)
 	}
+}
+
+// TestXYHalfSliceTraffic pins the half-slice optimization's wire
+// volume: a half-remote xy edge (one local, one global qubit) moves
+// exactly half a local slice per rank — the selected entries — where
+// the pre-optimization exchange moved the full slice; fully-global
+// edges still move full slices only on their two active ranks. The
+// expected bytes are computed from the edge categories, and the halved
+// total is asserted to be exactly half the old full-slice formula for
+// a ring whose global-touching edges are all half-remote.
+func TestXYHalfSliceTraffic(t *testing.T) {
+	const n = 8
+	ts := problems.MaxCutTerms(mustRing(t, n))
+	gamma := []float64{0.3}
+	beta := []float64{0.4}
+
+	// K=2 (k=1): ring edges touching global qubit 7 are (6,7) and
+	// (0,7), both half-remote. Per rank per layer: 2 × (2^7)/2 × 16 B.
+	res2, err := SimulateQAOA(context.Background(), n, ts, gamma, beta,
+		Options{Ranks: 2, Algo: cluster.Transpose, Mixer: core.MixerXYRing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localSize := 1 << (n - 1)
+	wantHalf := int64(2 * (localSize / 2) * 16)
+	oldFull := int64(2 * localSize * 16)
+	for r, ctr := range res2.PerRank {
+		if ctr.BytesSent != wantHalf {
+			t.Errorf("K=2 rank %d sent %d bytes, want %d (half-slice)", r, ctr.BytesSent, wantHalf)
+		}
+	}
+	if 2*res2.PerRank[0].BytesSent != oldFull {
+		t.Errorf("half-slice volume %d is not half the full-slice %d", res2.PerRank[0].BytesSent, oldFull)
+	}
+
+	// K=4 (k=2): (5,6) and (0,7) are half-remote on every rank; (6,7)
+	// is fully global — only the two ranks whose bits differ exchange,
+	// and they need the full slice.
+	res4, err := SimulateQAOA(context.Background(), n, ts, gamma, beta,
+		Options{Ranks: 4, Algo: cluster.Transpose, Mixer: core.MixerXYRing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local4 := 1 << (n - 2)
+	half := int64(local4 / 2 * 16)
+	full := int64(local4 * 16)
+	want := []int64{2 * half, 2*half + full, 2*half + full, 2 * half}
+	for r, ctr := range res4.PerRank {
+		if ctr.BytesSent != want[r] {
+			t.Errorf("K=4 rank %d sent %d bytes, want %d", r, ctr.BytesSent, want[r])
+		}
+	}
+}
+
+func mustRing(t *testing.T, n int) graphs.Graph {
+	t.Helper()
+	g := graphs.Graph{N: n}
+	for i := 0; i < n; i++ {
+		g.Edges = append(g.Edges, graphs.Edge{U: i, V: (i + 1) % n})
+	}
+	return g
 }

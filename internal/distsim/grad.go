@@ -21,39 +21,73 @@
 package distsim
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"qokit/internal/cluster"
 	"qokit/internal/core"
 	"qokit/internal/costvec"
+	"qokit/internal/evaluator"
 	"qokit/internal/graphs"
 	"qokit/internal/poly"
 	"qokit/internal/statevec"
 )
 
 // GradEngine evaluates distributed energies and exact adjoint
-// gradients for one problem instance: the cluster group, per-rank
-// diagonal slices, and per-rank state buffers are built once and
-// reused by every evaluation, so a warmed-up optimizer loop performs
-// no per-evaluation state-vector allocations. An engine is bound to
-// one problem the way core.Simulator is; unlike the sweep engines it
-// is NOT safe for concurrent use — each evaluation owns every rank
-// buffer (parallelism comes from the ranks themselves).
+// gradients for one problem instance. The per-rank diagonal slices are
+// precomputed once and shared read-only; everything an in-flight
+// evaluation mutates — the cluster rank group and the per-rank state,
+// scratch, and partial buffers — is bundled into a lease. The engine
+// keeps up to Options.Concurrency leases (default 1), so it IS safe
+// for concurrent use: each evaluation checks out its own rank group,
+// runs the full collective pipeline on it, and returns it warm for the
+// next evaluation. This is what lifts the old single-flight
+// restriction — two optimizers (or one serving layer's workers) drive
+// the same engine and their rank groups interleave on the host like
+// two jobs on a real cluster. A warmed-up loop still performs no
+// per-evaluation state-vector allocations; memory grows linearly with
+// Concurrency, not with call rate.
 type GradEngine struct {
 	n, k, hw int
 	opts     Options
-	group    *cluster.Group
 	edges    []graphs.Edge
 
+	// diags is shared read-only by every lease.
 	diags [][]float64
+
+	// slots holds one token per allowed concurrent evaluation; a nil
+	// token means the lease is allocated on first use. Leases poisoned
+	// by cancellation are dropped and their token returns as nil again.
+	slots chan *gradLease
+
+	// mu guards the lease registry and the dead-lease counter
+	// snapshots. all holds only live leases; a lease discarded after
+	// cancellation folds its counters into deadTotal/deadRank and is
+	// dropped, so its state buffers are released to the GC instead of
+	// pinning state-vector-scale memory per cancellation.
+	mu        sync.Mutex
+	all       []*gradLease
+	deadTotal cluster.Counters
+	deadRank  []cluster.Counters
+}
+
+// gradLease is one evaluation's worth of mutable distributed state:
+// a rank group plus per-rank adjoint pair, xy exchange scratch, and
+// gradient-partial buffers.
+type gradLease struct {
+	group *cluster.Group
 	psi   []statevec.Vec
 	lam   []statevec.Vec
-	// recvPsi/recvLam are the per-rank Sendrecv scratch slices the xy
-	// partner exchanges land in (nil for the transverse-field mixer,
-	// whose collectives are in-place all-to-alls).
+	// recvPsi/recvLam/send are the per-rank Sendrecv scratch slices the
+	// xy partner exchanges use (nil for the transverse-field mixer,
+	// whose collectives are in-place all-to-alls). send is half-slice
+	// sized: half-remote edges pack and exchange only the selected
+	// half.
 	recvPsi []statevec.Vec
 	recvLam []statevec.Vec
+	send    []statevec.Vec
 	// flat is the per-rank [∂γ…, ∂β…] partial buffer the final vector
 	// all-reduce combines, grown to 2p on first use.
 	flat [][]float64
@@ -61,8 +95,9 @@ type GradEngine struct {
 
 // NewGradEngine builds a distributed gradient engine for an n-qubit
 // problem given as polynomial terms: each rank's diagonal slice is
-// precomputed locally (no communication), and two state buffers per
-// rank are allocated for the adjoint pair.
+// precomputed locally (no communication). Rank groups and state
+// buffers are leased per evaluation, up to Options.Concurrency in
+// flight at once.
 func NewGradEngine(n int, terms poly.Terms, opts Options) (*GradEngine, error) {
 	if err := terms.Validate(n); err != nil {
 		return nil, err
@@ -75,39 +110,115 @@ func NewGradEngine(n int, terms poly.Terms, opts Options) (*GradEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := cluster.NewGroup(opts.Ranks, opts.Algo)
-	if err != nil {
-		return nil, err
-	}
 	compiled := poly.Compile(terms)
 	localN := n - k
 	localSize := 1 << uint(localN)
 	e := &GradEngine{
 		n: n, k: k, hw: opts.hammingWeight(n),
-		opts:  opts,
-		group: g,
-		edges: edges,
-		diags: make([][]float64, opts.Ranks),
-		psi:   make([]statevec.Vec, opts.Ranks),
-		lam:   make([]statevec.Vec, opts.Ranks),
-		flat:  make([][]float64, opts.Ranks),
+		opts:     opts,
+		edges:    edges,
+		diags:    make([][]float64, opts.Ranks),
+		slots:    make(chan *gradLease, opts.concurrency()),
+		deadRank: make([]cluster.Counters, opts.Ranks),
 	}
-	if opts.Mixer != core.MixerX {
-		e.recvPsi = make([]statevec.Vec, opts.Ranks)
-		e.recvLam = make([]statevec.Vec, opts.Ranks)
+	for i := 0; i < opts.concurrency(); i++ {
+		e.slots <- nil
 	}
 	for r := 0; r < opts.Ranks; r++ {
 		diag := make([]float64, localSize)
 		costvec.PrecomputeRange(compiled, uint64(r)<<uint(localN), diag)
 		e.diags[r] = diag
-		e.psi[r] = make(statevec.Vec, localSize)
-		e.lam[r] = make(statevec.Vec, localSize)
-		if opts.Mixer != core.MixerX {
-			e.recvPsi[r] = make(statevec.Vec, localSize)
-			e.recvLam[r] = make(statevec.Vec, localSize)
-		}
 	}
 	return e, nil
+}
+
+// newLease allocates one evaluation's rank group and buffers and
+// registers it for counter aggregation.
+func (e *GradEngine) newLease() (*gradLease, error) {
+	g, err := cluster.NewGroup(e.opts.Ranks, e.opts.Algo)
+	if err != nil {
+		return nil, err
+	}
+	localSize := 1 << uint(e.n-e.k)
+	l := &gradLease{
+		group: g,
+		psi:   make([]statevec.Vec, e.opts.Ranks),
+		lam:   make([]statevec.Vec, e.opts.Ranks),
+		flat:  make([][]float64, e.opts.Ranks),
+	}
+	if e.opts.Mixer != core.MixerX {
+		l.recvPsi = make([]statevec.Vec, e.opts.Ranks)
+		l.recvLam = make([]statevec.Vec, e.opts.Ranks)
+		l.send = make([]statevec.Vec, e.opts.Ranks)
+	}
+	for r := 0; r < e.opts.Ranks; r++ {
+		l.psi[r] = make(statevec.Vec, localSize)
+		l.lam[r] = make(statevec.Vec, localSize)
+		if e.opts.Mixer != core.MixerX {
+			l.recvPsi[r] = make(statevec.Vec, localSize)
+			l.recvLam[r] = make(statevec.Vec, localSize)
+			l.send[r] = make(statevec.Vec, localSize/2)
+		}
+	}
+	e.mu.Lock()
+	e.all = append(e.all, l)
+	e.mu.Unlock()
+	return l, nil
+}
+
+// acquire checks out a lease (allocating it on first use), or returns
+// early when ctx is cancelled while every lease is busy.
+func (e *GradEngine) acquire(ctx context.Context) (*gradLease, error) {
+	select {
+	case l := <-e.slots:
+		if l == nil {
+			var err error
+			if l, err = e.newLease(); err != nil {
+				e.slots <- nil // return the token
+				return nil, err
+			}
+		}
+		return l, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release returns a lease's slot. A lease whose run was aborted
+// (cancelled mid-collective) is dropped — its group is permanently
+// poisoned — after folding its counters into the dead-lease
+// snapshots; the token comes back empty so the next acquire allocates
+// fresh buffers. The dropped lease's state buffers are unreferenced,
+// so repeated cancellations pin no memory beyond the Concurrency cap.
+func (e *GradEngine) release(l *gradLease, dead bool) {
+	if dead {
+		e.mu.Lock()
+		addCounters(&e.deadTotal, l.group.TotalCounters())
+		for r := 0; r < e.opts.Ranks; r++ {
+			addCounters(&e.deadRank[r], l.group.Counters(r))
+		}
+		for i, cand := range e.all {
+			if cand == l {
+				e.all = append(e.all[:i], e.all[i+1:]...)
+				break
+			}
+		}
+		e.mu.Unlock()
+		e.slots <- nil
+		return
+	}
+	e.slots <- l
+}
+
+// addCounters folds src into dst: traffic adds, wall time takes the
+// critical-path maximum (matching cluster.Group.TotalCounters).
+func addCounters(dst *cluster.Counters, src cluster.Counters) {
+	dst.BytesSent += src.BytesSent
+	dst.Messages += src.Messages
+	dst.Syncs += src.Syncs
+	if src.CommWall > dst.CommWall {
+		dst.CommWall = src.CommWall
+	}
 }
 
 // NumQubits returns n.
@@ -117,17 +228,39 @@ func (e *GradEngine) NumQubits() int { return e.n }
 func (e *GradEngine) Ranks() int { return e.opts.Ranks }
 
 // Counters returns the summed communication counters accumulated over
-// every evaluation so far (critical-path wall time across ranks).
-func (e *GradEngine) Counters() cluster.Counters { return e.group.TotalCounters() }
+// every evaluation so far, aggregated across leases (bytes, messages,
+// and synchronizations add; wall time takes the per-lease critical
+// path's maximum). Call it only while no evaluation is in flight —
+// counters are written lock-free by rank goroutines.
+func (e *GradEngine) Counters() cluster.Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.deadTotal
+	for _, l := range e.all {
+		addCounters(&t, l.group.TotalCounters())
+	}
+	return t
+}
 
-// RankCounters returns rank r's accumulated counters.
-func (e *GradEngine) RankCounters(r int) cluster.Counters { return e.group.Counters(r) }
+// RankCounters returns rank r's accumulated counters, summed across
+// leases. Same quiescence caveat as Counters.
+func (e *GradEngine) RankCounters(r int) cluster.Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.deadRank[r]
+	for _, l := range e.all {
+		addCounters(&t, l.group.Counters(r))
+	}
+	return t
+}
 
-// EnergyGrad evaluates E(γ,β) on the sharded state and writes the
-// exact adjoint gradients ∂E/∂γ_ℓ, ∂E/∂β_ℓ into gradGamma and
+// EnergyGradAngles evaluates E(γ,β) on the sharded state and writes
+// the exact adjoint gradients ∂E/∂γ_ℓ, ∂E/∂β_ℓ into gradGamma and
 // gradBeta (length p each). The result is identical (to floating-point
-// reassociation) to core.SimulateQAOAGrad on a single node.
-func (e *GradEngine) EnergyGrad(gamma, beta, gradGamma, gradBeta []float64) (float64, error) {
+// reassociation) to core.SimulateQAOAGrad on a single node. Safe for
+// up to Options.Concurrency concurrent calls; cancelling ctx releases
+// every rank from its next collective and returns ctx.Err().
+func (e *GradEngine) EnergyGradAngles(ctx context.Context, gamma, beta, gradGamma, gradBeta []float64) (float64, error) {
 	p := len(gamma)
 	if len(beta) != p {
 		return 0, fmt.Errorf("distsim: len(gamma)=%d != len(beta)=%d", p, len(beta))
@@ -136,20 +269,27 @@ func (e *GradEngine) EnergyGrad(gamma, beta, gradGamma, gradBeta []float64) (flo
 		return 0, fmt.Errorf("distsim: gradient storage lengths (%d, %d) do not match depth p=%d",
 			len(gradGamma), len(gradBeta), p)
 	}
+	lease, err := e.acquire(ctx)
+	if err != nil {
+		return 0, err
+	}
 	var energy float64
-	err := e.group.Run(func(c *cluster.Comm) error {
+	err = lease.group.RunContext(ctx, func(c *cluster.Comm) error {
 		rank := c.Rank()
-		psi, lam, diag := e.psi[rank], e.lam[rank], e.diags[rank]
+		psi, lam, diag := lease.psi[rank], lease.lam[rank], e.diags[rank]
 
 		// Forward pass: evolve the sharded ket.
 		initLocalState(psi, e.n, rank, e.opts.Mixer, e.hw)
 		for l := 0; l < p; l++ {
 			statevec.PhaseDiag(psi, diag, gamma[l])
-			if err := e.forwardMixer(c, psi, rank, beta[l]); err != nil {
+			if err := e.forwardMixer(c, lease, psi, rank, beta[l]); err != nil {
 				return err
 			}
 		}
-		eAll := c.AllreduceSum(statevec.ExpectationDiag(psi, diag))
+		eAll, err := c.AllreduceSum(statevec.ExpectationDiag(psi, diag))
+		if err != nil {
+			return err
+		}
 		if rank == 0 {
 			energy = eAll
 		}
@@ -159,10 +299,10 @@ func (e *GradEngine) EnergyGrad(gamma, beta, gradGamma, gradBeta []float64) (flo
 		statevec.MulDiag(lam, diag)
 
 		// Reverse pass: per-layer partials accumulate rank-locally.
-		flat := e.flatBuffer(rank, 2*p)
+		flat := lease.flatBuffer(rank, 2*p)
 		gG, gB := flat[:p], flat[p:]
 		for l := p - 1; l >= 0; l-- {
-			d, err := e.reverseMixer(c, psi, lam, rank, beta[l])
+			d, err := e.reverseMixer(c, lease, psi, lam, rank, beta[l])
 			if err != nil {
 				return err
 			}
@@ -184,35 +324,110 @@ func (e *GradEngine) EnergyGrad(gamma, beta, gradGamma, gradBeta []float64) (flo
 		}
 		return nil
 	})
+	e.release(lease, err != nil)
 	if err != nil {
 		return 0, err
 	}
 	return energy, nil
 }
 
+// The distributed engine implements evaluator.Evaluator, so a serving
+// layer schedules sharded evaluations exactly like single-node ones.
+var _ evaluator.Evaluator = (*GradEngine)(nil)
+
+// Energy evaluates the objective at the flat parameter vector with a
+// forward-only sharded pass — half a gradient evaluation's work and a
+// third of its traffic (evaluator.Evaluator).
+func (e *GradEngine) Energy(ctx context.Context, x []float64) (float64, error) {
+	gamma, beta, err := evaluator.SplitFlat(x)
+	if err != nil {
+		return 0, err
+	}
+	lease, err := e.acquire(ctx)
+	if err != nil {
+		return 0, err
+	}
+	var energy float64
+	err = lease.group.RunContext(ctx, func(c *cluster.Comm) error {
+		rank := c.Rank()
+		psi, diag := lease.psi[rank], e.diags[rank]
+		initLocalState(psi, e.n, rank, e.opts.Mixer, e.hw)
+		for l := range gamma {
+			statevec.PhaseDiag(psi, diag, gamma[l])
+			if err := e.forwardMixer(c, lease, psi, rank, beta[l]); err != nil {
+				return err
+			}
+		}
+		eAll, err := c.AllreduceSum(statevec.ExpectationDiag(psi, diag))
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			energy = eAll
+		}
+		return nil
+	})
+	e.release(lease, err != nil)
+	if err != nil {
+		return 0, err
+	}
+	return energy, nil
+}
+
+// EnergyGrad evaluates the objective and its exact adjoint gradient at
+// the flat parameter vector (evaluator.Evaluator).
+func (e *GradEngine) EnergyGrad(ctx context.Context, x, grad []float64) (float64, error) {
+	gamma, beta, err := evaluator.SplitFlat(x)
+	if err != nil {
+		return 0, err
+	}
+	if err := evaluator.CheckGradStorage(x, grad); err != nil {
+		return 0, err
+	}
+	p := len(gamma)
+	return e.EnergyGradAngles(ctx, gamma, beta, grad[:p], grad[p:])
+}
+
+// Caps reports the engine's evaluation metadata: K ranks behind each
+// evaluation, Options.Concurrency evaluations in flight at once, and
+// the adjoint pair's sharded state memory per evaluation.
+func (e *GradEngine) Caps() evaluator.Caps {
+	buffers := int64(2) // psi + lam
+	if e.opts.Mixer != core.MixerX {
+		buffers = 4 // + recvPsi + recvLam (send is half, ignored)
+	}
+	return evaluator.Caps{
+		NumQubits:     e.n,
+		Grad:          true,
+		MaxConcurrent: e.opts.concurrency(),
+		Ranks:         e.opts.Ranks,
+		StateBytes:    buffers * 16 << uint(e.n),
+	}
+}
+
 // forwardMixer applies one mixer layer to a sharded state.
-func (e *GradEngine) forwardMixer(c *cluster.Comm, state statevec.Vec, rank int, beta float64) error {
+func (e *GradEngine) forwardMixer(c *cluster.Comm, l *gradLease, state statevec.Vec, rank int, beta float64) error {
 	if e.opts.Mixer == core.MixerX {
 		return distributedMixer(c, state, e.n, e.k, beta)
 	}
-	return distributedMixerXY(c, state, e.recvPsi[rank], e.n-e.k, e.edges, beta)
+	return distributedMixerXY(c, state, l.recvPsi[rank], l.send[rank], e.n-e.k, e.edges, beta)
 }
 
 // reverseMixer accumulates this rank's share of Im ⟨λ|∂B/∂β·B†|…⟩ for
 // one layer and rewinds both states through the exact mixer inverse,
 // mirroring core's mixerDerivUndo on the sharded pair.
-func (e *GradEngine) reverseMixer(c *cluster.Comm, psi, lam statevec.Vec, rank int, beta float64) (float64, error) {
+func (e *GradEngine) reverseMixer(c *cluster.Comm, l *gradLease, psi, lam statevec.Vec, rank int, beta float64) (float64, error) {
 	if e.opts.Mixer == core.MixerX {
 		return reverseMixerX(c, psi, lam, e.n, e.k, beta)
 	}
-	return reverseMixerXY(c, psi, lam, e.recvPsi[rank], e.recvLam[rank], e.n-e.k, e.edges, beta)
+	return reverseMixerXY(c, psi, lam, l.recvPsi[rank], l.recvLam[rank], l.send[rank], e.n-e.k, e.edges, beta)
 }
 
-func (e *GradEngine) flatBuffer(rank, size int) []float64 {
-	if cap(e.flat[rank]) < size {
-		e.flat[rank] = make([]float64, size)
+func (l *gradLease) flatBuffer(rank, size int) []float64 {
+	if cap(l.flat[rank]) < size {
+		l.flat[rank] = make([]float64, size)
 	}
-	return e.flat[rank][:size]
+	return l.flat[rank][:size]
 }
 
 // reverseMixerX is the transverse-field reverse sweep: the local-qubit
@@ -258,8 +473,10 @@ func reverseMixerX(c *cluster.Comm, psi, lam statevec.Vec, n, k int, beta float6
 // reverse application order (the xy factors do not commute), exactly
 // as the single-node engine does. Each global-touching edge exchanges
 // both states' slices with the partner rank — the same Sendrecv the
-// forward sweep uses, twice.
-func reverseMixerXY(c *cluster.Comm, psi, lam, recvPsi, recvLam statevec.Vec, localN int, edges []graphs.Edge, beta float64) (float64, error) {
+// forward sweep uses, twice — so the half-slice packing of half-remote
+// edges halves the reverse pass's wire volume too, keeping the
+// traffic ratio at exactly 3× one forward run.
+func reverseMixerXY(c *cluster.Comm, psi, lam, recvPsi, recvLam, send statevec.Vec, localN int, edges []graphs.Edge, beta float64) (float64, error) {
 	s64, c64 := math.Sincos(-beta)
 	cc, ss := complex(c64, 0), complex(0, -s64)
 	var d float64
@@ -272,6 +489,23 @@ func reverseMixerXY(c *cluster.Comm, psi, lam, recvPsi, recvLam statevec.Vec, lo
 			continue
 		}
 		partner, uMask, selMask, selVal := xyEdgePlan(c.Rank(), localN, u, v)
+		if uMask != 0 {
+			// Half-remote: pack each state's selected half. Sendrecv's
+			// closing barrier makes reusing one send buffer safe.
+			half := len(psi) / 2
+			packHalf(send[:half], psi, uMask, selVal)
+			if err := c.Sendrecv(partner, send[:half], recvPsi[:half]); err != nil {
+				return 0, err
+			}
+			packHalf(send[:half], lam, uMask, selVal)
+			if err := c.Sendrecv(partner, send[:half], recvLam[:half]); err != nil {
+				return 0, err
+			}
+			d += imDotRemotePairsHalf(lam, recvPsi[:half], uMask, selVal)
+			applyRemotePairsHalf(psi, recvPsi[:half], uMask, selVal, cc, ss)
+			applyRemotePairsHalf(lam, recvLam[:half], uMask, selVal, cc, ss)
+			continue
+		}
 		if err := c.Sendrecv(partner, psi, recvPsi); err != nil {
 			return 0, err
 		}
@@ -291,19 +525,15 @@ func reverseMixerXY(c *cluster.Comm, psi, lam, recvPsi, recvLam statevec.Vec, lo
 // over the flat parameter vector [γ₀…γ_{p−1}, β₀…β_{p−1}] — the form
 // internal/optimize's gradient optimizers consume, so optimize.Adam
 // runs unchanged against the sharded state. The first simulator error
-// is latched into *simErr; subsequent calls return 0 without
-// evaluating. This mirrors internal/grad.Engine.FlatObjective.
-func (e *GradEngine) FlatObjective(simErr *error) func(x, g []float64) float64 {
+// (including ctx cancellation) is latched into *simErr; subsequent
+// calls return 0 without evaluating. This mirrors
+// internal/grad.Engine.FlatObjective.
+func (e *GradEngine) FlatObjective(ctx context.Context, simErr *error) func(x, g []float64) float64 {
 	return func(x, g []float64) float64 {
 		if *simErr != nil {
 			return 0
 		}
-		if len(x)%2 != 0 || len(g) != len(x) {
-			*simErr = fmt.Errorf("distsim: flat objective needs even len(x) with len(g)=len(x), got %d/%d", len(x), len(g))
-			return 0
-		}
-		p := len(x) / 2
-		v, err := e.EnergyGrad(x[:p], x[p:], g[:p], g[p:])
+		v, err := e.EnergyGrad(ctx, x, g)
 		if err != nil {
 			*simErr = err
 			return 0
@@ -326,11 +556,11 @@ type GradResult struct {
 
 // SimulateQAOAGrad evaluates the distributed energy and exact adjoint
 // gradient with a fresh engine. Optimizer loops should build one
-// GradEngine (or use FlatObjective) and call EnergyGrad instead.
-func SimulateQAOAGrad(n int, terms poly.Terms, gamma, beta []float64, opts Options) (*GradResult, error) {
+// GradEngine (or use FlatObjective) and call EnergyGradAngles instead.
+func SimulateQAOAGrad(ctx context.Context, n int, terms poly.Terms, gamma, beta []float64, opts Options) (*GradResult, error) {
 	gradGamma := make([]float64, len(gamma))
 	gradBeta := make([]float64, len(beta))
-	energy, comm, perRank, err := simulateGradInto(n, terms, gamma, beta, gradGamma, gradBeta, opts)
+	energy, comm, perRank, err := simulateGradInto(ctx, n, terms, gamma, beta, gradGamma, gradBeta, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -346,17 +576,17 @@ func SimulateQAOAGrad(n int, terms poly.Terms, gamma, beta []float64, opts Optio
 // SimulateQAOAGradInto is SimulateQAOAGrad writing into caller-owned
 // gradient storage (length p each); it returns the energy and the
 // run's summed communication counters.
-func SimulateQAOAGradInto(n int, terms poly.Terms, gamma, beta, gradGamma, gradBeta []float64, opts Options) (float64, cluster.Counters, error) {
-	energy, comm, _, err := simulateGradInto(n, terms, gamma, beta, gradGamma, gradBeta, opts)
+func SimulateQAOAGradInto(ctx context.Context, n int, terms poly.Terms, gamma, beta, gradGamma, gradBeta []float64, opts Options) (float64, cluster.Counters, error) {
+	energy, comm, _, err := simulateGradInto(ctx, n, terms, gamma, beta, gradGamma, gradBeta, opts)
 	return energy, comm, err
 }
 
-func simulateGradInto(n int, terms poly.Terms, gamma, beta, gradGamma, gradBeta []float64, opts Options) (float64, cluster.Counters, []cluster.Counters, error) {
+func simulateGradInto(ctx context.Context, n int, terms poly.Terms, gamma, beta, gradGamma, gradBeta []float64, opts Options) (float64, cluster.Counters, []cluster.Counters, error) {
 	eng, err := NewGradEngine(n, terms, opts)
 	if err != nil {
 		return 0, cluster.Counters{}, nil, err
 	}
-	energy, err := eng.EnergyGrad(gamma, beta, gradGamma, gradBeta)
+	energy, err := eng.EnergyGradAngles(ctx, gamma, beta, gradGamma, gradBeta)
 	if err != nil {
 		return 0, cluster.Counters{}, nil, err
 	}

@@ -1,10 +1,14 @@
 package distsim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"qokit/internal/cluster"
 	"qokit/internal/core"
@@ -71,7 +75,7 @@ func TestDistributedGradMatchesSingleNode(t *testing.T) {
 				}
 				scale := math.Max(maxAbs(refGG, refGB), 1)
 				for _, ranks := range []int{1, 2, 4, 8} {
-					res, err := SimulateQAOAGrad(n, terms, gamma, beta, Options{
+					res, err := SimulateQAOAGrad(context.Background(), n, terms, gamma, beta, Options{
 						Ranks: ranks, Algo: cluster.Transpose, Mixer: mixer,
 					})
 					if err != nil {
@@ -102,11 +106,11 @@ func TestDistributedGradPairwiseAlgo(t *testing.T) {
 	terms := problems.LABSTerms(n)
 	rng := rand.New(rand.NewSource(74))
 	gamma, beta := randomAngles(rng, p)
-	a, err := SimulateQAOAGrad(n, terms, gamma, beta, Options{Ranks: 4, Algo: cluster.Transpose})
+	a, err := SimulateQAOAGrad(context.Background(), n, terms, gamma, beta, Options{Ranks: 4, Algo: cluster.Transpose})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SimulateQAOAGrad(n, terms, gamma, beta, Options{Ranks: 4, Algo: cluster.Pairwise})
+	b, err := SimulateQAOAGrad(context.Background(), n, terms, gamma, beta, Options{Ranks: 4, Algo: cluster.Pairwise})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +137,11 @@ func TestGradCommStaysMixerShaped(t *testing.T) {
 
 	for _, mixer := range []core.Mixer{core.MixerX, core.MixerXYRing, core.MixerXYComplete} {
 		opts := Options{Ranks: ranks, Algo: cluster.Transpose, Mixer: mixer}
-		fwd, err := SimulateQAOA(n, terms, gamma, beta, opts)
+		fwd, err := SimulateQAOA(context.Background(), n, terms, gamma, beta, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := SimulateQAOAGrad(n, terms, gamma, beta, opts)
+		res, err := SimulateQAOAGrad(context.Background(), n, terms, gamma, beta, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,7 +157,7 @@ func TestGradCommStaysMixerShaped(t *testing.T) {
 	// all-to-alls, each moving (K−1) subchunks of 2^{n−k}/K amplitudes.
 	k := 2 // log2(4)
 	sub := (1 << uint(n-k)) / ranks
-	res, err := SimulateQAOAGrad(n, terms, gamma, beta, Options{Ranks: ranks, Algo: cluster.Transpose})
+	res, err := SimulateQAOAGrad(context.Background(), n, terms, gamma, beta, Options{Ranks: ranks, Algo: cluster.Transpose})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,11 +188,11 @@ func TestGradEngineReuse(t *testing.T) {
 		gamma, beta := randomAngles(rng, p)
 		gg := make([]float64, p)
 		gb := make([]float64, p)
-		e1, err := eng.EnergyGrad(gamma, beta, gg, gb)
+		e1, err := eng.EnergyGradAngles(context.Background(), gamma, beta, gg, gb)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fresh, err := SimulateQAOAGrad(n, terms, gamma, beta, Options{Ranks: 4, Algo: cluster.Transpose})
+		fresh, err := SimulateQAOAGrad(context.Background(), n, terms, gamma, beta, Options{Ranks: 4, Algo: cluster.Transpose})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -220,7 +224,7 @@ func TestFlatObjectiveAdamMatchesSingleNode(t *testing.T) {
 		t.Fatal(err)
 	}
 	var distErr error
-	distRes := optimize.Adam(eng.FlatObjective(&distErr), x0, opt)
+	distRes := optimize.Adam(eng.FlatObjective(context.Background(), &distErr), x0, opt)
 	if distErr != nil {
 		t.Fatal(distErr)
 	}
@@ -230,7 +234,7 @@ func TestFlatObjectiveAdamMatchesSingleNode(t *testing.T) {
 		t.Fatal(err)
 	}
 	var singleErr error
-	singleRes := optimize.Adam(grad.New(single).FlatObjective(&singleErr), x0, opt)
+	singleRes := optimize.Adam(grad.New(single).FlatObjective(context.Background(), &singleErr), x0, opt)
 	if singleErr != nil {
 		t.Fatal(singleErr)
 	}
@@ -269,7 +273,7 @@ func TestGradValidationNamesFields(t *testing.T) {
 		} else if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("opts %+v: error %q does not name %s", tc.opts, err, tc.want)
 		}
-		if _, err := SimulateQAOA(4, terms, nil, nil, tc.opts); err == nil {
+		if _, err := SimulateQAOA(context.Background(), 4, terms, nil, nil, tc.opts); err == nil {
 			t.Errorf("SimulateQAOA opts %+v accepted", tc.opts)
 		} else if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("SimulateQAOA opts %+v: error %q does not name %s", tc.opts, err, tc.want)
@@ -280,10 +284,191 @@ func TestGradValidationNamesFields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.EnergyGrad([]float64{1}, []float64{1, 2}, []float64{0}, []float64{0}); err == nil {
+	if _, err := eng.EnergyGradAngles(context.Background(), []float64{1}, []float64{1, 2}, []float64{0}, []float64{0}); err == nil {
 		t.Error("mismatched angle lengths accepted")
 	}
-	if _, err := eng.EnergyGrad([]float64{1}, []float64{1}, nil, nil); err == nil {
+	if _, err := eng.EnergyGradAngles(context.Background(), []float64{1}, []float64{1}, nil, nil); err == nil {
 		t.Error("missing gradient storage accepted")
+	}
+}
+
+// TestGradEngineLeases pins the per-evaluation rank-group lease
+// mechanics that lifted the single-flight restriction: an engine with
+// Concurrency=2 hands out exactly two leases without blocking, a third
+// acquire waits until cancelled, and released leases are reused (no
+// unbounded buffer growth).
+func TestGradEngineLeases(t *testing.T) {
+	terms := problems.LABSTerms(8)
+	eng, err := NewGradEngine(8, terms, Options{Ranks: 4, Algo: cluster.Transpose, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	l1, err := eng.acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := eng.acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 == l2 {
+		t.Fatal("two concurrent acquires returned the same lease")
+	}
+	// Third acquire must block until its context is cancelled.
+	blocked, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := eng.acquire(blocked)
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("third acquire did not block (err %v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocked acquire returned %v, want context.Canceled", err)
+	}
+	eng.release(l1, false)
+	eng.release(l2, false)
+	if n := len(eng.all); n != 2 {
+		t.Errorf("engine built %d leases, want 2", n)
+	}
+	// The released leases serve evaluations again without growth.
+	gg, gb := make([]float64, 2), make([]float64, 2)
+	if _, err := eng.EnergyGradAngles(ctx, []float64{0.3, 0.1}, []float64{0.2, 0.4}, gg, gb); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(eng.all); n != 2 {
+		t.Errorf("evaluation after release grew the lease set to %d", n)
+	}
+}
+
+// TestGradEngineConcurrentEvaluations hammers one distributed engine
+// from several goroutines (run under -race in CI): concurrent
+// evaluations on leased rank groups must reproduce the single-flight
+// results exactly, for both mixer families.
+func TestGradEngineConcurrentEvaluations(t *testing.T) {
+	const n, p, goroutines, reps = 8, 3, 4, 3
+	terms := problems.LABSTerms(n)
+	rng := rand.New(rand.NewSource(81))
+	gamma, beta := randomAngles(rng, p)
+	for _, mixer := range []core.Mixer{core.MixerX, core.MixerXYRing} {
+		ref, err := SimulateQAOAGrad(context.Background(), n, terms, gamma, beta, Options{
+			Ranks: 4, Algo: cluster.Transpose, Mixer: mixer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewGradEngine(n, terms, Options{Ranks: 4, Algo: cluster.Transpose, Mixer: mixer, Concurrency: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				gg := make([]float64, p)
+				gb := make([]float64, p)
+				for r := 0; r < reps; r++ {
+					e, err := eng.EnergyGradAngles(context.Background(), gamma, beta, gg, gb)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if e != ref.Energy {
+						t.Errorf("%v: concurrent energy %v != %v", mixer, e, ref.Energy)
+						return
+					}
+					for l := 0; l < p; l++ {
+						if gg[l] != ref.GradGamma[l] || gb[l] != ref.GradBeta[l] {
+							t.Errorf("%v: concurrent gradient layer %d mismatch", mixer, l)
+							return
+						}
+					}
+					// Forward-only energies interleave with gradients.
+					x := append(append([]float64(nil), gamma...), beta...)
+					fe, err := eng.Energy(context.Background(), x)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if fe != ref.Energy {
+						t.Errorf("%v: concurrent Energy %v != %v", mixer, fe, ref.Energy)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if got := len(eng.all); got > 2 {
+			t.Errorf("%v: %d leases built, cap is 2", mixer, got)
+		}
+	}
+}
+
+// TestGradEngineCancellation: cancelling mid-evaluation releases every
+// rank (no deadlock), surfaces ctx.Err(), discards the poisoned lease,
+// and the engine keeps serving on a fresh one.
+func TestGradEngineCancellation(t *testing.T) {
+	const n = 8
+	terms := problems.LABSTerms(n)
+	eng, err := NewGradEngine(n, terms, Options{Ranks: 4, Algo: cluster.Transpose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deep schedule: thousands of collectives, so the cancel lands
+	// mid-run with overwhelming margin.
+	const p = 4000
+	gamma := make([]float64, p)
+	beta := make([]float64, p)
+	for i := range gamma {
+		gamma[i], beta[i] = 0.01, 0.02
+	}
+	gg := make([]float64, p)
+	gb := make([]float64, p)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.EnergyGradAngles(ctx, gamma, beta, gg, gb)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled evaluation returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled evaluation deadlocked")
+	}
+	// The poisoned lease was dropped — its state buffers are not
+	// pinned by the registry (only its counters survive, folded into
+	// the dead-lease snapshot).
+	eng.mu.Lock()
+	live := len(eng.all)
+	deadBytes := eng.deadTotal.BytesSent
+	eng.mu.Unlock()
+	if live != 0 {
+		t.Errorf("%d leases still registered after cancellation, want 0", live)
+	}
+	if deadBytes == 0 {
+		t.Error("cancelled lease's traffic was not folded into the dead-lease counters")
+	}
+	// The engine recovers on a fresh lease; the poisoned one is gone.
+	e2, err := eng.EnergyGradAngles(context.Background(), gamma[:2], beta[:2], gg[:2], gb[:2])
+	if err != nil {
+		t.Fatalf("evaluation after cancellation: %v", err)
+	}
+	ref, err := SimulateQAOAGrad(context.Background(), n, terms, gamma[:2], beta[:2], Options{Ranks: 4, Algo: cluster.Transpose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 != ref.Energy {
+		t.Errorf("post-cancellation energy %v != %v", e2, ref.Energy)
 	}
 }

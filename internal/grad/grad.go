@@ -15,11 +15,13 @@
 package grad
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"qokit/internal/core"
+	"qokit/internal/evaluator"
 )
 
 // Engine evaluates energies and adjoint gradients against one shared
@@ -90,32 +92,76 @@ func (e *Engine) releaseRes(r *core.Result) {
 	e.mu.Unlock()
 }
 
-// EnergyGrad evaluates E(γ,β) and writes the exact adjoint gradients
-// ∂E/∂γ_ℓ, ∂E/∂β_ℓ into gradGamma and gradBeta (length p each)
-// through a pooled workspace.
-func (e *Engine) EnergyGrad(gamma, beta, gradGamma, gradBeta []float64) (float64, error) {
+// EnergyGradAngles evaluates E(γ,β) and writes the exact adjoint
+// gradients ∂E/∂γ_ℓ, ∂E/∂β_ℓ into gradGamma and gradBeta (length p
+// each) through a pooled workspace.
+func (e *Engine) EnergyGradAngles(ctx context.Context, gamma, beta, gradGamma, gradBeta []float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	w := e.acquire()
 	defer e.release(w)
 	return e.sim.SimulateQAOAGradInto(w, gamma, beta, gradGamma, gradBeta)
+}
+
+// The gradient engine implements evaluator.Evaluator: point energies
+// run through pooled plain state buffers, gradients through pooled
+// adjoint workspaces.
+var _ evaluator.Evaluator = (*Engine)(nil)
+
+// Energy evaluates the objective at the flat parameter vector through
+// a pooled state buffer (evaluator.Evaluator).
+func (e *Engine) Energy(ctx context.Context, x []float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	gamma, beta, err := evaluator.SplitFlat(x)
+	if err != nil {
+		return 0, err
+	}
+	r := e.acquireRes()
+	defer e.releaseRes(r)
+	if err := e.sim.SimulateQAOAInto(r, gamma, beta); err != nil {
+		return 0, err
+	}
+	return r.Expectation(), nil
+}
+
+// EnergyGrad evaluates the objective and its exact adjoint gradient at
+// the flat parameter vector, writing ∇E into grad
+// (evaluator.Evaluator).
+func (e *Engine) EnergyGrad(ctx context.Context, x, grad []float64) (float64, error) {
+	gamma, beta, err := evaluator.SplitFlat(x)
+	if err != nil {
+		return 0, err
+	}
+	if err := evaluator.CheckGradStorage(x, grad); err != nil {
+		return 0, err
+	}
+	p := len(gamma)
+	return e.EnergyGradAngles(ctx, gamma, beta, grad[:p], grad[p:])
+}
+
+// Caps reports the engine's evaluation metadata.
+func (e *Engine) Caps() evaluator.Caps {
+	c := e.sim.Caps()
+	c.MaxConcurrent = e.maxPooled
+	return c
 }
 
 // FlatObjective adapts the engine into a value-and-gradient objective
 // over the flat parameter vector [γ₀…γ_{p−1}, β₀…β_{p−1}] — the form
 // internal/optimize's gradient optimizers consume. The returned
 // function writes ∇E into g and returns E. The first simulator error
-// is latched into *simErr (with an odd-length x being the only
-// realistic cause); subsequent calls return 0 without evaluating.
-func (e *Engine) FlatObjective(simErr *error) func(x, g []float64) float64 {
+// (including ctx cancellation) is latched into *simErr; subsequent
+// calls return 0 without evaluating, so a cancelled optimizer loop
+// unwinds after at most one more iteration.
+func (e *Engine) FlatObjective(ctx context.Context, simErr *error) func(x, g []float64) float64 {
 	return func(x, g []float64) float64 {
 		if *simErr != nil {
 			return 0
 		}
-		if len(x)%2 != 0 || len(g) != len(x) {
-			*simErr = fmt.Errorf("grad: flat objective needs even len(x) with len(g)=len(x), got %d/%d", len(x), len(g))
-			return 0
-		}
-		p := len(x) / 2
-		v, err := e.EnergyGrad(x[:p], x[p:], g[:p], g[p:])
+		v, err := e.EnergyGrad(ctx, x, g)
 		if err != nil {
 			*simErr = err
 			return 0
@@ -129,7 +175,8 @@ func (e *Engine) FlatObjective(simErr *error) func(x, g []float64) float64 {
 // the center energy. step ≤ 0 selects 1e-6. This is the baseline the
 // adjoint engine is differentially tested against and the workload
 // `qaoabench grad` times; production code should call EnergyGrad.
-func (e *Engine) FiniteDiffGrad(gamma, beta []float64, step float64, gradGamma, gradBeta []float64) (float64, error) {
+// Cancellation is honored between the 4p+1 simulations.
+func (e *Engine) FiniteDiffGrad(ctx context.Context, gamma, beta []float64, step float64, gradGamma, gradBeta []float64) (float64, error) {
 	if len(gamma) != len(beta) {
 		return 0, fmt.Errorf("grad: len(gamma)=%d != len(beta)=%d", len(gamma), len(beta))
 	}
@@ -147,6 +194,9 @@ func (e *Engine) FiniteDiffGrad(gamma, beta []float64, step float64, gradGamma, 
 	g := append([]float64(nil), gamma...)
 	b := append([]float64(nil), beta...)
 	eval := func() (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		if err := e.sim.SimulateQAOAInto(r, g, b); err != nil {
 			return 0, err
 		}

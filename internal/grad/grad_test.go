@@ -1,6 +1,7 @@
 package grad_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -36,7 +37,7 @@ func TestEnergyGradMatchesSimulator(t *testing.T) {
 	gG := make([]float64, p)
 	gB := make([]float64, p)
 	for rep := 0; rep < 3; rep++ { // exercises the workspace pool
-		e, err := eng.EnergyGrad(gamma, beta, gG, gB)
+		e, err := eng.EnergyGradAngles(context.Background(), gamma, beta, gG, gB)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func TestFlatObjective(t *testing.T) {
 	}
 	eng := grad.New(sim)
 	var simErr error
-	obj := eng.FlatObjective(&simErr)
+	obj := eng.FlatObjective(context.Background(), &simErr)
 	gamma, beta := randomAngles(rng, p)
 	x := append(append([]float64(nil), gamma...), beta...)
 	g := make([]float64, 2*p)
@@ -101,13 +102,13 @@ func TestFiniteDiffGradMatchesAdjoint(t *testing.T) {
 	gamma, beta := randomAngles(rng, p)
 	aG := make([]float64, p)
 	aB := make([]float64, p)
-	eAdj, err := eng.EnergyGrad(gamma, beta, aG, aB)
+	eAdj, err := eng.EnergyGradAngles(context.Background(), gamma, beta, aG, aB)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fG := make([]float64, p)
 	fB := make([]float64, p)
-	eFD, err := eng.FiniteDiffGrad(gamma, beta, 0, fG, fB)
+	eFD, err := eng.FiniteDiffGrad(context.Background(), gamma, beta, 0, fG, fB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,10 +124,10 @@ func TestFiniteDiffGradMatchesAdjoint(t *testing.T) {
 		}
 	}
 	// Validation.
-	if _, err := eng.FiniteDiffGrad(gamma, beta[:p-1], 0, fG, fB); err == nil {
+	if _, err := eng.FiniteDiffGrad(context.Background(), gamma, beta[:p-1], 0, fG, fB); err == nil {
 		t.Error("mismatched schedules accepted")
 	}
-	if _, err := eng.FiniteDiffGrad(gamma, beta, 0, fG[:p-1], fB); err == nil {
+	if _, err := eng.FiniteDiffGrad(context.Background(), gamma, beta, 0, fG[:p-1], fB); err == nil {
 		t.Error("short gradient storage accepted")
 	}
 }
@@ -155,7 +156,7 @@ func TestEngineConcurrentEnergyGrad(t *testing.T) {
 			gG := make([]float64, p)
 			gB := make([]float64, p)
 			for rep := 0; rep < 5; rep++ {
-				e, err := eng.EnergyGrad(gamma, beta, gG, gB)
+				e, err := eng.EnergyGradAngles(context.Background(), gamma, beta, gG, gB)
 				if err != nil {
 					t.Error(err)
 					return
@@ -190,11 +191,11 @@ func TestEnergyGradZeroAllocsWarm(t *testing.T) {
 	gamma, beta := randomAngles(rng, p)
 	gG := make([]float64, p)
 	gB := make([]float64, p)
-	if _, err := eng.EnergyGrad(gamma, beta, gG, gB); err != nil {
+	if _, err := eng.EnergyGradAngles(context.Background(), gamma, beta, gG, gB); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(10, func() {
-		if _, err := eng.EnergyGrad(gamma, beta, gG, gB); err != nil {
+		if _, err := eng.EnergyGradAngles(context.Background(), gamma, beta, gG, gB); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,6 +1,9 @@
 package optimize
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // FuncGrad is a value-and-gradient objective: it returns f(x) and
 // writes ∇f(x) into grad (len(grad) == len(x)). The adjoint engine
@@ -40,6 +43,9 @@ type AdamOptions struct {
 	Eps float64
 	// TolGrad stops when ‖∇f‖∞ falls below it (default 1e-6).
 	TolGrad float64
+	// Ctx, when non-nil, cancels the optimization: the loop stops at
+	// the next iteration boundary and returns the best iterate so far.
+	Ctx context.Context
 }
 
 // AdamResult reports the optimum found.
@@ -86,6 +92,9 @@ func Adam(f FuncGrad, x0 []float64, opt AdamOptions) AdamResult {
 	res := AdamResult{X: append([]float64(nil), x0...), F: math.Inf(1)}
 	b1t, b2t := 1.0, 1.0
 	for k := 0; k < opt.MaxIter; k++ {
+		if ctxDone(opt.Ctx) {
+			break
+		}
 		fx := cf.Eval(x, g)
 		res.Iters++
 		if fx < res.F {
@@ -120,6 +129,9 @@ type GDOptions struct {
 	Decay float64
 	// TolGrad stops when ‖∇f‖∞ falls below it (default 1e-6).
 	TolGrad float64
+	// Ctx, when non-nil, cancels the optimization at the next
+	// iteration boundary.
+	Ctx context.Context
 }
 
 // GDResult reports the optimum found by gradient descent.
@@ -153,6 +165,9 @@ func GradientDescent(f FuncGrad, x0 []float64, opt GDOptions) GDResult {
 	g := make([]float64, dim)
 	res := GDResult{X: append([]float64(nil), x0...), F: math.Inf(1)}
 	for k := 0; k < opt.MaxIter; k++ {
+		if ctxDone(opt.Ctx) {
+			break
+		}
 		fx := cf.Eval(x, g)
 		res.Iters++
 		if fx < res.F {

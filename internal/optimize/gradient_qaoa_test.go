@@ -1,6 +1,7 @@
 package optimize_test
 
 import (
+	"context"
 	"testing"
 
 	"qokit/internal/core"
@@ -40,7 +41,7 @@ func TestAdamBeatsNelderMeadBudget(t *testing.T) {
 
 	eng := grad.New(sim)
 	var simErr error
-	adam := optimize.Adam(eng.FlatObjective(&simErr), x0,
+	adam := optimize.Adam(eng.FlatObjective(context.Background(), &simErr), x0,
 		optimize.AdamOptions{MaxIter: nm.Evals / 2})
 	if simErr != nil {
 		t.Fatal(simErr)

@@ -8,11 +8,21 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 )
+
+// ctxDone reports whether a per-call options context is cancelled; a
+// nil context never is. Every optimizer loop in this package checks it
+// once per iteration: on cancellation the loop stops and the best
+// iterate found so far is returned (with Converged false), so a
+// serving layer can abandon an optimization without losing the
+// progress already paid for. Callers that must distinguish "budget
+// exhausted" from "cancelled" check their context's Err afterwards.
+func ctxDone(ctx context.Context) bool { return ctx != nil && ctx.Err() != nil }
 
 // Func is an objective to minimize.
 type Func func(x []float64) float64
@@ -42,6 +52,9 @@ type NMOptions struct {
 	TolF float64
 	// InitialStep sets the simplex edge length (default 0.1).
 	InitialStep float64
+	// Ctx, when non-nil, cancels the optimization: the loop stops at
+	// the next iteration boundary and returns the best iterate so far.
+	Ctx context.Context
 }
 
 // NMResult reports the optimum found.
@@ -105,7 +118,7 @@ func NelderMead(f Func, x0 []float64, opt NMOptions) NMResult {
 			res.Converged = true
 			break
 		}
-		if budget() {
+		if budget() || ctxDone(opt.Ctx) {
 			break
 		}
 		res.Iters++
@@ -171,6 +184,8 @@ type SPSAOptions struct {
 	A, C float64
 	// Seed makes the perturbation sequence deterministic.
 	Seed int64
+	// Ctx, when non-nil, cancels the optimization at the next step.
+	Ctx context.Context
 }
 
 // SPSAResult reports the optimum found by SPSA.
@@ -200,6 +215,9 @@ func SPSA(f Func, x0 []float64, opt SPSAOptions) SPSAResult {
 	xp := make([]float64, len(x))
 	xm := make([]float64, len(x))
 	for k := 0; k < opt.Steps; k++ {
+		if ctxDone(opt.Ctx) {
+			break
+		}
 		ak := opt.A / math.Pow(float64(k+1)+opt.A/10, 0.602)
 		ck := opt.C / math.Pow(float64(k+1), 0.101)
 		for j := range delta {

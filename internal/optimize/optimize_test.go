@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -139,4 +140,53 @@ func TestSplitJoinAngles(t *testing.T) {
 		}
 	}()
 	SplitAngles([]float64{1, 2, 3})
+}
+
+// TestOptimizerCancellation pins the Options.Ctx contract across all
+// four optimizers: a cancelled context stops the loop at the next
+// iteration boundary, well short of the budget, and the best iterate
+// seen so far is still returned.
+func TestOptimizerCancellation(t *testing.T) {
+	quadratic := func(x []float64) float64 { return (x[0] - 1) * (x[0] - 1) }
+	quadGrad := func(x, g []float64) float64 {
+		g[0] = 2 * (x[0] - 1)
+		return (x[0] - 1) * (x[0] - 1)
+	}
+	x0 := []float64{5}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if res := NelderMead(quadratic, x0, NMOptions{MaxIter: 1000, Ctx: ctx}); res.Iters != 0 || res.X == nil {
+		t.Errorf("NelderMead under cancelled ctx: %+v", res)
+	}
+	if res := Adam(quadGrad, x0, AdamOptions{MaxIter: 1000, Ctx: ctx}); res.Evals != 0 || res.X == nil {
+		t.Errorf("Adam under cancelled ctx: %+v", res)
+	}
+	if res := GradientDescent(quadGrad, x0, GDOptions{MaxIter: 1000, Ctx: ctx}); res.Evals != 0 || res.X == nil {
+		t.Errorf("GradientDescent under cancelled ctx: %+v", res)
+	}
+	if res := SPSA(quadratic, x0, SPSAOptions{Steps: 1000, Ctx: ctx}); res.Evals != 1 {
+		// SPSA's final evaluation of the returned point still runs.
+		t.Errorf("SPSA under cancelled ctx: %+v", res)
+	}
+
+	// Cancellation landing mid-run: cancel from inside the objective
+	// after a fixed number of evaluations, deterministically.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	evals := 0
+	counting := func(x, g []float64) float64 {
+		evals++
+		if evals == 7 {
+			cancel2()
+		}
+		return quadGrad(x, g)
+	}
+	res := Adam(counting, x0, AdamOptions{MaxIter: 1000, Ctx: ctx2})
+	if res.Evals != 7 {
+		t.Errorf("Adam stopped after %d evals, want 7 (cancelled on the 7th)", res.Evals)
+	}
+	if res.Converged {
+		t.Error("cancelled run reported Converged")
+	}
 }

@@ -1,0 +1,461 @@
+// Package serve is the concurrent evaluation service: one FIFO
+// request queue feeding a pool of evaluator.Evaluator workers. It is
+// the layer the ROADMAP's "distributed sweep/optimizer service" item
+// asked for — the piece that turns the engines (single-node sweep and
+// adjoint, sharded cluster) into one schedulable resource:
+//
+//   - requests are point energies, point gradients, or batches of
+//     either; a batch fans out as per-point tasks, so its points fill
+//     every idle worker instead of serializing behind one;
+//   - workers are evaluator-affine: each worker is bound to one
+//     evaluator for its lifetime, so the evaluator's pooled buffers
+//     stay warm per worker and a steady request stream performs no
+//     per-request state allocations;
+//   - the queue is strictly FIFO — a point query enqueued after a
+//     large batch runs after that batch's points, and nothing
+//     reorders within a batch — which makes latency predictable under
+//     mixed load;
+//   - every request carries a context.Context: cancellation fails the
+//     request's remaining tasks at the next pop or point boundary,
+//     workers and pooled buffers survive, and a request still waiting
+//     in the queue is withdrawn immediately.
+//
+// The Service itself implements evaluator.Evaluator, so services
+// compose (a local service can stand in anywhere an engine does) and
+// every optimizer in this repository runs through one code path
+// whether the substrate is one simulator or a pool of rank groups.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"qokit/internal/evaluator"
+)
+
+// ErrClosed is returned for requests submitted to (or stranded in) a
+// closed service.
+var ErrClosed = errors.New("serve: service closed")
+
+// Options configures a Service.
+type Options struct {
+	// WorkersPerEvaluator is the number of workers bound to each
+	// evaluator, clamped to the evaluator's Caps().MaxConcurrent.
+	// 0 selects the evaluator's own preferred concurrency
+	// (MaxConcurrent, or GOMAXPROCS when the evaluator reports no
+	// limit).
+	WorkersPerEvaluator int
+}
+
+// Service schedules evaluation requests over a pool of evaluators.
+// All methods are safe for concurrent use.
+type Service struct {
+	caps    evaluator.Caps
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*task
+	head   int
+	closed bool
+
+	wg       sync.WaitGroup
+	taskPool sync.Pool
+}
+
+// task is one unit of work: a point evaluation belonging either to a
+// single request (done channel) or to a batch (tracker + slot index).
+type task struct {
+	ctx  context.Context
+	grad bool
+	x    []float64
+	g    []float64
+
+	// Single-request completion: the worker writes energy/err and
+	// signals done (capacity 1, reused across uses via the pool).
+	energy float64
+	err    error
+	done   chan struct{}
+
+	// Batch membership: the worker writes the tracker's slot idx and
+	// counts down its WaitGroup instead of signalling done.
+	tr  *batchTracker
+	idx int
+}
+
+type batchTracker struct {
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	firstErr error
+	energies []float64
+	grads    [][]float64
+}
+
+func (tr *batchTracker) fail(err error) {
+	tr.mu.Lock()
+	if tr.firstErr == nil {
+		tr.firstErr = err
+	}
+	tr.mu.Unlock()
+}
+
+// failedErr returns the batch's latched first error (nil while the
+// batch is healthy). Workers consult it before evaluating so a failed
+// batch's remaining points are settled without paying for their
+// evaluations.
+func (tr *batchTracker) failedErr() error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.firstErr
+}
+
+// New builds a service over the given evaluators and starts its
+// workers. All evaluators must be bound to the same qubit count; the
+// aggregate Caps reports Grad only when every evaluator supports it.
+func New(evals []evaluator.Evaluator, opts Options) (*Service, error) {
+	if len(evals) == 0 {
+		return nil, fmt.Errorf("serve: no evaluators")
+	}
+	s := &Service{}
+	s.cond = sync.NewCond(&s.mu)
+	s.taskPool.New = func() interface{} {
+		return &task{done: make(chan struct{}, 1)}
+	}
+	// Validate the whole pool before starting any worker: a mismatch
+	// must not leak goroutines parked on a queue no one will close.
+	s.caps = evals[0].Caps()
+	s.caps.MaxConcurrent = 0
+	s.caps.StateBytes = 0
+	workers := make([]int, len(evals))
+	for i, ev := range evals {
+		c := ev.Caps()
+		if c.NumQubits != s.caps.NumQubits {
+			return nil, fmt.Errorf("serve: evaluator %d is bound to n=%d, evaluator 0 to n=%d",
+				i, c.NumQubits, s.caps.NumQubits)
+		}
+		s.caps.Grad = s.caps.Grad && c.Grad
+		if c.Ranks > s.caps.Ranks {
+			s.caps.Ranks = c.Ranks
+		}
+		workers[i] = workersFor(c, opts)
+		s.caps.MaxConcurrent += workers[i]
+		s.caps.StateBytes += int64(workers[i]) * c.StateBytes
+	}
+	for i, ev := range evals {
+		for k := 0; k < workers[i]; k++ {
+			s.wg.Add(1)
+			go s.worker(ev)
+		}
+	}
+	s.workers = s.caps.MaxConcurrent
+	return s, nil
+}
+
+// workersFor resolves the worker count one evaluator contributes.
+func workersFor(c evaluator.Caps, opts Options) int {
+	pref := c.MaxConcurrent
+	if pref <= 0 {
+		pref = runtime.GOMAXPROCS(0)
+	}
+	w := opts.WorkersPerEvaluator
+	if w <= 0 || w > pref {
+		w = pref
+	}
+	return w
+}
+
+// Caps reports the pool's aggregate metadata: MaxConcurrent is the
+// total worker count, StateBytes the state memory pinned at full
+// load, Ranks the widest substrate in the pool.
+func (s *Service) Caps() evaluator.Caps { return s.caps }
+
+// Workers returns the number of pool workers.
+func (s *Service) Workers() int { return s.workers }
+
+// The service is itself an evaluator, so services substitute for
+// engines anywhere the contract is accepted (including inside another
+// service).
+var _ evaluator.Evaluator = (*Service)(nil)
+
+// Energy evaluates one point through the pool.
+func (s *Service) Energy(ctx context.Context, x []float64) (float64, error) {
+	return s.submit(ctx, x, nil, false)
+}
+
+// EnergyGrad evaluates one point's energy and exact gradient through
+// the pool.
+func (s *Service) EnergyGrad(ctx context.Context, x, grad []float64) (float64, error) {
+	if err := evaluator.CheckGradStorage(x, grad); err != nil {
+		return 0, err
+	}
+	if !s.caps.Grad {
+		return 0, fmt.Errorf("serve: pool has a gradient-free evaluator; EnergyGrad unavailable")
+	}
+	return s.submit(ctx, x, grad, true)
+}
+
+func (s *Service) submit(ctx context.Context, x, g []float64, grad bool) (float64, error) {
+	if _, _, err := evaluator.SplitFlat(x); err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	t := s.taskPool.Get().(*task)
+	t.ctx, t.x, t.g, t.grad, t.tr = ctx, x, g, grad, nil
+	if err := s.push(t); err != nil {
+		s.putTask(t)
+		return 0, err
+	}
+	if ctx.Done() != nil {
+		select {
+		case <-t.done:
+		case <-ctx.Done():
+			if s.tryRemove(t) {
+				// Withdrawn before any worker touched it.
+				s.putTask(t)
+				return 0, ctx.Err()
+			}
+			// A worker holds it; the evaluator observes the same ctx
+			// and finishes promptly.
+			<-t.done
+		}
+	} else {
+		<-t.done
+	}
+	e, err := t.energy, t.err
+	s.putTask(t)
+	return e, err
+}
+
+// EnergyBatch evaluates every flat parameter vector in xs and returns
+// the energies in input order, fanned across all pool workers. out is
+// reused when its capacity suffices. On error (including ctx
+// cancellation) the batch's remaining points are abandoned at their
+// next point boundary and the first error is returned.
+func (s *Service) EnergyBatch(ctx context.Context, xs [][]float64, out []float64) ([]float64, error) {
+	return s.batch(ctx, xs, out, nil)
+}
+
+// EnergyGradBatch is EnergyBatch for gradients: grads[i] receives
+// ∇E(xs[i]) (len(grads[i]) == len(xs[i]) each, caller-allocated), and
+// the energies come back in input order.
+func (s *Service) EnergyGradBatch(ctx context.Context, xs [][]float64, energies []float64, grads [][]float64) ([]float64, error) {
+	if len(grads) != len(xs) {
+		return nil, fmt.Errorf("serve: %d gradient slots for %d points", len(grads), len(xs))
+	}
+	if !s.caps.Grad {
+		return nil, fmt.Errorf("serve: pool has a gradient-free evaluator; EnergyGradBatch unavailable")
+	}
+	return s.batch(ctx, xs, energies, grads)
+}
+
+func (s *Service) batch(ctx context.Context, xs [][]float64, out []float64, grads [][]float64) ([]float64, error) {
+	for i, x := range xs {
+		if _, _, err := evaluator.SplitFlat(x); err != nil {
+			return nil, fmt.Errorf("serve: point %d: %w", i, err)
+		}
+		if grads != nil {
+			if err := evaluator.CheckGradStorage(x, grads[i]); err != nil {
+				return nil, fmt.Errorf("serve: point %d: %w", i, err)
+			}
+		}
+	}
+	if cap(out) < len(xs) {
+		out = make([]float64, len(xs))
+	}
+	out = out[:len(xs)]
+	if len(xs) == 0 {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tr := &batchTracker{energies: out, grads: grads}
+	tr.wg.Add(len(xs))
+	for i, x := range xs {
+		t := s.taskPool.Get().(*task)
+		t.ctx, t.x, t.grad, t.tr, t.idx = ctx, x, grads != nil, tr, i
+		if grads != nil {
+			t.g = grads[i]
+		}
+		if err := s.push(t); err != nil {
+			s.putTask(t)
+			tr.fail(err)
+			// Settle this task's slot and every never-pushed one.
+			for j := i; j < len(xs); j++ {
+				tr.wg.Done()
+			}
+			break
+		}
+	}
+	tr.wg.Wait()
+	if tr.firstErr != nil {
+		return nil, tr.firstErr
+	}
+	return out, nil
+}
+
+// Objective adapts the service into the scalar objective
+// internal/optimize's derivative-free optimizers consume. The first
+// evaluation error is latched into *simErr; later calls short-circuit.
+func (s *Service) Objective(ctx context.Context, simErr *error) func(x []float64) float64 {
+	return func(x []float64) float64 {
+		if *simErr != nil {
+			return 0
+		}
+		v, err := s.Energy(ctx, x)
+		if err != nil {
+			*simErr = err
+			return 0
+		}
+		return v
+	}
+}
+
+// GradObjective adapts the service into the value-and-gradient
+// objective the gradient optimizers consume, mirroring the engines'
+// FlatObjective.
+func (s *Service) GradObjective(ctx context.Context, simErr *error) func(x, g []float64) float64 {
+	return func(x, g []float64) float64 {
+		if *simErr != nil {
+			return 0
+		}
+		v, err := s.EnergyGrad(ctx, x, g)
+		if err != nil {
+			*simErr = err
+			return 0
+		}
+		return v
+	}
+}
+
+// Close drains the service: queued requests fail with ErrClosed,
+// workers exit after their current task, and subsequent submissions
+// are rejected. Close blocks until every worker has stopped.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	stranded := append([]*task(nil), s.queue[s.head:]...)
+	s.queue = nil
+	s.head = 0
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, t := range stranded {
+		s.finish(t, 0, ErrClosed)
+	}
+	s.wg.Wait()
+}
+
+// push appends a task to the FIFO queue.
+func (s *Service) push(t *task) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.queue = append(s.queue, t)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return nil
+}
+
+// pop blocks for the oldest task; nil means the service closed.
+func (s *Service) pop() *task {
+	s.mu.Lock()
+	for !s.closed && s.head == len(s.queue) {
+		s.cond.Wait()
+	}
+	if s.head == len(s.queue) {
+		s.mu.Unlock()
+		return nil
+	}
+	t := s.queue[s.head]
+	s.queue[s.head] = nil
+	s.head++
+	if s.head == len(s.queue) {
+		// Drained: rewind so the backing array is reused, keeping the
+		// steady-state queue allocation-free.
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
+	s.mu.Unlock()
+	return t
+}
+
+// tryRemove withdraws a still-queued task (cancellation of a waiting
+// single request). False means a worker already claimed it.
+func (s *Service) tryRemove(t *task) bool {
+	s.mu.Lock()
+	for i := s.head; i < len(s.queue); i++ {
+		if s.queue[i] == t {
+			copy(s.queue[i:], s.queue[i+1:])
+			s.queue[len(s.queue)-1] = nil
+			s.queue = s.queue[:len(s.queue)-1]
+			s.mu.Unlock()
+			return true
+		}
+	}
+	s.mu.Unlock()
+	return false
+}
+
+// worker serves tasks against its bound evaluator until close. The
+// binding is what makes buffer reuse worker-affine: an engine's
+// pooled buffers are touched by at most this many workers, so the
+// warm path never allocates states.
+func (s *Service) worker(ev evaluator.Evaluator) {
+	defer s.wg.Done()
+	for {
+		t := s.pop()
+		if t == nil {
+			return
+		}
+		var e float64
+		err := t.ctx.Err()
+		if err == nil && t.tr != nil {
+			// A failed batch abandons its remaining points here — they
+			// settle with the latched error instead of evaluating.
+			err = t.tr.failedErr()
+		}
+		if err == nil {
+			if t.grad {
+				e, err = ev.EnergyGrad(t.ctx, t.x, t.g)
+			} else {
+				e, err = ev.Energy(t.ctx, t.x)
+			}
+		}
+		s.finish(t, e, err)
+	}
+}
+
+// finish completes one task: batch tasks report into their tracker
+// and return to the pool here; single tasks hand the result back to
+// the submitter, who recycles them after reading it.
+func (s *Service) finish(t *task, e float64, err error) {
+	if tr := t.tr; tr != nil {
+		if err != nil {
+			tr.fail(err)
+		} else {
+			tr.energies[t.idx] = e
+		}
+		s.putTask(t)
+		tr.wg.Done()
+		return
+	}
+	t.energy, t.err = e, err
+	t.done <- struct{}{}
+}
+
+// putTask clears a task's references and recycles it.
+func (s *Service) putTask(t *task) {
+	t.ctx, t.x, t.g, t.tr = nil, nil, nil, nil
+	s.taskPool.Put(t)
+}

@@ -1,6 +1,7 @@
 package sweep_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -48,12 +49,12 @@ func BenchmarkBatchEvaluation(b *testing.B) {
 			eng := sweep.New(sim, sweep.Options{})
 			out := make([]sweep.Result, 0, count)
 			var err error
-			if out, err = eng.Sweep(points, out); err != nil { // warm-up
+			if out, err = eng.Sweep(context.Background(), points, out); err != nil { // warm-up
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if out, err = eng.Sweep(points, out); err != nil {
+				if out, err = eng.Sweep(context.Background(), points, out); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -87,12 +88,12 @@ func BenchmarkSingleEvaluate(b *testing.B) {
 	b.Run("engine-evaluate", func(b *testing.B) {
 		b.ReportAllocs()
 		eng := sweep.New(sim, sweep.Options{})
-		if _, err := eng.Evaluate(pt.Gamma, pt.Beta); err != nil {
+		if _, err := eng.Evaluate(context.Background(), pt.Gamma, pt.Beta); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Evaluate(pt.Gamma, pt.Beta); err != nil {
+			if _, err := eng.Evaluate(context.Background(), pt.Gamma, pt.Beta); err != nil {
 				b.Fatal(err)
 			}
 		}

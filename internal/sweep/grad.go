@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -46,8 +47,10 @@ func (e *Engine) releaseGrad(w *core.GradBuffers) {
 // per-point state-buffer allocations after warm-up. out is reused when
 // its capacity suffices, including each slot's gradient slices — pass
 // a retained slice to make steady-state gradient sweeps
-// allocation-free.
-func (e *Engine) SweepGrad(points []Point, out []GradResult) ([]GradResult, error) {
+// allocation-free. Cancelling ctx mid-batch stops workers at the next
+// point boundary and returns ctx.Err(), releasing every pooled
+// workspace.
+func (e *Engine) SweepGrad(ctx context.Context, points []Point, out []GradResult) ([]GradResult, error) {
 	if len(points) == 0 {
 		return out[:0], nil
 	}
@@ -72,6 +75,9 @@ func (e *Engine) SweepGrad(points []Point, out []GradResult) ([]GradResult, erro
 		wk := e.acquireGrad()
 		defer e.releaseGrad(wk)
 		for i := range points {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if err := e.evalGradIntoWith(e.sim, wk, points[i], &out[i]); err != nil {
 				return nil, err
 			}
@@ -94,6 +100,10 @@ func (e *Engine) SweepGrad(points []Point, out []GradResult) ([]GradResult, erro
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(res) || firstErr.Load() != nil {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
 					return
 				}
 				if err := e.evalGradIntoWith(e.inlineSim, wk, points[i], &res[i]); err != nil {

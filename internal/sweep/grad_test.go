@@ -1,6 +1,7 @@
 package sweep_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -36,7 +37,7 @@ func TestSweepGradMatchesPointwise(t *testing.T) {
 		points := randomPoints(rng, count, p)
 		for _, workers := range []int{1, 4} {
 			eng := sweep.New(sim, sweep.Options{Workers: workers})
-			res, err := eng.SweepGrad(points, nil)
+			res, err := eng.SweepGrad(context.Background(), points, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -76,7 +77,7 @@ func TestSweepGradMixedDepths(t *testing.T) {
 		points = append(points, randomPoints(rng, 3, p)...)
 	}
 	eng := sweep.New(sim, sweep.Options{Workers: 4})
-	res, err := eng.SweepGrad(points, nil)
+	res, err := eng.SweepGrad(context.Background(), points, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,10 +96,10 @@ func TestSweepGradValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := sweep.New(sim, sweep.Options{Workers: 2})
-	if _, err := eng.SweepGrad([]sweep.Point{{Gamma: []float64{1}, Beta: nil}}, nil); err == nil {
+	if _, err := eng.SweepGrad(context.Background(), []sweep.Point{{Gamma: []float64{1}, Beta: nil}}, nil); err == nil {
 		t.Error("mismatched point accepted")
 	}
-	res, err := eng.SweepGrad(nil, nil)
+	res, err := eng.SweepGrad(context.Background(), nil, nil)
 	if err != nil || len(res) != 0 {
 		t.Errorf("empty batch: %v, %d results", err, len(res))
 	}
@@ -116,7 +117,7 @@ func TestSweepGradConcurrentEngines(t *testing.T) {
 	}
 	eng := sweep.New(sim, sweep.Options{Workers: 4})
 	points := randomPoints(rng, 16, p)
-	wantRes, err := eng.SweepGrad(points, nil)
+	wantRes, err := eng.SweepGrad(context.Background(), points, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestSweepGradConcurrentEngines(t *testing.T) {
 			defer wg.Done()
 			if k%2 == 0 {
 				// Shared engine: exercises the workspace pool.
-				res, err := eng.SweepGrad(points, nil)
+				res, err := eng.SweepGrad(context.Background(), points, nil)
 				if err != nil {
 					errs <- err
 					return
@@ -142,7 +143,7 @@ func TestSweepGradConcurrentEngines(t *testing.T) {
 				// Private engine on the shared simulator: exercises
 				// concurrent GradBuffers against one diagonal.
 				own := sweep.New(sim, sweep.Options{Workers: 2})
-				if _, err := own.SweepGrad(points, nil); err != nil {
+				if _, err := own.SweepGrad(context.Background(), points, nil); err != nil {
 					errs <- err
 				}
 			}
@@ -170,12 +171,12 @@ func TestSweepGradZeroAllocsPerPoint(t *testing.T) {
 	points := randomPoints(rng, count, p)
 	out := make([]sweep.GradResult, 0, count)
 	var err2 error
-	out, err2 = eng.SweepGrad(points, out) // warm-up: workspace + gradient slices
+	out, err2 = eng.SweepGrad(context.Background(), points, out) // warm-up: workspace + gradient slices
 	if err2 != nil {
 		t.Fatal(err2)
 	}
 	allocs := testing.AllocsPerRun(10, func() {
-		if _, err := eng.SweepGrad(points, out); err != nil {
+		if _, err := eng.SweepGrad(context.Background(), points, out); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -207,14 +208,14 @@ func TestSweepGradNoPerPointStateAllocations(t *testing.T) {
 		eng := sweep.New(sim, sweep.Options{Workers: workers})
 		points := randomPoints(rng, count, p)
 		out := make([]sweep.GradResult, 0, count)
-		out, err = eng.SweepGrad(points, out)
+		out, err = eng.SweepGrad(context.Background(), points, out)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
-		if _, err := eng.SweepGrad(points, out); err != nil {
+		if _, err := eng.SweepGrad(context.Background(), points, out); err != nil {
 			t.Fatal(err)
 		}
 		runtime.ReadMemStats(&after)

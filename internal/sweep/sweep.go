@@ -19,12 +19,14 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"qokit/internal/core"
+	"qokit/internal/evaluator"
 )
 
 // Point is one QAOA parameter set to evaluate: γ and β schedules of
@@ -124,7 +126,10 @@ func (e *Engine) release(r *core.Result) {
 // Evaluate evaluates a single point through the engine's buffer pool —
 // the path sequential optimizers drive, one allocation-free
 // SimulateQAOAInto per objective call.
-func (e *Engine) Evaluate(gamma, beta []float64) (float64, error) {
+func (e *Engine) Evaluate(ctx context.Context, gamma, beta []float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	r := e.acquire()
 	defer e.release(r)
 	if err := e.sim.SimulateQAOAInto(r, gamma, beta); err != nil {
@@ -139,7 +144,10 @@ func (e *Engine) Evaluate(gamma, beta []float64) (float64, error) {
 //
 // Points are distributed dynamically over the worker pool, so a batch
 // mixing depths pays no stragglers beyond its single longest point.
-func (e *Engine) Sweep(points []Point, out []Result) ([]Result, error) {
+// Cancelling ctx mid-batch stops workers at the next point boundary
+// and returns ctx.Err(); every pooled buffer is released back to the
+// engine, so an interrupted sweep leaks nothing.
+func (e *Engine) Sweep(ctx context.Context, points []Point, out []Result) ([]Result, error) {
 	if len(points) == 0 {
 		return out[:0], nil
 	}
@@ -161,6 +169,9 @@ func (e *Engine) Sweep(points []Point, out []Result) ([]Result, error) {
 		r := e.acquire()
 		defer e.release(r)
 		for i := range points {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if err := e.evalInto(r, points[i], &out[i]); err != nil {
 				return nil, err
 			}
@@ -184,6 +195,10 @@ func (e *Engine) Sweep(points []Point, out []Result) ([]Result, error) {
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(res) || firstErr.Load() != nil {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
 					return
 				}
 				if err := e.evalIntoWith(e.inlineSim, r, points[i], &res[i]); err != nil {
@@ -223,6 +238,49 @@ func (e *Engine) evalIntoWith(sim *core.Simulator, r *core.Result, pt Point, slo
 	return nil
 }
 
+// The sweep engine implements evaluator.Evaluator, so a serving layer
+// can schedule point queries onto the same pooled buffers a batch
+// sweep uses.
+var _ evaluator.Evaluator = (*Engine)(nil)
+
+// Energy evaluates the objective at the flat parameter vector through
+// the engine's buffer pool (evaluator.Evaluator).
+func (e *Engine) Energy(ctx context.Context, x []float64) (float64, error) {
+	gamma, beta, err := evaluator.SplitFlat(x)
+	if err != nil {
+		return 0, err
+	}
+	return e.Evaluate(ctx, gamma, beta)
+}
+
+// EnergyGrad evaluates the objective and its exact adjoint gradient at
+// the flat parameter vector through the engine's pooled gradient
+// workspaces (evaluator.Evaluator).
+func (e *Engine) EnergyGrad(ctx context.Context, x, grad []float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	gamma, beta, err := evaluator.SplitFlat(x)
+	if err != nil {
+		return 0, err
+	}
+	if err := evaluator.CheckGradStorage(x, grad); err != nil {
+		return 0, err
+	}
+	p := len(gamma)
+	w := e.acquireGrad()
+	defer e.releaseGrad(w)
+	return e.sim.SimulateQAOAGradInto(w, gamma, beta, grad[:p], grad[p:])
+}
+
+// Caps reports the engine's evaluation metadata: gradient-capable,
+// up to Workers zero-allocation concurrent evaluations, single rank.
+func (e *Engine) Caps() evaluator.Caps {
+	c := e.sim.Caps()
+	c.MaxConcurrent = e.workers
+	return c
+}
+
 // Grid builds the p = 1 cartesian product of γ and β values in
 // row-major order (β varies fastest): the landscape scans of the
 // paper's Figs. 3–4. Index a point as points[i*len(betas)+j] for
@@ -244,6 +302,18 @@ func ArgMin(results []Result) int {
 	best := -1
 	for i, r := range results {
 		if best < 0 || r.Energy < results[best].Energy {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMinEnergies is ArgMin over a bare energy slice — the shape the
+// evaluation service's batch requests return.
+func ArgMinEnergies(energies []float64) int {
+	best := -1
+	for i, e := range energies {
+		if best < 0 || e < energies[best] {
 			best = i
 		}
 	}

@@ -1,12 +1,16 @@
 package sweep_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"qokit/internal/core"
 	"qokit/internal/graphs"
@@ -107,7 +111,7 @@ func TestSweepMatchesSerialReference(t *testing.T) {
 					t.Fatal(err)
 				}
 				eng := sweep.New(sim, sweep.Options{Workers: 8, Overlap: true})
-				res, err := eng.Sweep(points, nil)
+				res, err := eng.Sweep(context.Background(), points, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -159,7 +163,7 @@ func TestSweepMixedDepths(t *testing.T) {
 		points = append(points, randomPoints(rng, 4, p)...)
 	}
 	eng := sweep.New(sim, sweep.Options{Workers: 5})
-	res, err := eng.Sweep(points, nil)
+	res, err := eng.Sweep(context.Background(), points, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,11 +194,11 @@ func TestSweepZeroAllocsPerPoint(t *testing.T) {
 	eng := sweep.New(sim, sweep.Options{Workers: 1, Overlap: true})
 	points := randomPoints(rng, count, p)
 	out := make([]sweep.Result, 0, count)
-	if _, err := eng.Sweep(points, out); err != nil { // warm-up: worker buffer enters the pool
+	if _, err := eng.Sweep(context.Background(), points, out); err != nil { // warm-up: worker buffer enters the pool
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(10, func() {
-		if _, err := eng.Sweep(points, out); err != nil {
+		if _, err := eng.Sweep(context.Background(), points, out); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -222,13 +226,13 @@ func TestSweepNoPerPointStateAllocations(t *testing.T) {
 		eng := sweep.New(sim, sweep.Options{Workers: workers, Overlap: true})
 		points := randomPoints(rng, count, p)
 		out := make([]sweep.Result, 0, count)
-		if _, err := eng.Sweep(points, out); err != nil {
+		if _, err := eng.Sweep(context.Background(), points, out); err != nil {
 			t.Fatal(err)
 		}
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
-		if _, err := eng.Sweep(points, out); err != nil {
+		if _, err := eng.Sweep(context.Background(), points, out); err != nil {
 			t.Fatal(err)
 		}
 		runtime.ReadMemStats(&after)
@@ -252,7 +256,7 @@ func TestEvaluateMatchesSimulate(t *testing.T) {
 		eng := sweep.New(sim, sweep.Options{Workers: 2})
 		gamma := []float64{0.3, 0.5}
 		beta := []float64{0.7, 0.2}
-		got, err := eng.Evaluate(gamma, beta)
+		got, err := eng.Evaluate(context.Background(), gamma, beta)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -279,12 +283,12 @@ func TestSweepValidation(t *testing.T) {
 	}
 	for _, workers := range []int{1, 4} {
 		eng := sweep.New(sim, sweep.Options{Workers: workers})
-		if _, err := eng.Sweep(bad, nil); err == nil {
+		if _, err := eng.Sweep(context.Background(), bad, nil); err == nil {
 			t.Fatalf("workers=%d: expected error for mismatched point", workers)
 		} else if !strings.Contains(err.Error(), "point 1") {
 			t.Errorf("workers=%d: error %q does not name the offending point", workers, err)
 		}
-		if _, err := eng.Evaluate([]float64{0.1}, nil); err == nil {
+		if _, err := eng.Evaluate(context.Background(), []float64{0.1}, nil); err == nil {
 			t.Errorf("workers=%d: Evaluate accepted mismatched schedules", workers)
 		}
 	}
@@ -302,7 +306,7 @@ func TestSweepReusedSliceClearsOverlap(t *testing.T) {
 	}
 	points := randomPoints(rng, 8, 2)
 	withOverlap := sweep.New(sim, sweep.Options{Workers: 2, Overlap: true})
-	res, err := withOverlap.Sweep(points, nil)
+	res, err := withOverlap.Sweep(context.Background(), points, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +314,7 @@ func TestSweepReusedSliceClearsOverlap(t *testing.T) {
 		t.Fatal("overlap engine produced zero overlap; test premise broken")
 	}
 	energyOnly := sweep.New(sim, sweep.Options{Workers: 2})
-	res, err = energyOnly.Sweep(points, res)
+	res, err = energyOnly.Sweep(context.Background(), points, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +367,7 @@ func TestSweepSharedEngineConcurrent(t *testing.T) {
 	}
 	eng := sweep.New(sim, sweep.Options{Workers: 4})
 	points := randomPoints(rng, 24, 3)
-	want, err := eng.Sweep(points, nil)
+	want, err := eng.Sweep(context.Background(), points, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +375,7 @@ func TestSweepSharedEngineConcurrent(t *testing.T) {
 	done := make(chan error, 8)
 	for k := 0; k < 8; k++ {
 		go func() {
-			res, err := eng.Sweep(points, nil)
+			res, err := eng.Sweep(context.Background(), points, nil)
 			if err != nil {
 				done <- err
 				return
@@ -389,5 +393,140 @@ func TestSweepSharedEngineConcurrent(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// errAfter is a deterministic cancellation source: a context whose Err
+// turns non-nil after limit polls — so cancellation lands mid-batch at
+// an exact point boundary, with no sleeps or timing assumptions.
+type errAfter struct {
+	limit int64
+	n     atomic.Int64
+}
+
+func (c *errAfter) Deadline() (time.Time, bool)   { return time.Time{}, false }
+func (c *errAfter) Done() <-chan struct{}         { return nil }
+func (c *errAfter) Value(interface{}) interface{} { return nil }
+func (c *errAfter) Err() error {
+	if c.n.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSweepCancellation pins the mid-batch cancellation contract on
+// both the inline and concurrent paths: the sweep returns
+// context.Canceled promptly (without evaluating the rest of the
+// batch), every pooled buffer is released, and the engine keeps
+// serving — including the zero-alloc warm path — afterwards.
+func TestSweepCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n, p, count = 8, 3, 64
+	sim, err := core.New(n, problems.LABSTerms(n), core.Options{Backend: core.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := randomPoints(rng, count, p)
+	for _, workers := range []int{1, 4} {
+		eng := sweep.New(sim, sweep.Options{Workers: workers})
+		ctx := &errAfter{limit: 5}
+		if _, err := eng.Sweep(ctx, points, nil); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: cancelled sweep returned %v, want context.Canceled", workers, err)
+		}
+		// The engine still works after the interrupted batch.
+		res, err := eng.Sweep(context.Background(), points, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: sweep after cancellation: %v", workers, err)
+		}
+		r, err := sim.SimulateQAOA(points[0].Gamma, points[0].Beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(res[0].Energy - r.Expectation()); d > 1e-12 {
+			t.Errorf("workers=%d: post-cancellation result off by %g", workers, d)
+		}
+		// Cancelled gradient sweeps release their workspaces too.
+		gctx := &errAfter{limit: 5}
+		if _, err := eng.SweepGrad(gctx, points, nil); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: cancelled SweepGrad returned %v", workers, err)
+		}
+		if _, err := eng.SweepGrad(context.Background(), points, nil); err != nil {
+			t.Fatalf("workers=%d: SweepGrad after cancellation: %v", workers, err)
+		}
+	}
+
+	// Buffers interrupted mid-batch went back to the pool: the warm
+	// inline path still allocates nothing.
+	eng := sweep.New(sim, sweep.Options{Workers: 1})
+	if _, err := eng.Sweep(&errAfter{limit: 5}, points, nil); !errors.Is(err, context.Canceled) {
+		t.Fatal("premise: cancellation did not land")
+	}
+	out := make([]sweep.Result, 0, count)
+	if _, err := eng.Sweep(context.Background(), points, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := eng.Sweep(context.Background(), points, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("sweep after cancellation allocated %.1f times per run, want 0 (leaked pool buffer?)", allocs)
+	}
+}
+
+// TestEvaluatorContract pins the sweep engine's evaluator.Evaluator
+// implementation against the direct engine paths.
+func TestEvaluatorContract(t *testing.T) {
+	const n, p = 8, 3
+	rng := rand.New(rand.NewSource(17))
+	sim, err := core.New(n, problems.LABSTerms(n), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sweep.New(sim, sweep.Options{Workers: 3})
+	pt := randomPoints(rng, 1, p)[0]
+	x := append(append([]float64(nil), pt.Gamma...), pt.Beta...)
+
+	e, err := eng.Energy(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Evaluate(context.Background(), pt.Gamma, pt.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != want {
+		t.Errorf("Energy %v != Evaluate %v", e, want)
+	}
+
+	g := make([]float64, 2*p)
+	eg, err := eng.EnergyGrad(context.Background(), x, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantE, wG, wB, err := sim.SimulateQAOAGrad(pt.Gamma, pt.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eg != wantE {
+		t.Errorf("EnergyGrad energy %v != %v", eg, wantE)
+	}
+	for l := 0; l < p; l++ {
+		if g[l] != wG[l] || g[p+l] != wB[l] {
+			t.Errorf("flat gradient layer %d mismatch", l)
+		}
+	}
+
+	caps := eng.Caps()
+	if caps.NumQubits != n || !caps.Grad || caps.MaxConcurrent != 3 || caps.Ranks != 1 || caps.StateBytes <= 0 {
+		t.Errorf("Caps = %+v", caps)
+	}
+
+	if _, err := eng.Energy(context.Background(), x[:2*p-1]); err == nil {
+		t.Error("odd-length flat vector accepted")
+	}
+	if _, err := eng.EnergyGrad(context.Background(), x, g[:p]); err == nil {
+		t.Error("short gradient storage accepted")
 	}
 }

@@ -1,10 +1,10 @@
 package qokit
 
 import (
+	"context"
 	"fmt"
 
 	"qokit/internal/optimize"
-	"qokit/internal/sweep"
 )
 
 // NMOptions configures the Nelder–Mead optimizer.
@@ -35,37 +35,25 @@ func SPSA(f func([]float64) float64, x0 []float64, opt SPSAOptions) SPSAResult {
 // parameters (the paper's Ref. [44]).
 func TQAInit(p int, dt float64) (gamma, beta []float64) { return optimize.TQAInit(p, dt) }
 
-// engineObjective adapts a sweep engine's pooled single-point
-// evaluator into an optimizer objective: every call reuses a worker
-// buffer instead of allocating a fresh state vector, so an entire
-// optimization run touches exactly one state buffer. The first
-// simulator error is latched into *simErr (the only possible error —
-// mismatched schedule lengths — cannot occur for JoinAngles vectors).
-func engineObjective(eng *sweep.Engine, simErr *error) optimize.Func {
-	return func(x []float64) float64 {
-		gg, bb := optimize.SplitAngles(x)
-		v, err := eng.Evaluate(gg, bb)
-		if err != nil && *simErr == nil {
-			*simErr = err
-		}
-		return v
-	}
-}
-
 // OptimizeParametersInterp tunes parameters depth by depth: optimize
 // p = 1, INTERP-extend to p = 2, re-optimize, and so on up to pmax —
 // the standard recipe for the high-depth regime this simulator
 // targets, far more robust than optimizing 2·pmax parameters cold.
-// evalsPerDepth bounds the optimizer budget at each level. All
-// objective evaluations run through one sweep-engine buffer, so the
-// whole schedule allocates a single state vector.
+// evalsPerDepth bounds the optimizer budget at each level. Every
+// objective evaluation runs through a one-worker Service over the
+// shared simulator — the same queue that serves batches and
+// distributed pools — touching a single pooled state buffer.
 func OptimizeParametersInterp(sim *Simulator, pmax, evalsPerDepth int) (gamma, beta []float64, energy float64, totalEvals int, err error) {
 	if pmax < 1 {
 		return nil, nil, 0, 0, fmt.Errorf("qokit: depth pmax=%d < 1", pmax)
 	}
-	eng := sweep.New(sim, sweep.Options{Workers: 1})
+	svc, err := NewLocalService(sim, ServiceOptions{WorkersPerEvaluator: 1})
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	defer svc.Close()
 	var simErr error
-	objective := engineObjective(eng, &simErr)
+	objective := svc.Objective(context.Background(), &simErr)
 	gamma, beta = TQAInit(1, 0.75)
 	for p := 1; p <= pmax; p++ {
 		if p > 1 {
@@ -88,17 +76,21 @@ func OptimizeParametersInterp(sim *Simulator, pmax, evalsPerDepth int) (gamma, b
 // returns the best parameters, the best objective, and the number of
 // objective evaluations — the workload whose end-to-end time the
 // paper's "11× faster optimization" claim is about. Evaluations run
-// through a sweep-engine buffer: one state vector serves the entire
-// optimization.
+// through a one-worker Service over the shared simulator: one pooled
+// state buffer serves the entire optimization.
 func OptimizeParameters(sim *Simulator, p int, opt NMOptions) (gamma, beta []float64, energy float64, evals int, err error) {
 	if p < 1 {
 		return nil, nil, 0, 0, fmt.Errorf("qokit: depth p=%d < 1", p)
 	}
 	g0, b0 := TQAInit(p, 0.75)
 	x0 := optimize.JoinAngles(g0, b0)
-	eng := sweep.New(sim, sweep.Options{Workers: 1})
+	svc, err := NewLocalService(sim, ServiceOptions{WorkersPerEvaluator: 1})
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	defer svc.Close()
 	var simErr error
-	res := optimize.NelderMead(engineObjective(eng, &simErr), x0, opt)
+	res := optimize.NelderMead(svc.Objective(context.Background(), &simErr), x0, opt)
 	if simErr != nil {
 		return nil, nil, 0, 0, simErr
 	}

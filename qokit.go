@@ -176,6 +176,12 @@ func SweepArgMin(results []SweepResult) int {
 	return sweep.ArgMin(results)
 }
 
+// ArgMinEnergies is SweepArgMin over a bare energy slice — the shape
+// Service.EnergyBatch returns. Same −1-on-empty contract.
+func ArgMinEnergies(energies []float64) int {
+	return sweep.ArgMinEnergies(energies)
+}
+
 // PrecomputeDiagonal evaluates the cost diagonal for the given terms
 // without building a simulator — useful for inspecting the spectrum or
 // feeding NewSimulatorFromDiagonal.
