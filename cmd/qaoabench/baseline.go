@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
 // compareBaseline diffs a freshly measured suite report against the
@@ -25,6 +26,11 @@ import (
 // gate, so adding a benchmark does not break CI against the previous
 // baseline; the config (n, p, ranks, points) must match for timings
 // and traffic to be comparable, and a mismatch fails loudly.
+// Forward compatibility: a baseline row missing a metric the fresh
+// run now records (bytes_per_rank or seconds_per_op absent or zero —
+// an older schema, or a truncated file) is reported but never gated
+// on that metric; comparing a fresh value against a phantom zero
+// would read every new metric as a regression.
 func compareBaseline(w io.Writer, fresh suiteReport, path string, maxRatio float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -55,14 +61,31 @@ func compareBaseline(w io.Writer, fresh suiteReport, path string, maxRatio float
 			continue
 		}
 		delete(byName, f.Name)
-		ratio := f.SecondsPerOp / b.SecondsPerOp
-		status := "ok"
-		if f.BytesPerRank > b.BytesPerRank {
-			status = "TRAFFIC REGRESSION"
+		// Regressions dominate the per-row verdict; "not gated" notes
+		// about metrics the baseline lacks only decorate clean rows.
+		var regressions, notes []string
+		ratio := 0.0
+		if b.SecondsPerOp > 0 {
+			ratio = f.SecondsPerOp / b.SecondsPerOp
+			if ratio > maxRatio {
+				regressions = append(regressions, "TIMING REGRESSION")
+				failures = append(failures, fmt.Sprintf("%s: %.3gs/op is %.2f× baseline %.3gs/op", f.Name, f.SecondsPerOp, ratio, b.SecondsPerOp))
+			}
+		} else {
+			notes = append(notes, "no baseline timing — reported, not gated")
+		}
+		switch {
+		case f.BytesPerRank > 0 && b.BytesPerRank <= 0:
+			notes = append(notes, "no baseline traffic — reported, not gated")
+		case f.BytesPerRank > b.BytesPerRank:
+			regressions = append(regressions, "TRAFFIC REGRESSION")
 			failures = append(failures, fmt.Sprintf("%s: %d bytes/rank vs baseline %d", f.Name, f.BytesPerRank, b.BytesPerRank))
-		} else if ratio > maxRatio {
-			status = "TIMING REGRESSION"
-			failures = append(failures, fmt.Sprintf("%s: %.3gs/op is %.2f× baseline %.3gs/op", f.Name, f.SecondsPerOp, ratio, b.SecondsPerOp))
+		}
+		status := "ok"
+		if len(regressions) > 0 {
+			status = strings.Join(regressions, ", ")
+		} else if len(notes) > 0 {
+			status = strings.Join(notes, "; ")
 		}
 		fmt.Fprintf(w, "  %-20s time %.2f× baseline, bytes/rank %d vs %d — %s\n",
 			f.Name, ratio, f.BytesPerRank, b.BytesPerRank, status)

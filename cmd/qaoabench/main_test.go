@@ -43,6 +43,10 @@ func TestRunnersSmoke(t *testing.T) {
 			[]string{"adjoint", "central-fd", "speedup"}},
 		{"distgrad", runDistGrad, []string{"-n", "8", "-p", "2", "-kmax", "4", "-reps", "1"},
 			[]string{"single-node", "pairwise", "transpose", "modeled-net"}},
+		{"distgrad-float32", runDistGrad, []string{"-n", "8", "-p", "2", "-kmax", "4", "-reps", "1", "-precision", "float32"},
+			[]string{"float32 shards", "half the", "modeled-net"}},
+		{"distgrad-quantized", runDistGrad, []string{"-n", "8", "-p", "2", "-kmax", "4", "-reps", "1", "-quantize"},
+			[]string{"uint16-quantized diagonal", "modeled-net"}},
 		{"suite", runSuite, []string{"-n", "8", "-p", "2", "-points", "8", "-reps", "1"},
 			[]string{"forward", "distributed_grad", "BENCH_qaoa.json"}},
 	}
@@ -77,10 +81,12 @@ func TestSuiteJSONRoundTrips(t *testing.T) {
 	if report.Schema != "qaoabench/suite/v1" {
 		t.Errorf("schema = %q", report.Schema)
 	}
-	want := []string{"forward", "grad", "sweep", "distributed_forward", "distributed_grad"}
+	want := []string{"forward", "grad", "sweep", "distributed_forward", "distributed_grad",
+		"distributed_forward_float32", "distributed_grad_float32", "distributed_grad_quantized"}
 	if len(report.Benchmarks) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(report.Benchmarks), len(want))
 	}
+	byName := map[string]suiteBenchmark{}
 	for i, name := range want {
 		b := report.Benchmarks[i]
 		if b.Name != name {
@@ -89,6 +95,29 @@ func TestSuiteJSONRoundTrips(t *testing.T) {
 		if b.SecondsPerOp <= 0 {
 			t.Errorf("%s: non-positive seconds_per_op %v", name, b.SecondsPerOp)
 		}
+		byName[b.Name] = b
+	}
+
+	// The float32 wire format must halve the machine-independent
+	// traffic of its float64 counterpart (≤ 0.55× allows no slack in
+	// practice — the ratio is exactly 0.5); the quantized diagonal
+	// changes no wire format, so its traffic matches float64 exactly.
+	for _, pair := range [][2]string{
+		{"distributed_forward_float32", "distributed_forward"},
+		{"distributed_grad_float32", "distributed_grad"},
+	} {
+		f32, f64 := byName[pair[0]], byName[pair[1]]
+		if f32.BytesPerRank <= 0 || f64.BytesPerRank <= 0 {
+			t.Fatalf("%s/%s: missing bytes_per_rank (%d, %d)", pair[0], pair[1], f32.BytesPerRank, f64.BytesPerRank)
+		}
+		if ratio := float64(f32.BytesPerRank) / float64(f64.BytesPerRank); ratio > 0.55 {
+			t.Errorf("%s moved %d bytes/rank, %.2f× the float64 row's %d (want ≤ 0.55×)",
+				pair[0], f32.BytesPerRank, ratio, f64.BytesPerRank)
+		}
+	}
+	if q, f := byName["distributed_grad_quantized"], byName["distributed_grad"]; q.BytesPerRank != f.BytesPerRank {
+		t.Errorf("quantized grad moved %d bytes/rank, float64 moved %d — the diagonal representation must not change wire traffic",
+			q.BytesPerRank, f.BytesPerRank)
 	}
 
 	// -out must write the same report shape to disk.
@@ -134,9 +163,9 @@ func TestSuiteBaselineGate(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Self-comparison passes (generous ratio absorbs timing noise).
+	// Self-comparison passes (generous ratio absorbs timing noise — micro-second ops at this size can jitter orders of magnitude under load).
 	var out strings.Builder
-	if err := runSuite(&out, append([]string{"-baseline", base, "-maxratio", "50"}, args...)); err != nil {
+	if err := runSuite(&out, append([]string{"-baseline", base, "-maxratio", "10000"}, args...)); err != nil {
 		t.Fatalf("self-comparison failed: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "no regressions") {
@@ -167,7 +196,7 @@ func TestSuiteBaselineGate(t *testing.T) {
 	if err := os.WriteFile(doctored, tampered, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err = runSuite(io.Discard, append([]string{"-baseline", doctored, "-maxratio", "50"}, args...))
+	err = runSuite(io.Discard, append([]string{"-baseline", doctored, "-maxratio", "10000"}, args...))
 	if err == nil || !strings.Contains(err.Error(), "regression") {
 		t.Errorf("traffic regression not detected: %v", err)
 	}
@@ -181,11 +210,78 @@ func TestSuiteBaselineGate(t *testing.T) {
 	// -json with -baseline keeps stdout pure JSON (the comparison's
 	// verdict travels through the error only).
 	out.Reset()
-	if err := runSuite(&out, append([]string{"-json", "-baseline", base, "-maxratio", "50"}, args...)); err != nil {
+	if err := runSuite(&out, append([]string{"-json", "-baseline", base, "-maxratio", "10000"}, args...)); err != nil {
 		t.Fatalf("json self-comparison failed: %v", err)
 	}
 	var rep suiteReport
 	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
 		t.Errorf("-json -baseline polluted stdout: %v\n%s", err, out.String())
+	}
+}
+
+// TestSuiteBaselineForwardCompat pins the gate's forward
+// compatibility: a fresh run that records workloads and metric keys an
+// older baseline lacks (the float32/quantized rows, bytes_per_rank on
+// rows written before the key existed) must report those rows without
+// gating on the missing data — a phantom zero in the baseline is not a
+// regression to beat. A truncated (half-written) baseline file must
+// fail cleanly, not panic.
+func TestSuiteBaselineForwardCompat(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.json")
+	args := []string{"-n", "8", "-p", "2", "-ranks", "2", "-points", "4", "-reps", "1"}
+	if err := runSuite(io.Discard, append([]string{"-out", full}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report suiteReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+
+	// An "old" baseline: drop every per-precision row and strip the
+	// traffic and timing metrics from the remaining distributed rows,
+	// as a pre-schema-extension file would look.
+	old := report
+	old.Benchmarks = nil
+	for _, b := range report.Benchmarks {
+		switch b.Name {
+		case "distributed_forward_float32", "distributed_grad_float32", "distributed_grad_quantized":
+			continue
+		case "distributed_grad":
+			b.BytesPerRank = 0 // key absent in the old schema
+			b.SecondsPerOp = 0
+		}
+		old.Benchmarks = append(old.Benchmarks, b)
+	}
+	oldPath := filepath.Join(dir, "old.json")
+	oldData, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(oldPath, oldData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runSuite(&out, append([]string{"-baseline", oldPath, "-maxratio", "10000"}, args...)); err != nil {
+		t.Fatalf("fresh run spuriously failed against the older baseline: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"new workload, no baseline", "reported, not gated", "no regressions"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("comparison output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A truncated baseline file errors cleanly instead of panicking.
+	truncated := filepath.Join(dir, "truncated.json")
+	if err := os.WriteFile(truncated, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = runSuite(io.Discard, append([]string{"-baseline", truncated, "-maxratio", "10000"}, args...))
+	if err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Errorf("truncated baseline not rejected cleanly: %v", err)
 	}
 }

@@ -168,11 +168,16 @@ func runSuite(w io.Writer, args []string) error {
 		SecondsPerUnit: tSweep.Seconds() / float64(*points),
 	})
 
-	// Distributed forward: full sharded pipeline.
+	// Distributed forward: full sharded pipeline. Each precision
+	// variant's forward and grad workloads share one Options value, so
+	// the pair cannot drift apart structurally (harnesses that build
+	// the two option sets independently should cross-check them with
+	// distsim.ValidateEnginePair instead).
+	dist64opts := distsim.Options{Ranks: *ranks, Algo: cluster.Transpose}
 	var dres *distsim.Result
 	tDist, _ := benchutil.TimeRepeat(*reps, func() {
 		var err error
-		dres, err = distsim.SimulateQAOA(ctx, *n, terms, gamma, beta, distsim.Options{Ranks: *ranks, Algo: cluster.Transpose})
+		dres, err = distsim.SimulateQAOA(ctx, *n, terms, gamma, beta, dist64opts)
 		if err != nil {
 			panic(err)
 		}
@@ -187,7 +192,7 @@ func runSuite(w io.Writer, args []string) error {
 
 	// Distributed gradient: sharded adjoint through a one-worker
 	// service over a reused engine lease.
-	deng, err := distsim.NewGradEngine(*n, terms, distsim.Options{Ranks: *ranks, Algo: cluster.Transpose})
+	deng, err := distsim.NewGradEngine(*n, terms, dist64opts)
 	if err != nil {
 		return err
 	}
@@ -212,6 +217,64 @@ func runSuite(w io.Writer, args []string) error {
 		BytesPerRank:      perRankGrad.BytesSent,
 		ModeledNetSeconds: perRankGrad.ModeledTime(model).Seconds(),
 	})
+
+	// Distributed §V-B memory representations: the same forward and
+	// gradient workloads over float32 shards (half the bytes/rank on
+	// the wire) and over the uint16-quantized diagonal (exact and
+	// gradient-only — its traffic and results track the float64 rows).
+	// One shared Options value per variant keeps each forward/grad
+	// pair on the same numeric contract.
+	f32opts := distsim.Options{Ranks: *ranks, Algo: cluster.Transpose, Precision: distsim.PrecisionFloat32}
+	var dres32 *distsim.Result
+	tDist32, _ := benchutil.TimeRepeat(*reps, func() {
+		var err error
+		dres32, err = distsim.SimulateQAOA(ctx, *n, terms, gamma, beta, f32opts)
+		if err != nil {
+			panic(err)
+		}
+	})
+	report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
+		Name: "distributed_forward_float32", N: *n, P: *p, Ranks: *ranks,
+		SecondsPerOp:      tDist32.Seconds(),
+		BytesPerRank:      dres32.Comm.BytesSent / int64(*ranks),
+		ModeledNetSeconds: perRankCounters(dres32.Comm, *ranks).ModeledTime(model).Seconds(),
+	})
+
+	qopts := distsim.Options{Ranks: *ranks, Algo: cluster.Transpose, Quantize: true}
+	for _, pv := range []struct {
+		name string
+		opts distsim.Options
+	}{
+		{"distributed_grad_float32", f32opts},
+		{"distributed_grad_quantized", qopts},
+	} {
+		peng, err := distsim.NewGradEngine(*n, terms, pv.opts)
+		if err != nil {
+			return err
+		}
+		psvc, err := serve.New([]evaluator.Evaluator{peng}, serve.Options{WorkersPerEvaluator: 1})
+		if err != nil {
+			return err
+		}
+		if _, err := psvc.EnergyGrad(ctx, x, gFlat); err != nil {
+			psvc.Close()
+			return err
+		}
+		before := peng.Counters()
+		tP, _ := benchutil.TimeRepeat(*reps, func() {
+			if _, err := psvc.EnergyGrad(ctx, x, gFlat); err != nil {
+				panic(err)
+			}
+		})
+		perRank := perRankDelta(peng.Counters(), before, *reps, *ranks)
+		psvc.Close()
+		report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
+			Name: pv.name, N: *n, P: *p, Ranks: *ranks,
+			SecondsPerOp:      tP.Seconds(),
+			BytesPerRank:      perRank.BytesSent,
+			ModeledNetSeconds: perRank.ModeledTime(model).Seconds(),
+		})
+	}
 
 	if *out != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

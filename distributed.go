@@ -33,8 +33,26 @@ func DefaultNetworkModel() NetworkModel { return cluster.DefaultNetworkModel() }
 
 // DistOptions configures a distributed QAOA simulation (§III-C):
 // rank count K (power of two, 2·log2(K) ≤ n), the all-to-all
-// algorithm, the mixer family, and whether to gather the full state.
+// algorithm, the mixer family, whether to gather the full state, and
+// the §V-B memory representations — Precision selects float64 or
+// float32 shards (float32 halves state memory and fabric bytes), and
+// Quantize stores each rank's diagonal slice as uint16 codes against
+// one globally agreed (min, scale). Caps().StateBytes reflects the
+// chosen precision, so service pools pack honestly.
 type DistOptions = distsim.Options
+
+// DistPrecision selects the sharded amplitude storage (see the
+// DistFloat64/DistFloat32 constants).
+type DistPrecision = distsim.Precision
+
+// Distributed shard precisions: DistFloat64 is the default complex128
+// representation; DistFloat32 stores split float32 pairs with float32
+// wire formats — half the state memory and half the fabric bytes, at
+// the single-node SoA32 accuracy (gradient band ~2e-3).
+const (
+	DistFloat64 = distsim.PrecisionFloat64
+	DistFloat32 = distsim.PrecisionFloat32
+)
 
 // DistResult carries the distributed outputs and per-rank counters.
 type DistResult = distsim.Result

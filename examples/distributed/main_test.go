@@ -26,6 +26,9 @@ func TestRun(t *testing.T) {
 		"bytes/rank",
 		"Every configuration reproduces the single-node expectation exactly.",
 		"Distributed adjoint gradient (K=4)",
+		"§V-B shard representations (K=4)",
+		"uint16-quantized diag",
+		"float32 state + wire",
 		"Distributed Adam (K=4",
 		"optimized  E =",
 	} {

@@ -115,6 +115,12 @@ type Group struct {
 	floats   []float64
 	fvecs    [][]float64
 	fscratch [][]float64
+	// float32 wire format: the single-precision shards publish their
+	// split Re/Im component slices and move 8 bytes per amplitude
+	// instead of 16 — half the fabric volume at identical message and
+	// synchronization counts.
+	bufs32    [][2][]float32
+	scratch32 [][2][]float32
 
 	counters []Counters
 
@@ -130,15 +136,17 @@ func NewGroup(k int, algo AlltoallAlgo) (*Group, error) {
 		return nil, fmt.Errorf("cluster: group size %d < 1", k)
 	}
 	return &Group{
-		size:     k,
-		algo:     algo,
-		bar:      newBarrier(k),
-		bufs:     make([][]complex128, k),
-		scratch:  make([][]complex128, k),
-		floats:   make([]float64, k),
-		fvecs:    make([][]float64, k),
-		fscratch: make([][]float64, k),
-		counters: make([]Counters, k),
+		size:      k,
+		algo:      algo,
+		bar:       newBarrier(k),
+		bufs:      make([][]complex128, k),
+		scratch:   make([][]complex128, k),
+		floats:    make([]float64, k),
+		fvecs:     make([][]float64, k),
+		fscratch:  make([][]float64, k),
+		bufs32:    make([][2][]float32, k),
+		scratch32: make([][2][]float32, k),
+		counters:  make([]Counters, k),
 	}, nil
 }
 
@@ -400,6 +408,20 @@ func (c *Comm) AllreduceMin(x float64) (float64, error) {
 	return m, nil
 }
 
+// AllreduceMax returns the maximum of x across ranks, on every rank:
+// AllreduceMin under negation, with identical synchronization and
+// abort behavior. Together with AllreduceMin it is the agreement
+// pre-pass of the distributed quantized diagonal: every rank learns
+// the global cost extrema, so all shards quantize against one shared
+// (min, scale) and codes stay comparable across ranks.
+func (c *Comm) AllreduceMax(x float64) (float64, error) {
+	m, err := c.AllreduceMin(-x)
+	if err != nil {
+		return 0, err
+	}
+	return -m, nil
+}
+
 // AllreduceSumVec sums x elementwise across ranks, in place: on
 // return every rank's x holds the rank-wise sum. All ranks must call
 // with equal lengths. This is the MPI_Allreduce(…, MPI_SUM) the
@@ -457,6 +479,88 @@ func firstMismatch(vecs [][]float64, want int) int {
 	return -1
 }
 
+// Alltoall32 is Alltoall for the single-precision (SoA32) shard: the
+// state's split Re/Im component slices are exchanged together inside
+// one barrier pair, so the collective costs the same messages and
+// synchronizations as the complex128 exchange while moving 8 bytes per
+// amplitude instead of 16 — the float32 wire format that halves the
+// fabric volume of every mixer transpose (§V-B single precision,
+// carried onto the cluster). Both slices must have equal lengths
+// divisible by Size(), identical on every rank.
+func (c *Comm) Alltoall32(re, im []float32) error {
+	g := c.g
+	k := g.size
+	if len(re) != len(im) {
+		return fmt.Errorf("cluster: Alltoall32 component lengths differ: %d vs %d", len(re), len(im))
+	}
+	if len(re)%k != 0 {
+		return fmt.Errorf("cluster: Alltoall32 buffer length %d not divisible by %d ranks", len(re), k)
+	}
+	if g.algo == Pairwise && bits.OnesCount(uint(k)) != 1 {
+		return fmt.Errorf("cluster: pairwise all-to-all requires power-of-two ranks, got %d", k)
+	}
+	start := time.Now()
+	sub := len(re) / k
+	ctr := &g.counters[c.rank]
+	switch g.algo {
+	case Transpose:
+		g.bufs32[c.rank] = [2][]float32{re, im}
+		if g.scratch32[c.rank][0] == nil || len(g.scratch32[c.rank][0]) < len(re) {
+			g.scratch32[c.rank] = [2][]float32{make([]float32, len(re)), make([]float32, len(re))}
+		}
+		tmpRe := g.scratch32[c.rank][0][:len(re)]
+		tmpIm := g.scratch32[c.rank][1][:len(re)]
+		if !g.bar.wait() {
+			return c.abortErr()
+		}
+		for s := 0; s < k; s++ {
+			copy(tmpRe[s*sub:(s+1)*sub], g.bufs32[s][0][c.rank*sub:(c.rank+1)*sub])
+			copy(tmpIm[s*sub:(s+1)*sub], g.bufs32[s][1][c.rank*sub:(c.rank+1)*sub])
+			if s != c.rank {
+				ctr.Messages++
+				ctr.BytesSent += int64(sub) * 8
+			}
+		}
+		if !g.bar.wait() {
+			return c.abortErr()
+		}
+		copy(re, tmpRe)
+		copy(im, tmpIm)
+		ctr.Syncs += 2
+	case Pairwise:
+		g.bufs32[c.rank] = [2][]float32{re, im}
+		for round := 1; round < k; round++ {
+			partner := c.rank ^ round
+			if !g.bar.wait() {
+				return c.abortErr()
+			}
+			if g.scratch32[c.rank][0] == nil || len(g.scratch32[c.rank][0]) < sub {
+				g.scratch32[c.rank] = [2][]float32{make([]float32, len(re)), make([]float32, len(re))}
+			}
+			tmpRe := g.scratch32[c.rank][0][:sub]
+			tmpIm := g.scratch32[c.rank][1][:sub]
+			copy(tmpRe, g.bufs32[partner][0][c.rank*sub:(c.rank+1)*sub])
+			copy(tmpIm, g.bufs32[partner][1][c.rank*sub:(c.rank+1)*sub])
+			if !g.bar.wait() {
+				return c.abortErr()
+			}
+			copy(re[partner*sub:(partner+1)*sub], tmpRe)
+			copy(im[partner*sub:(partner+1)*sub], tmpIm)
+			ctr.Messages++
+			ctr.BytesSent += int64(sub) * 8
+			ctr.Syncs += 2
+		}
+		if !g.bar.wait() {
+			return c.abortErr()
+		}
+		ctr.Syncs++
+	default:
+		return fmt.Errorf("cluster: unknown all-to-all algorithm %v", g.algo)
+	}
+	ctr.CommWall += time.Since(start)
+	return nil
+}
+
 // Sendrecv exchanges buffers between paired ranks: this rank's buf is
 // made visible to partner, and partner's published buffer is copied
 // into recv (len(recv) amplitudes). Every rank in the group must call
@@ -494,6 +598,55 @@ func (c *Comm) Sendrecv(partner int, buf []complex128, recv []complex128) error 
 			copy(recv, src[:len(recv)])
 			ctr.Messages++
 			ctr.BytesSent += int64(len(buf)) * 16
+		}
+	}
+	if !g.bar.wait() {
+		return c.abortErr()
+	}
+	ctr.Syncs += 2
+	ctr.CommWall += time.Since(start)
+	return err
+}
+
+// Sendrecv32 is Sendrecv for the single-precision shard: the paired
+// ranks exchange split Re/Im float32 slices in one barrier pair,
+// moving 8 bytes per amplitude instead of 16 — the wire format behind
+// the float32 xy partner exchanges. Same pairing and no-stranding
+// contract as Sendrecv; recvRe/recvIm must have equal lengths.
+func (c *Comm) Sendrecv32(partner int, re, im, recvRe, recvIm []float32) error {
+	g := c.g
+	start := time.Now()
+	var err error
+	if len(recvRe) != len(recvIm) {
+		err = fmt.Errorf("cluster: Sendrecv32 receive component lengths differ: %d vs %d", len(recvRe), len(recvIm))
+		partner = -1
+	}
+	if len(re) != len(im) {
+		err = fmt.Errorf("cluster: Sendrecv32 send component lengths differ: %d vs %d", len(re), len(im))
+		partner = -1
+	}
+	if partner >= g.size {
+		err = fmt.Errorf("cluster: Sendrecv32 partner %d out of range [0,%d)", partner, g.size)
+		partner = -1
+	}
+	g.bufs32[c.rank] = [2][]float32{re, im}
+	if !g.bar.wait() {
+		return c.abortErr()
+	}
+	ctr := &g.counters[c.rank]
+	if partner >= 0 && partner != c.rank {
+		// Guard both published components: a peer that published a
+		// mismatched pair must surface as this rank's error, never as a
+		// slice-bounds panic inside the group goroutine.
+		srcRe, srcIm := g.bufs32[partner][0], g.bufs32[partner][1]
+		if len(srcRe) < len(recvRe) || len(srcIm) < len(recvIm) {
+			err = fmt.Errorf("cluster: Sendrecv32 rank %d published (%d, %d) amplitudes, rank %d expects %d",
+				partner, len(srcRe), len(srcIm), c.rank, len(recvRe))
+		} else {
+			copy(recvRe, srcRe[:len(recvRe)])
+			copy(recvIm, srcIm[:len(recvIm)])
+			ctr.Messages++
+			ctr.BytesSent += int64(len(re)) * 8
 		}
 	}
 	if !g.bar.wait() {

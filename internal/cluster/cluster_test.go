@@ -537,3 +537,192 @@ func TestSendrecvBadPartnerDoesNotStrand(t *testing.T) {
 		t.Fatal("group deadlocked on invalid partner")
 	}
 }
+
+func TestAllreduceMax(t *testing.T) {
+	g, err := NewGroup(5, Transpose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.Run(func(c *Comm) error {
+		x := float64(c.Rank() + 1)
+		if got, err := c.AllreduceMax(x); err != nil || got != 5 {
+			return fmt.Errorf("rank %d: max %v (err %v), want 5", c.Rank(), got, err)
+		}
+		if got, err := c.AllreduceMax(-x); err != nil || got != -1 {
+			return fmt.Errorf("rank %d: max %v (err %v), want -1", c.Rank(), got, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall32Semantics(t *testing.T) {
+	// Same transpose semantics as the complex128 exchange, carried by
+	// the split float32 pair: rank r's subchunk s (value 100r+s in Re,
+	// the element index in Im) must arrive as subchunk r on rank s.
+	for _, algo := range []AlltoallAlgo{Pairwise, Transpose} {
+		for _, k := range []int{1, 2, 4, 8} {
+			g, err := NewGroup(k, algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const sub = 4
+			err = g.Run(func(c *Comm) error {
+				re := make([]float32, k*sub)
+				im := make([]float32, k*sub)
+				for s := 0; s < k; s++ {
+					for i := 0; i < sub; i++ {
+						re[s*sub+i] = float32(100*c.Rank() + s)
+						im[s*sub+i] = float32(i)
+					}
+				}
+				if err := c.Alltoall32(re, im); err != nil {
+					return err
+				}
+				for s := 0; s < k; s++ {
+					for i := 0; i < sub; i++ {
+						if re[s*sub+i] != float32(100*s+c.Rank()) || im[s*sub+i] != float32(i) {
+							return fmt.Errorf("rank %d subchunk %d elem %d: got (%v, %v)", c.Rank(), s, i, re[s*sub+i], im[s*sub+i])
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%v k=%d: %v", algo, k, err)
+			}
+		}
+	}
+}
+
+func TestAlltoall32HalvesBytes(t *testing.T) {
+	// The float32 wire format moves exactly half the bytes of the
+	// complex128 exchange at identical message and sync counts — the
+	// counter contract the distributed float32 shards rely on.
+	for _, algo := range []AlltoallAlgo{Pairwise, Transpose} {
+		const k, sub = 4, 8
+		g64, _ := NewGroup(k, algo)
+		if err := g64.Run(func(c *Comm) error {
+			return c.Alltoall(make([]complex128, k*sub))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		g32, _ := NewGroup(k, algo)
+		if err := g32.Run(func(c *Comm) error {
+			return c.Alltoall32(make([]float32, k*sub), make([]float32, k*sub))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c64, c32 := g64.TotalCounters(), g32.TotalCounters()
+		if 2*c32.BytesSent != c64.BytesSent {
+			t.Errorf("%v: float32 moved %d bytes, complex128 %d — want exactly half", algo, c32.BytesSent, c64.BytesSent)
+		}
+		if c32.Messages != c64.Messages || c32.Syncs != c64.Syncs {
+			t.Errorf("%v: float32 (%d msgs, %d syncs) vs complex128 (%d msgs, %d syncs) — want identical",
+				algo, c32.Messages, c32.Syncs, c64.Messages, c64.Syncs)
+		}
+	}
+}
+
+func TestAlltoall32Errors(t *testing.T) {
+	g, _ := NewGroup(2, Transpose)
+	if err := g.Run(func(c *Comm) error {
+		return c.Alltoall32(make([]float32, 4), make([]float32, 6))
+	}); err == nil {
+		t.Error("mismatched component lengths accepted")
+	}
+	g2, _ := NewGroup(2, Transpose)
+	if err := g2.Run(func(c *Comm) error {
+		return c.Alltoall32(make([]float32, 3), make([]float32, 3))
+	}); err == nil {
+		t.Error("indivisible buffer accepted")
+	}
+}
+
+func TestSendrecv32Pairs(t *testing.T) {
+	// Ranks pair up r ↔ r^1 and exchange split slices; each must read
+	// its partner's values, and bytes are 8 per amplitude.
+	g, err := NewGroup(4, Transpose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 6
+	err = g.Run(func(c *Comm) error {
+		re := make([]float32, size)
+		im := make([]float32, size)
+		for i := range re {
+			re[i] = float32(10*c.Rank() + i)
+			im[i] = -float32(c.Rank())
+		}
+		recvRe := make([]float32, size)
+		recvIm := make([]float32, size)
+		partner := c.Rank() ^ 1
+		if err := c.Sendrecv32(partner, re, im, recvRe, recvIm); err != nil {
+			return err
+		}
+		for i := range recvRe {
+			if recvRe[i] != float32(10*partner+i) || recvIm[i] != -float32(partner) {
+				return fmt.Errorf("rank %d elem %d: got (%v, %v)", c.Rank(), i, recvRe[i], recvIm[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := g.TotalCounters()
+	if want := int64(4 * size * 8); total.BytesSent != want {
+		t.Errorf("exchange moved %d bytes, want %d (8 per amplitude)", total.BytesSent, want)
+	}
+}
+
+func TestSendrecv32IdleAndErrors(t *testing.T) {
+	// Idle ranks (partner < 0) synchronize without moving data; a
+	// mismatched receive pair or out-of-range partner errors without
+	// stranding the peers.
+	g, _ := NewGroup(2, Transpose)
+	err := g.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.Sendrecv32(-1, nil, nil, nil, nil)
+		}
+		return c.Sendrecv32(-1, make([]float32, 2), make([]float32, 2), nil, nil)
+	})
+	if err != nil {
+		t.Fatalf("idle exchange failed: %v", err)
+	}
+	g2, _ := NewGroup(2, Transpose)
+	err = g2.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Sendrecv32(1, make([]float32, 2), make([]float32, 2), make([]float32, 2), make([]float32, 3))
+		}
+		return c.Sendrecv32(-1, nil, nil, nil, nil)
+	})
+	if err == nil {
+		t.Error("mismatched receive component lengths accepted")
+	}
+	g3, _ := NewGroup(2, Transpose)
+	err = g3.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Sendrecv32(7, make([]float32, 2), make([]float32, 2), make([]float32, 2), make([]float32, 2))
+		}
+		return c.Sendrecv32(-1, nil, nil, nil, nil)
+	})
+	if err == nil {
+		t.Error("out-of-range partner accepted")
+	}
+	// A mismatched *send* pair must surface as an error on both sides
+	// — never as a slice-bounds panic in the partner's goroutine
+	// reading the short component.
+	g4, _ := NewGroup(2, Transpose)
+	err = g4.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Sendrecv32(1, make([]float32, 4), make([]float32, 2), make([]float32, 4), make([]float32, 4))
+		}
+		return c.Sendrecv32(0, make([]float32, 4), make([]float32, 4), make([]float32, 4), make([]float32, 4))
+	})
+	if err == nil {
+		t.Error("mismatched send component lengths accepted")
+	}
+}

@@ -143,21 +143,35 @@ func GroundStates(diag []float64, tol float64) []uint64 {
 // Min + Scale·Codes[i]. For integer-valued costs (LABS, unweighted
 // MaxCut) the representation is exact as long as the cost range fits
 // in Scale·65535; the paper relies on LABS optima being below 2^16 for
-// n < 65.
+// n < 65. Scale 0 is the degenerate constant-diagonal representation:
+// every code is 0 and every value is exactly Min.
 type Quantized struct {
 	Codes []uint16
 	Min   float64
 	Scale float64
 }
 
+// AutoScales is the power-of-two step ladder QuantizeAuto walks, from
+// coarsest to finest. Exported so the distributed quantization
+// agreement can walk the same ladder per shard and reconcile the
+// chosen rung across ranks.
+var AutoScales = []float64{1, 0.5, 0.25, 0.125, 0.0625}
+
 // Quantize compresses the diagonal with the given scale, failing if
 // any value is not exactly (within 1e-9·scale) Min + k·Scale with
-// integer k ≤ 65535. Scale must be positive.
+// integer k ≤ 65535. Scale must be positive, except that a constant
+// diagonal (hi == lo) always quantizes to Scale 0 with all-zero codes
+// — the degenerate representation that keeps Value and PhaseTable
+// exact without a step size (no span exists to derive one from, and a
+// zero scale must never reach the code-assignment division).
 func Quantize(diag []float64, scale float64) (*Quantized, error) {
+	lo, hi := MinMax(diag)
+	if hi == lo {
+		return &Quantized{Codes: make([]uint16, len(diag)), Min: lo, Scale: 0}, nil
+	}
 	if scale <= 0 {
 		return nil, fmt.Errorf("costvec: scale %v must be positive", scale)
 	}
-	lo, hi := MinMax(diag)
 	if span := hi - lo; span > scale*65535 {
 		return nil, fmt.Errorf("costvec: range %v exceeds uint16 capacity %v at scale %v", span, scale*65535, scale)
 	}
@@ -173,13 +187,17 @@ func Quantize(diag []float64, scale float64) (*Quantized, error) {
 	return q, nil
 }
 
-// QuantizeAuto tries power-of-two scales (1, ½, ¼, ⅛, 1/16) and
+// QuantizeAuto tries the AutoScales ladder (1, ½, ¼, ⅛, 1/16) and
 // returns the first exact quantization, or an error if the diagonal is
-// not exactly representable at any of them. Non-integer-valued
-// objectives should keep the float64 diagonal instead.
+// not exactly representable at any of them. A constant diagonal short-
+// circuits to the degenerate Scale-0 representation. Non-integer-
+// valued objectives should keep the float64 diagonal instead.
 func QuantizeAuto(diag []float64) (*Quantized, error) {
+	if lo, hi := MinMax(diag); hi == lo {
+		return &Quantized{Codes: make([]uint16, len(diag)), Min: lo, Scale: 0}, nil
+	}
 	var lastErr error
-	for _, scale := range []float64{1, 0.5, 0.25, 0.125, 0.0625} {
+	for _, scale := range AutoScales {
 		q, err := Quantize(diag, scale)
 		if err == nil {
 			return q, nil
@@ -187,6 +205,65 @@ func QuantizeAuto(diag []float64) (*Quantized, error) {
 		lastErr = err
 	}
 	return nil, fmt.Errorf("costvec: no exact power-of-two quantization found: %w", lastErr)
+}
+
+// QuantizeRange compresses one shard of a larger diagonal against an
+// externally agreed global (min, scale) — the distributed §V-B path,
+// where each rank quantizes only its PrecomputeRange slice but all
+// ranks share the extrema reconciled by an allreduce pre-pass, so
+// codes are comparable across shards. Scale 0 selects the degenerate
+// constant representation and requires every shard value to equal min
+// exactly.
+func QuantizeRange(diag []float64, min, scale float64) (*Quantized, error) {
+	if scale < 0 {
+		return nil, fmt.Errorf("costvec: scale %v must be ≥ 0", scale)
+	}
+	q := &Quantized{Codes: make([]uint16, len(diag)), Min: min, Scale: scale}
+	if scale == 0 {
+		for i, v := range diag {
+			if v != min {
+				return nil, fmt.Errorf("costvec: value %v at index %d differs from %v (scale 0 represents constant diagonals only)", v, i, min)
+			}
+		}
+		return q, nil
+	}
+	tol := 1e-9 * scale
+	for i, v := range diag {
+		k := math.Round((v - min) / scale)
+		if k < 0 || k > 65535 {
+			return nil, fmt.Errorf("costvec: value %v at index %d needs code %g outside uint16 range at min %v, scale %v", v, i, k, min, scale)
+		}
+		if math.Abs(v-(min+k*scale)) > tol {
+			return nil, fmt.Errorf("costvec: value %v at index %d is not representable as %v + k·%v", v, i, min, scale)
+		}
+		q.Codes[i] = uint16(k)
+	}
+	return q, nil
+}
+
+// CanQuantizeRange reports whether QuantizeRange would succeed,
+// without allocating the code store — the cheap probe the distributed
+// scale agreement walks the AutoScales ladder with.
+func CanQuantizeRange(diag []float64, min, scale float64) bool {
+	if scale < 0 {
+		return false
+	}
+	if scale == 0 {
+		for _, v := range diag {
+			if v != min {
+				return false
+			}
+		}
+		return true
+	}
+	tol := 1e-9 * scale
+	for _, v := range diag {
+		k := math.Round((v - min) / scale)
+		if k < 0 || k > 65535 || math.Abs(v-(min+k*scale)) > tol {
+			return false
+		}
+	}
+	return true
 }
 
 // Value reconstructs the cost of index i.
@@ -244,6 +321,67 @@ func (q *Quantized) PhaseApply(p *statevec.Pool, v statevec.Vec, gamma float64) 
 			v[i] *= tab[codes[i]]
 		}
 	})
+}
+
+// PhaseApplyVec is the serial PhaseApply: one per-γ table build, then
+// a straight-line gather-multiply — the form the distributed simulator
+// runs on each rank's shard (rank goroutines are already the
+// parallelism; nesting a kernel pool underneath would oversubscribe
+// the host).
+func (q *Quantized) PhaseApplyVec(v statevec.Vec, gamma float64) {
+	if len(v) != len(q.Codes) {
+		panic(fmt.Sprintf("costvec: PhaseApplyVec length mismatch %d vs %d", len(v), len(q.Codes)))
+	}
+	tab := q.PhaseTable(gamma)
+	for i := range v {
+		v[i] *= tab[q.Codes[i]]
+	}
+}
+
+// ExpectationVec computes Σ_x value_x |ψ_x|² serially, reconstructing
+// each value in index order — the same operation sequence as
+// statevec.ExpectationDiag against the expanded diagonal, so an exact
+// quantization reproduces the float64 objective bit for bit.
+func (q *Quantized) ExpectationVec(v statevec.Vec) float64 {
+	if len(v) != len(q.Codes) {
+		panic(fmt.Sprintf("costvec: ExpectationVec length mismatch %d vs %d", len(v), len(q.Codes)))
+	}
+	var s float64
+	for i, a := range v {
+		s += (q.Min + q.Scale*float64(q.Codes[i])) * (real(a)*real(a) + imag(a)*imag(a))
+	}
+	return s
+}
+
+// MulVec multiplies amplitude x by its reconstructed cost value_x in
+// place: ψ ← Ĉ|ψ⟩ straight off the codes, the cost-weighted seed of
+// the adjoint reverse pass on a quantized shard. Value reconstruction
+// (Min + Scale·k, with Scale·k exact for power-of-two scales) matches
+// the float64 diagonal bit for bit when the quantization is exact, so
+// quantized adjoint gradients inherit the float64 path's rounding.
+func (q *Quantized) MulVec(v statevec.Vec) {
+	if len(v) != len(q.Codes) {
+		panic(fmt.Sprintf("costvec: MulVec length mismatch %d vs %d", len(v), len(q.Codes)))
+	}
+	for i := range v {
+		v[i] *= complex(q.Min+q.Scale*float64(q.Codes[i]), 0)
+	}
+}
+
+// ImDotDiag returns Σ_x value_x · Im(conj(lam_x)·psi_x) = Im ⟨λ|Ĉ|ψ⟩
+// against the quantized diagonal: the phase-operator derivative
+// reduction of the adjoint gradient, evaluated directly from the
+// codes. It panics on length mismatch.
+func (q *Quantized) ImDotDiag(lam, psi statevec.Vec) float64 {
+	if len(lam) != len(psi) || len(lam) != len(q.Codes) {
+		panic(fmt.Sprintf("costvec: ImDotDiag length mismatch %d/%d/%d", len(lam), len(psi), len(q.Codes)))
+	}
+	var s float64
+	for i := range lam {
+		v := q.Min + q.Scale*float64(q.Codes[i])
+		s += v * (real(lam[i])*imag(psi[i]) - imag(lam[i])*real(psi[i]))
+	}
+	return s
 }
 
 // ExpectationQuantized computes Σ_x value_x |ψ_x|² directly from the

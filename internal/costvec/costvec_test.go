@@ -271,3 +271,173 @@ func randomTerms(rng *rand.Rand, n, count int) poly.Terms {
 	}
 	return ts
 }
+
+// TestQuantizeConstantDiagonal pins the degenerate-diagonal contract:
+// a constant diagonal (hi == lo) quantizes to Scale 0 with all-zero
+// codes — no zero/NaN step, no divide-by-zero in code assignment —
+// and Value, Expand, PhaseTable, PhaseApply, and the expectation stay
+// exact.
+func TestQuantizeConstantDiagonal(t *testing.T) {
+	for _, c := range []float64{0, -3.5, 7} {
+		diag := []float64{c, c, c, c}
+		for name, quantize := range map[string]func() (*Quantized, error){
+			"Quantize(scale=1)":   func() (*Quantized, error) { return Quantize(diag, 1) },
+			"Quantize(scale=0.5)": func() (*Quantized, error) { return Quantize(diag, 0.5) },
+			"QuantizeAuto":        func() (*Quantized, error) { return QuantizeAuto(diag) },
+			"QuantizeRange":       func() (*Quantized, error) { return QuantizeRange(diag, c, 0) },
+		} {
+			q, err := quantize()
+			if err != nil {
+				t.Fatalf("%s on constant %v: %v", name, c, err)
+			}
+			if q.Scale != 0 || q.Min != c {
+				t.Fatalf("%s on constant %v: (Min, Scale) = (%v, %v), want (%v, 0)", name, c, q.Min, q.Scale, c)
+			}
+			for i := range diag {
+				if q.Codes[i] != 0 {
+					t.Fatalf("%s: code[%d] = %d, want 0", name, i, q.Codes[i])
+				}
+				if q.Value(i) != c {
+					t.Fatalf("%s: Value(%d) = %v, want %v", name, i, q.Value(i), c)
+				}
+			}
+			if got := q.Expand(); got[0] != c {
+				t.Fatalf("%s: Expand()[0] = %v, want %v", name, got[0], c)
+			}
+			if tab := q.PhaseTable(0.7); len(tab) != 1 {
+				t.Fatalf("%s: PhaseTable size %d, want 1", name, len(tab))
+			}
+		}
+
+		// PhaseApply and the expectation agree with the float64 path.
+		q, err := QuantizeAuto(diag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := statevec.NewPool(1)
+		v := statevec.NewUniform(2)
+		direct := v.Clone()
+		statevec.PhaseDiag(direct, diag, 0.7)
+		q.PhaseApply(p, v, 0.7)
+		if d := statevec.MaxAbsDiff(direct, v); d > 1e-15 {
+			t.Fatalf("constant %v: quantized phase differs by %g", c, d)
+		}
+		if got, want := q.ExpectationQuantized(p, v), statevec.ExpectationDiag(direct, diag); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("constant %v: expectation %v, want %v", c, got, want)
+		}
+	}
+}
+
+// TestQuantizeRangeShards checks the distributed contract: slicing a
+// diagonal into shards, quantizing each against the whole diagonal's
+// (min, scale), and concatenating the codes must reproduce the
+// monolithic quantization exactly.
+func TestQuantizeRangeShards(t *testing.T) {
+	n := 10
+	diag := Precompute(poly.Compile(problems.LABSTerms(n)), n)
+	whole, err := Quantize(diag, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardLen := len(diag) / 8
+	for r := 0; r < 8; r++ {
+		shard := diag[r*shardLen : (r+1)*shardLen]
+		q, err := QuantizeRange(shard, whole.Min, whole.Scale)
+		if err != nil {
+			t.Fatalf("shard %d: %v", r, err)
+		}
+		if q.Min != whole.Min || q.Scale != whole.Scale {
+			t.Fatalf("shard %d: (Min, Scale) = (%v, %v), want (%v, %v)", r, q.Min, q.Scale, whole.Min, whole.Scale)
+		}
+		for i := range shard {
+			if q.Codes[i] != whole.Codes[r*shardLen+i] {
+				t.Fatalf("shard %d code %d: %d != monolithic %d", r, i, q.Codes[i], whole.Codes[r*shardLen+i])
+			}
+			if q.Value(i) != shard[i] {
+				t.Fatalf("shard %d: Value(%d) = %v, want %v", r, i, q.Value(i), shard[i])
+			}
+		}
+		if !CanQuantizeRange(shard, whole.Min, whole.Scale) {
+			t.Fatalf("shard %d: CanQuantizeRange false for a workable (min, scale)", r)
+		}
+	}
+}
+
+func TestQuantizeRangeErrors(t *testing.T) {
+	if _, err := QuantizeRange([]float64{0, 1}, 0, -1); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if _, err := QuantizeRange([]float64{0, 1}, 0, 0); err == nil {
+		t.Error("scale 0 accepted for a non-constant shard")
+	}
+	if _, err := QuantizeRange([]float64{-1, 0}, 0, 1); err == nil {
+		t.Error("value below min accepted (negative code)")
+	}
+	if _, err := QuantizeRange([]float64{0, 70000}, 0, 1); err == nil {
+		t.Error("code above uint16 capacity accepted")
+	}
+	if _, err := QuantizeRange([]float64{0, 0.3}, 0, 1); err == nil {
+		t.Error("non-representable value accepted")
+	}
+	for _, c := range []struct {
+		diag       []float64
+		min, scale float64
+		want       bool
+	}{
+		{[]float64{0, 1, 2}, 0, 1, true},
+		{[]float64{5, 5}, 5, 0, true},
+		{[]float64{5, 6}, 5, 0, false},
+		{[]float64{0, 0.3}, 0, 1, false},
+		{[]float64{0, 1}, 0, -1, false},
+	} {
+		if got := CanQuantizeRange(c.diag, c.min, c.scale); got != c.want {
+			t.Errorf("CanQuantizeRange(%v, %v, %v) = %t, want %t", c.diag, c.min, c.scale, got, c.want)
+		}
+	}
+}
+
+// TestQuantizedAdjointHelpers checks the serial adjoint-path methods
+// against their float64 counterparts: PhaseApplyVec, ExpectationVec,
+// MulVec, and ImDotDiag must reproduce the expanded-diagonal results
+// exactly (bit for bit for exact quantizations — the property that
+// makes quantized distributed gradients match float64 to rounding).
+func TestQuantizedAdjointHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 8
+	diag := Precompute(poly.Compile(problems.LABSTerms(n)), n)
+	q, err := QuantizeAuto(diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psi := statevec.NewUniform(n)
+	for i := range psi {
+		psi[i] *= complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	psi.Normalize()
+	lam := psi.Clone()
+	for i := range lam {
+		lam[i] *= complex(rng.NormFloat64(), 0.5)
+	}
+
+	viaTable := psi.Clone()
+	q.PhaseApplyVec(viaTable, 0.41)
+	direct := psi.Clone()
+	statevec.PhaseDiag(direct, diag, 0.41)
+	if d := statevec.MaxAbsDiff(direct, viaTable); d > 0 {
+		t.Errorf("PhaseApplyVec differs from PhaseDiag by %g", d)
+	}
+
+	if got, want := q.ExpectationVec(psi), statevec.ExpectationDiag(psi, diag); got != want {
+		t.Errorf("ExpectationVec = %v, want %v", got, want)
+	}
+	if got, want := q.ImDotDiag(lam, psi), statevec.ImDotDiag(lam, psi, diag); got != want {
+		t.Errorf("ImDotDiag = %v, want %v", got, want)
+	}
+	seeded := psi.Clone()
+	q.MulVec(seeded)
+	wantSeed := psi.Clone()
+	statevec.MulDiag(wantSeed, diag)
+	if d := statevec.MaxAbsDiff(seeded, wantSeed); d > 0 {
+		t.Errorf("MulVec differs from MulDiag by %g", d)
+	}
+}

@@ -69,6 +69,68 @@ type Options struct {
 	// single-flight engine). Each concurrent evaluation leases its own
 	// rank group and state buffers, so memory grows linearly with it.
 	Concurrency int
+	// Precision selects the sharded amplitude storage (§V-B): float64
+	// complex128 shards (the default), or float32 split-component
+	// shards with float32 wire formats on every collective — half the
+	// state memory per rank and half the fabric bytes, at the
+	// single-node SoA32 accuracy (state error ~few ULPs per layer,
+	// gradient band ~2e-3).
+	Precision Precision
+	// Quantize stores each rank's diagonal slice as uint16 codes
+	// (§V-B): every rank quantizes only its PrecomputeRange shard
+	// against one global (min, scale) agreed by an AllreduceMin/Max
+	// pre-pass, so codes stay comparable across ranks. Exact by
+	// construction — quantized energies and gradients match the float64
+	// distributed path to rounding. Fails at engine construction if any
+	// shard is not exactly representable.
+	Quantize bool
+	// QuantScale fixes the quantization step; 0 selects automatically
+	// (the AutoScales power-of-two ladder, reconciled across ranks).
+	QuantScale float64
+}
+
+// Precision selects the sharded state's amplitude storage.
+type Precision int
+
+const (
+	// PrecisionFloat64 stores complex128 amplitudes (16 B each) with
+	// complex128 wire formats.
+	PrecisionFloat64 Precision = iota
+	// PrecisionFloat32 stores split float32 component pairs (8 B each)
+	// with float32 wire formats, halving state memory and fabric bytes.
+	PrecisionFloat32
+)
+
+// String names the precision.
+func (p Precision) String() string {
+	switch p {
+	case PrecisionFloat64:
+		return "float64"
+	case PrecisionFloat32:
+		return "float32"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// AmpBytes returns the wire and storage size of one amplitude.
+func (p Precision) AmpBytes() int64 {
+	if p == PrecisionFloat32 {
+		return 8
+	}
+	return 16
+}
+
+// ParsePrecision resolves a precision name.
+func ParsePrecision(name string) (Precision, error) {
+	switch name {
+	case "", "float64", "f64", "double":
+		return PrecisionFloat64, nil
+	case "float32", "f32", "single":
+		return PrecisionFloat32, nil
+	default:
+		return 0, fmt.Errorf("distsim: unknown precision %q (want float64 or float32)", name)
+	}
 }
 
 // validate checks the option set against the problem size and resolves
@@ -95,7 +157,46 @@ func (o Options) validate(n int) (k int, err error) {
 	if o.Concurrency < 0 {
 		return 0, fmt.Errorf("distsim: Options.Concurrency=%d must be ≥ 0", o.Concurrency)
 	}
+	switch o.Precision {
+	case PrecisionFloat64, PrecisionFloat32:
+	default:
+		return 0, fmt.Errorf("distsim: Options.Precision=%v unknown (want PrecisionFloat64 or PrecisionFloat32)", o.Precision)
+	}
+	if o.Quantize && o.Precision == PrecisionFloat32 {
+		return 0, fmt.Errorf("distsim: Options.Quantize does not compose with Options.Precision=float32 (matching the single-node rule: quantized phases are exact complex128 tables)")
+	}
+	if o.QuantScale < 0 {
+		return 0, fmt.Errorf("distsim: Options.QuantScale=%v must be ≥ 0", o.QuantScale)
+	}
+	if o.QuantScale > 0 && !o.Quantize {
+		return 0, fmt.Errorf("distsim: Options.QuantScale=%v set without Options.Quantize", o.QuantScale)
+	}
+	if o.Gather && o.Quantize {
+		return 0, fmt.Errorf("distsim: Options.Gather=true does not compose with Options.Quantize — the memory-reduced shards exist to avoid materializing node-scale buffers; use the gather-free outputs")
+	}
+	if o.Gather && o.Precision == PrecisionFloat32 {
+		return 0, fmt.Errorf("distsim: Options.Gather=true does not compose with Options.Precision=float32 — the memory-reduced shards exist to avoid materializing node-scale buffers; use the gather-free outputs")
+	}
 	return k, nil
+}
+
+// ValidateEnginePair checks that a forward-simulation option set and a
+// gradient-engine option set describe the same numeric contract, so a
+// harness pairing the two (a benchmark trajectory, a verification
+// gate) fails fast instead of comparing a float32 forward pass against
+// a float64 gradient. Every violation names the offending Options
+// field, matching validate's convention.
+func ValidateEnginePair(forward, grad Options) error {
+	if forward.Precision != grad.Precision {
+		return fmt.Errorf("distsim: Options.Precision mismatch between forward (%v) and grad (%v) engines", forward.Precision, grad.Precision)
+	}
+	if forward.Quantize != grad.Quantize {
+		return fmt.Errorf("distsim: Options.Quantize mismatch between forward (%t) and grad (%t) engines", forward.Quantize, grad.Quantize)
+	}
+	if forward.QuantScale != grad.QuantScale {
+		return fmt.Errorf("distsim: Options.QuantScale mismatch between forward (%v) and grad (%v) engines", forward.QuantScale, grad.QuantScale)
+	}
+	return nil
 }
 
 // concurrency resolves the lease cap the options select.
@@ -151,6 +252,9 @@ func SimulateQAOA(ctx context.Context, n int, terms poly.Terms, gamma, beta []fl
 	if err != nil {
 		return nil, err
 	}
+	if opts.Precision == PrecisionFloat32 {
+		return simulateQAOA32(ctx, g, n, k, compiled, edges, gamma, beta, opts)
+	}
 
 	localN := n - k
 	localSize := 1 << uint(localN)
@@ -166,9 +270,30 @@ func SimulateQAOA(ctx context.Context, n int, terms poly.Terms, gamma, beta []fl
 		rank := c.Rank()
 		offset := uint64(rank) << uint(localN)
 
-		// Local precompute: no communication (§III-A).
+		// Local precompute: no communication (§III-A). With Quantize the
+		// float64 shard is scratch — it is compressed to uint16 codes
+		// against the globally agreed (min, scale) and released, leaving
+		// 2 B per amplitude of diagonal storage (§V-B).
 		diag := make([]float64, localSize)
 		costvec.PrecomputeRange(compiled, offset, diag)
+		var quant *costvec.Quantized
+		if opts.Quantize {
+			q, err := agreeQuantization(c, diag, opts.QuantScale)
+			if err != nil {
+				return err
+			}
+			if q == nil {
+				return nil // a peer's shard failed; that rank reports
+			}
+			quant = q
+			diag = nil
+		}
+		cost := func(i int) float64 {
+			if quant != nil {
+				return quant.Min + quant.Scale*float64(quant.Codes[i])
+			}
+			return diag[i]
+		}
 
 		// Local slice of the initial state (|+⟩^n or the Dicke shard).
 		local := make(statevec.Vec, localSize)
@@ -180,7 +305,11 @@ func SimulateQAOA(ctx context.Context, n int, terms poly.Terms, gamma, beta []fl
 		}
 
 		for l := range gamma {
-			statevec.PhaseDiag(local, diag, gamma[l])
+			if quant != nil {
+				quant.PhaseApplyVec(local, gamma[l])
+			} else {
+				statevec.PhaseDiag(local, diag, gamma[l])
+			}
 			if opts.Mixer == core.MixerX {
 				if err := distributedMixer(c, local, n, k, beta[l]); err != nil {
 					return err
@@ -191,7 +320,13 @@ func SimulateQAOA(ctx context.Context, n int, terms poly.Terms, gamma, beta []fl
 		}
 
 		// Objective: local partial sums + all-reduce.
-		e, err := c.AllreduceSum(statevec.ExpectationDiag(local, diag))
+		localE := 0.0
+		if quant != nil {
+			localE = quant.ExpectationVec(local)
+		} else {
+			localE = statevec.ExpectationDiag(local, diag)
+		}
+		e, err := c.AllreduceSum(localE)
 		if err != nil {
 			return err
 		}
@@ -202,11 +337,11 @@ func SimulateQAOA(ctx context.Context, n int, terms poly.Terms, gamma, beta []fl
 		// weight subspace, so their argmin search is restricted to it,
 		// matching the single-node simulator.
 		localMin := math.Inf(1)
-		for i, v := range diag {
+		for i := 0; i < localSize; i++ {
 			if restrict && bits.OnesCount64(offset+uint64(i)) != hw {
 				continue
 			}
-			if v < localMin {
+			if v := cost(i); v < localMin {
 				localMin = v
 			}
 		}
@@ -216,11 +351,11 @@ func SimulateQAOA(ctx context.Context, n int, terms poly.Terms, gamma, beta []fl
 		}
 		minParts[rank] = globalMin
 		var ov float64
-		for i, v := range diag {
+		for i := 0; i < localSize; i++ {
 			if restrict && bits.OnesCount64(offset+uint64(i)) != hw {
 				continue
 			}
-			if v <= globalMin+1e-9 {
+			if cost(i) <= globalMin+1e-9 {
 				a := local[i]
 				ov += real(a)*real(a) + imag(a)*imag(a)
 			}

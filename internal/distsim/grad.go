@@ -54,8 +54,13 @@ type GradEngine struct {
 	opts     Options
 	edges    []graphs.Edge
 
-	// diags is shared read-only by every lease.
+	// diags is shared read-only by every lease (nil with Quantize,
+	// whose shards live in quants instead).
 	diags [][]float64
+	// quants holds the per-rank uint16-quantized diagonal shards, all
+	// coded against one globally agreed (min, scale) — 2 B per
+	// amplitude instead of 8 (§V-B). Nil unless Options.Quantize.
+	quants []*costvec.Quantized
 
 	// slots holds one token per allowed concurrent evaluation; a nil
 	// token means the lease is allocated on first use. Leases poisoned
@@ -88,6 +93,14 @@ type gradLease struct {
 	recvPsi []statevec.Vec
 	recvLam []statevec.Vec
 	send    []statevec.Vec
+	// psi32/lam32 and the f32 scratch pairs are the single-precision
+	// counterparts, allocated instead of the complex128 buffers when
+	// Options.Precision is PrecisionFloat32 — half the lease memory.
+	psi32     []*statevec.SoA32
+	lam32     []*statevec.SoA32
+	recvPsi32 []f32buf
+	recvLam32 []f32buf
+	send32    []f32buf
 	// flat is the per-rank [∂γ…, ∂β…] partial buffer the final vector
 	// all-reduce combines, grown to 2p on first use.
 	flat [][]float64
@@ -117,13 +130,38 @@ func NewGradEngine(n int, terms poly.Terms, opts Options) (*GradEngine, error) {
 		n: n, k: k, hw: opts.hammingWeight(n),
 		opts:     opts,
 		edges:    edges,
-		diags:    make([][]float64, opts.Ranks),
 		slots:    make(chan *gradLease, opts.concurrency()),
 		deadRank: make([]cluster.Counters, opts.Ranks),
 	}
 	for i := 0; i < opts.concurrency(); i++ {
 		e.slots <- nil
 	}
+	if opts.Quantize {
+		// Each rank precomputes its float64 shard as scratch, runs the
+		// global (min, scale) agreement pre-pass, and keeps only the
+		// uint16 codes — the engine never stores a float64 diagonal.
+		e.quants = make([]*costvec.Quantized, opts.Ranks)
+		qg, err := cluster.NewGroup(opts.Ranks, opts.Algo)
+		if err != nil {
+			return nil, err
+		}
+		if err := qg.Run(func(c *cluster.Comm) error {
+			shard := make([]float64, localSize)
+			costvec.PrecomputeRange(compiled, uint64(c.Rank())<<uint(localN), shard)
+			q, err := agreeQuantization(c, shard, opts.QuantScale)
+			if err != nil {
+				return err
+			}
+			if q != nil {
+				e.quants[c.Rank()] = q
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	e.diags = make([][]float64, opts.Ranks)
 	for r := 0; r < opts.Ranks; r++ {
 		diag := make([]float64, localSize)
 		costvec.PrecomputeRange(compiled, uint64(r)<<uint(localN), diag)
@@ -139,25 +177,46 @@ func (e *GradEngine) newLease() (*gradLease, error) {
 	if err != nil {
 		return nil, err
 	}
-	localSize := 1 << uint(e.n-e.k)
+	localN := e.n - e.k
+	localSize := 1 << uint(localN)
 	l := &gradLease{
 		group: g,
-		psi:   make([]statevec.Vec, e.opts.Ranks),
-		lam:   make([]statevec.Vec, e.opts.Ranks),
 		flat:  make([][]float64, e.opts.Ranks),
 	}
-	if e.opts.Mixer != core.MixerX {
-		l.recvPsi = make([]statevec.Vec, e.opts.Ranks)
-		l.recvLam = make([]statevec.Vec, e.opts.Ranks)
-		l.send = make([]statevec.Vec, e.opts.Ranks)
-	}
-	for r := 0; r < e.opts.Ranks; r++ {
-		l.psi[r] = make(statevec.Vec, localSize)
-		l.lam[r] = make(statevec.Vec, localSize)
-		if e.opts.Mixer != core.MixerX {
-			l.recvPsi[r] = make(statevec.Vec, localSize)
-			l.recvLam[r] = make(statevec.Vec, localSize)
-			l.send[r] = make(statevec.Vec, localSize/2)
+	xy := e.opts.Mixer != core.MixerX
+	if e.opts.Precision == PrecisionFloat32 {
+		l.psi32 = make([]*statevec.SoA32, e.opts.Ranks)
+		l.lam32 = make([]*statevec.SoA32, e.opts.Ranks)
+		if xy {
+			l.recvPsi32 = make([]f32buf, e.opts.Ranks)
+			l.recvLam32 = make([]f32buf, e.opts.Ranks)
+			l.send32 = make([]f32buf, e.opts.Ranks)
+		}
+		for r := 0; r < e.opts.Ranks; r++ {
+			l.psi32[r] = statevec.NewSoA32(localN)
+			l.lam32[r] = statevec.NewSoA32(localN)
+			if xy {
+				l.recvPsi32[r] = newF32buf(localSize)
+				l.recvLam32[r] = newF32buf(localSize)
+				l.send32[r] = newF32buf(localSize / 2)
+			}
+		}
+	} else {
+		l.psi = make([]statevec.Vec, e.opts.Ranks)
+		l.lam = make([]statevec.Vec, e.opts.Ranks)
+		if xy {
+			l.recvPsi = make([]statevec.Vec, e.opts.Ranks)
+			l.recvLam = make([]statevec.Vec, e.opts.Ranks)
+			l.send = make([]statevec.Vec, e.opts.Ranks)
+		}
+		for r := 0; r < e.opts.Ranks; r++ {
+			l.psi[r] = make(statevec.Vec, localSize)
+			l.lam[r] = make(statevec.Vec, localSize)
+			if xy {
+				l.recvPsi[r] = make(statevec.Vec, localSize)
+				l.recvLam[r] = make(statevec.Vec, localSize)
+				l.send[r] = make(statevec.Vec, localSize/2)
+			}
 		}
 	}
 	e.mu.Lock()
@@ -275,60 +334,98 @@ func (e *GradEngine) EnergyGradAngles(ctx context.Context, gamma, beta, gradGamm
 	}
 	var energy float64
 	err = lease.group.RunContext(ctx, func(c *cluster.Comm) error {
-		rank := c.Rank()
-		psi, lam, diag := lease.psi[rank], lease.lam[rank], e.diags[rank]
-
-		// Forward pass: evolve the sharded ket.
-		initLocalState(psi, e.n, rank, e.opts.Mixer, e.hw)
-		for l := 0; l < p; l++ {
-			statevec.PhaseDiag(psi, diag, gamma[l])
-			if err := e.forwardMixer(c, lease, psi, rank, beta[l]); err != nil {
-				return err
-			}
+		if e.opts.Precision == PrecisionFloat32 {
+			return e.gradRank32(c, lease, p, gamma, beta, gradGamma, gradBeta, &energy)
 		}
-		eAll, err := c.AllreduceSum(statevec.ExpectationDiag(psi, diag))
-		if err != nil {
-			return err
-		}
-		if rank == 0 {
-			energy = eAll
-		}
-
-		// Seed the bra: λ = Ĉψ is elementwise against the local slice.
-		copy(lam, psi)
-		statevec.MulDiag(lam, diag)
-
-		// Reverse pass: per-layer partials accumulate rank-locally.
-		flat := lease.flatBuffer(rank, 2*p)
-		gG, gB := flat[:p], flat[p:]
-		for l := p - 1; l >= 0; l-- {
-			d, err := e.reverseMixer(c, lease, psi, lam, rank, beta[l])
-			if err != nil {
-				return err
-			}
-			gB[l] = 2 * d
-			gG[l] = 2 * statevec.ImDotDiag(lam, psi, diag)
-			if l > 0 {
-				statevec.PhaseDiag(psi, diag, -gamma[l])
-				statevec.PhaseDiag(lam, diag, -gamma[l])
-			}
-		}
-
-		// One vector all-reduce combines every per-layer partial.
-		if err := c.AllreduceSumVec(flat); err != nil {
-			return err
-		}
-		if rank == 0 {
-			copy(gradGamma, flat[:p])
-			copy(gradBeta, flat[p:])
-		}
-		return nil
+		return e.gradRank64(c, lease, p, gamma, beta, gradGamma, gradBeta, &energy)
 	})
 	e.release(lease, err != nil)
 	if err != nil {
 		return 0, err
 	}
 	return energy, nil
+}
+
+// gradRank64 is one rank's adjoint pipeline on the complex128 shard,
+// reading the diagonal from either representation (float64 slice or
+// uint16 codes — the quantized reconstruction is exact, so both read
+// identical values).
+func (e *GradEngine) gradRank64(c *cluster.Comm, lease *gradLease, p int, gamma, beta, gradGamma, gradBeta []float64, energy *float64) error {
+	rank := c.Rank()
+	psi, lam := lease.psi[rank], lease.lam[rank]
+
+	// Forward pass: evolve the sharded ket.
+	initLocalState(psi, e.n, rank, e.opts.Mixer, e.hw)
+	for l := 0; l < p; l++ {
+		e.phase(rank, psi, gamma[l])
+		if err := e.forwardMixer(c, lease, psi, rank, beta[l]); err != nil {
+			return err
+		}
+	}
+	eAll, err := c.AllreduceSum(e.expectation(rank, psi))
+	if err != nil {
+		return err
+	}
+	if rank == 0 {
+		*energy = eAll
+	}
+
+	// Seed the bra: λ = Ĉψ is elementwise against the local slice.
+	copy(lam, psi)
+	if e.quants != nil {
+		e.quants[rank].MulVec(lam)
+	} else {
+		statevec.MulDiag(lam, e.diags[rank])
+	}
+
+	// Reverse pass: per-layer partials accumulate rank-locally.
+	flat := lease.flatBuffer(rank, 2*p)
+	gG, gB := flat[:p], flat[p:]
+	for l := p - 1; l >= 0; l-- {
+		d, err := e.reverseMixer(c, lease, psi, lam, rank, beta[l])
+		if err != nil {
+			return err
+		}
+		gB[l] = 2 * d
+		if e.quants != nil {
+			gG[l] = 2 * e.quants[rank].ImDotDiag(lam, psi)
+		} else {
+			gG[l] = 2 * statevec.ImDotDiag(lam, psi, e.diags[rank])
+		}
+		if l > 0 {
+			e.phase(rank, psi, -gamma[l])
+			e.phase(rank, lam, -gamma[l])
+		}
+	}
+
+	// One vector all-reduce combines every per-layer partial.
+	if err := c.AllreduceSumVec(flat); err != nil {
+		return err
+	}
+	if rank == 0 {
+		copy(gradGamma, flat[:p])
+		copy(gradBeta, flat[p:])
+	}
+	return nil
+}
+
+// phase applies the rank's phase operator to a complex128 shard from
+// whichever diagonal representation the engine holds.
+func (e *GradEngine) phase(rank int, v statevec.Vec, gamma float64) {
+	if e.quants != nil {
+		e.quants[rank].PhaseApplyVec(v, gamma)
+		return
+	}
+	statevec.PhaseDiag(v, e.diags[rank], gamma)
+}
+
+// expectation is the rank-local objective partial over either
+// diagonal representation.
+func (e *GradEngine) expectation(rank int, v statevec.Vec) float64 {
+	if e.quants != nil {
+		return e.quants[rank].ExpectationVec(v)
+	}
+	return statevec.ExpectationDiag(v, e.diags[rank])
 }
 
 // The distributed engine implements evaluator.Evaluator, so a serving
@@ -349,16 +446,19 @@ func (e *GradEngine) Energy(ctx context.Context, x []float64) (float64, error) {
 	}
 	var energy float64
 	err = lease.group.RunContext(ctx, func(c *cluster.Comm) error {
+		if e.opts.Precision == PrecisionFloat32 {
+			return e.forwardRank32(c, lease, gamma, beta, &energy)
+		}
 		rank := c.Rank()
-		psi, diag := lease.psi[rank], e.diags[rank]
+		psi := lease.psi[rank]
 		initLocalState(psi, e.n, rank, e.opts.Mixer, e.hw)
 		for l := range gamma {
-			statevec.PhaseDiag(psi, diag, gamma[l])
+			e.phase(rank, psi, gamma[l])
 			if err := e.forwardMixer(c, lease, psi, rank, beta[l]); err != nil {
 				return err
 			}
 		}
-		eAll, err := c.AllreduceSum(statevec.ExpectationDiag(psi, diag))
+		eAll, err := c.AllreduceSum(e.expectation(rank, psi))
 		if err != nil {
 			return err
 		}
@@ -390,7 +490,10 @@ func (e *GradEngine) EnergyGrad(ctx context.Context, x, grad []float64) (float64
 
 // Caps reports the engine's evaluation metadata: K ranks behind each
 // evaluation, Options.Concurrency evaluations in flight at once, and
-// the adjoint pair's sharded state memory per evaluation.
+// the adjoint pair's sharded state memory per evaluation — per
+// amplitude 16 B for the complex128 shards, 8 B for float32, so a
+// scheduler packing heterogeneous pools by StateBytes sees the real
+// footprint of each precision.
 func (e *GradEngine) Caps() evaluator.Caps {
 	buffers := int64(2) // psi + lam
 	if e.opts.Mixer != core.MixerX {
@@ -401,7 +504,7 @@ func (e *GradEngine) Caps() evaluator.Caps {
 		Grad:          true,
 		MaxConcurrent: e.opts.concurrency(),
 		Ranks:         e.opts.Ranks,
-		StateBytes:    buffers * 16 << uint(e.n),
+		StateBytes:    buffers * e.opts.Precision.AmpBytes() << uint(e.n),
 	}
 }
 

@@ -1,0 +1,85 @@
+// Distributed uint16 quantization (§V-B carried onto the cluster):
+// each rank compresses only its PrecomputeRange diagonal shard, but
+// all shards quantize against one global (min, scale) agreed by an
+// AllreduceMin/Max pre-pass, so codes are comparable across ranks and
+// the representation is identical to the single-node Quantized store
+// split at the shard boundary. Like the precompute itself, the
+// per-shard code assignment is communication-free; the pre-pass costs
+// two scalar all-reduces (plus one reconciling the auto-selected
+// power-of-two step and one synchronizing the success flag), all
+// accounted as synchronization, not payload.
+package distsim
+
+import (
+	"fmt"
+
+	"qokit/internal/cluster"
+	"qokit/internal/costvec"
+)
+
+// agreeQuantization runs the global-agreement pre-pass on one rank's
+// diagonal shard and quantizes it against the shared (min, scale).
+// The outcome is synchronized across the group so no rank strands a
+// peer at a later collective: either every rank returns a quantized
+// shard, or the ranks whose shards are not representable return the
+// detailed error and every other rank returns (nil, nil).
+func agreeQuantization(c *cluster.Comm, shard []float64, quantScale float64) (*costvec.Quantized, error) {
+	lo, hi := costvec.MinMax(shard)
+	gmin, err := c.AllreduceMin(lo)
+	if err != nil {
+		return nil, err
+	}
+	gmax, err := c.AllreduceMax(hi)
+	if err != nil {
+		return nil, err
+	}
+	scale := quantScale
+	switch {
+	case gmax == gmin:
+		// Degenerate constant diagonal: the scale-0 representation is
+		// exact with all-zero codes (costvec.Quantize's convention).
+		scale = 0
+	case scale == 0:
+		// Auto step: each rank finds the coarsest AutoScales rung that
+		// represents its shard under the global extrema; the max rung
+		// index across ranks is the shared step (representability at a
+		// rung implies it at every finer one, so the finest local
+		// requirement wins). The agreement doubles as the failure
+		// synchronization for this branch: every rank sees the same
+		// index, so all fail together when no rung works.
+		idx := len(costvec.AutoScales)
+		for i, s := range costvec.AutoScales {
+			if gmax-gmin <= s*65535 && costvec.CanQuantizeRange(shard, gmin, s) {
+				idx = i
+				break
+			}
+		}
+		agreed, err := c.AllreduceMax(float64(idx))
+		if err != nil {
+			return nil, err
+		}
+		if int(agreed) >= len(costvec.AutoScales) {
+			return nil, fmt.Errorf("distsim: Options.Quantize: no power-of-two scale represents every rank's shard exactly (global range [%v, %v])", gmin, gmax)
+		}
+		scale = costvec.AutoScales[int(agreed)]
+	}
+	q, qerr := costvec.QuantizeRange(shard, gmin, scale)
+	fail := 0.0
+	if qerr != nil {
+		fail = 1
+	}
+	// Synchronize the outcome: a fixed QuantScale (or a tolerance edge)
+	// can fail on a subset of ranks only, and an unsynchronized early
+	// return would strand the others at the next collective.
+	failed, err := c.AllreduceSum(fail)
+	if err != nil {
+		return nil, err
+	}
+	if qerr != nil {
+		return nil, fmt.Errorf("distsim: Options.Quantize: rank %d: %w", c.Rank(), qerr)
+	}
+	if failed > 0 {
+		return nil, nil
+	}
+	return q, nil
+}

@@ -56,6 +56,10 @@ func FuzzTermsCompileAndPrecompute(f *testing.F) {
 	f.Add([]byte{0, 8, 2, 0, 1, 248, 2, 1, 2})
 	f.Add([]byte{4, 16, 0, 255, 3, 0, 0, 0, 8, 1, 7})
 	f.Add([]byte{2, 200, 2, 3, 3, 56, 2, 2, 2, 8, 3, 0, 1, 2})
+	// A single degree-0 term: the diagonal is constant (hi == lo), the
+	// degenerate case that must quantize to Scale 0 with all-zero codes
+	// instead of a zero/NaN step (see the degenerate branch below).
+	f.Add([]byte{0, 16, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		n, ts := decodeTerms(data)
 		canon := ts.Canonical()
@@ -107,6 +111,30 @@ func FuzzTermsCompileAndPrecompute(f *testing.F) {
 			for x, v := range q.Expand() {
 				if v != diag[x] {
 					t.Fatalf("x=%d: quantized round-trip %v != %v", x, v, diag[x])
+				}
+			}
+		}
+
+		// Degenerate (constant) diagonal: quantization must produce the
+		// Scale-0 all-zero-code representation with exact values and a
+		// single-entry phase table — never a zero/NaN step or a
+		// divide-by-zero in code assignment.
+		if hi == lo {
+			q, err := costvec.QuantizeAuto(diag)
+			if err != nil {
+				t.Fatalf("constant diagonal rejected: %v", err)
+			}
+			if q.Scale != 0 || q.Min != lo {
+				t.Fatalf("constant diagonal: (Min, Scale) = (%v, %v), want (%v, 0)", q.Min, q.Scale, lo)
+			}
+			for x := range diag {
+				if q.Codes[x] != 0 || q.Value(x) != lo {
+					t.Fatalf("constant diagonal: code[%d]=%d value %v, want 0 and %v", x, q.Codes[x], q.Value(x), lo)
+				}
+			}
+			if len(diag) > 0 {
+				if tab := q.PhaseTable(0.3); len(tab) != 1 {
+					t.Fatalf("constant diagonal: phase table size %d, want 1", len(tab))
 				}
 			}
 		}

@@ -355,6 +355,35 @@ func (s *SoA32) ImDotXAll(p *Pool, psi *SoA32) float64 {
 	})
 }
 
+// ImDotXRange returns Σ_{q∈[lo,hi)} Im ⟨λ|X_q|ψ⟩ with s as λ,
+// accumulated in float64 — the SoA32 counterpart of the complex128
+// ImDotXRange the distributed adjoint gradient splits the transverse-
+// field mixer derivative with: local qubits reduce with ImDotXAll in
+// the sharded layout, the k global qubits reduce with this kernel in
+// the transposed layout.
+func (s *SoA32) ImDotXRange(p *Pool, psi *SoA32, lo, hi int) float64 {
+	if len(s.Re) != len(psi.Re) {
+		panic(fmt.Sprintf("statevec: ImDotXRange length mismatch %d vs %d", len(s.Re), len(psi.Re)))
+	}
+	n := s.NumQubits()
+	if lo < 0 || hi > n || lo > hi {
+		panic(fmt.Sprintf("statevec: ImDotXRange qubit range [%d,%d) invalid for n=%d", lo, hi, n))
+	}
+	lr, li := s.Re, s.Im
+	pr, pi := psi.Re, psi.Im
+	return p.Reduce(len(lr), func(from, to int) float64 {
+		var acc float64
+		for i := from; i < to; i++ {
+			r, m := float64(lr[i]), float64(li[i])
+			for q := lo; q < hi; q++ {
+				j := i ^ (1 << uint(q))
+				acc += r*float64(pi[j]) - m*float64(pr[j])
+			}
+		}
+		return acc
+	})
+}
+
 // ImDotXY returns Im ⟨λ|H_e|ψ⟩ for the xy edge term with s as λ,
 // accumulated in float64.
 func (s *SoA32) ImDotXY(p *Pool, psi *SoA32, i, j int) float64 {

@@ -208,3 +208,32 @@ func TestImDotXRangePanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestSoA32ImDotXRange checks the single-precision range reduction
+// against the complex128 ImDotXRange on the same (rounded) states: the
+// SoA32 kernel accumulates in float64, so the only deviation is the
+// float32 rounding of the inputs themselves.
+func TestSoA32ImDotXRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 7
+	lam64 := randState(rng, n)
+	psi64 := randState(rng, n)
+	lam32 := SoA32FromVec(lam64)
+	psi32 := SoA32FromVec(psi64)
+	// Evaluate the reference on the rounded values so the comparison
+	// isolates the kernel, not the storage precision.
+	lamR := lam32.ToVec()
+	psiR := psi32.ToVec()
+	p := NewPool(2)
+	for _, r := range [][2]int{{0, n}, {0, 3}, {3, n}, {5, 5}, {2, 4}} {
+		want := ImDotXRange(lamR, psiR, r[0], r[1])
+		got := lam32.ImDotXRange(p, psi32, r[0], r[1])
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("range [%d,%d): SoA32 %v, complex128 %v", r[0], r[1], got, want)
+		}
+	}
+	// Full range must agree with ImDotXAll on both representations.
+	if got, want := lam32.ImDotXRange(p, psi32, 0, n), lam32.ImDotXAll(p, psi32); math.Abs(got-want) > 1e-12 {
+		t.Errorf("full range %v != ImDotXAll %v", got, want)
+	}
+}
