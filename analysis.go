@@ -42,8 +42,11 @@ func BestSample(samples []uint64, cost func(uint64) float64) (argmin uint64, min
 // SamplesToSolution converts a ground-state overlap into the expected
 // shot count to observe an optimal solution with the given confidence
 // — the quantum side of the time-to-solution metric in the LABS
-// scaling analysis the paper enables (Refs. [5], [6]).
-func SamplesToSolution(overlap, confidence float64) float64 {
+// scaling analysis the paper enables (Refs. [5], [6]). Overlap ≤ 0
+// returns +Inf and overlap ≥ 1 returns 1 (legitimate limits, reached
+// by rounding); a NaN overlap or a confidence outside (0, 1) is an
+// error — no silent defaulting.
+func SamplesToSolution(overlap, confidence float64) (float64, error) {
 	return sampling.SamplesToSolution(overlap, confidence)
 }
 

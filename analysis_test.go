@@ -39,8 +39,15 @@ func TestSampleResultAndEstimators(t *testing.T) {
 }
 
 func TestSamplesToSolutionFacade(t *testing.T) {
-	if v := SamplesToSolution(0.5, 0.99); v <= 0 || math.IsInf(v, 1) {
-		t.Errorf("SamplesToSolution = %v", v)
+	v, err := SamplesToSolution(0.5, 0.99)
+	if err != nil || v <= 0 || math.IsInf(v, 1) {
+		t.Errorf("SamplesToSolution = %v, %v", v, err)
+	}
+	if _, err := SamplesToSolution(math.NaN(), 0.99); err == nil {
+		t.Error("NaN overlap accepted")
+	}
+	if _, err := SamplesToSolution(0.5, 1.5); err == nil {
+		t.Error("out-of-range confidence accepted")
 	}
 }
 

@@ -82,7 +82,8 @@ func TestSuiteJSONRoundTrips(t *testing.T) {
 		t.Errorf("schema = %q", report.Schema)
 	}
 	want := []string{"forward", "grad", "sweep", "distributed_forward", "distributed_grad",
-		"distributed_forward_float32", "distributed_grad_float32", "distributed_grad_quantized"}
+		"distributed_forward_float32", "distributed_grad_float32", "distributed_grad_quantized",
+		"distributed_cvar", "distributed_sample"}
 	if len(report.Benchmarks) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(report.Benchmarks), len(want))
 	}
@@ -118,6 +119,17 @@ func TestSuiteJSONRoundTrips(t *testing.T) {
 	if q, f := byName["distributed_grad_quantized"], byName["distributed_grad"]; q.BytesPerRank != f.BytesPerRank {
 		t.Errorf("quantized grad moved %d bytes/rank, float64 moved %d — the diagonal representation must not change wire traffic",
 			q.BytesPerRank, f.BytesPerRank)
+	}
+
+	// The gather-free output stages are payload-free: CVaR's threshold
+	// reduction and the two-stage sampler run on scalar/short-vector
+	// all-reduces (accounted as syncs), so each output row's traffic is
+	// exactly one forward evolution's.
+	for _, name := range []string{"distributed_cvar", "distributed_sample"} {
+		if o, f := byName[name], byName["distributed_forward"]; o.BytesPerRank != f.BytesPerRank {
+			t.Errorf("%s moved %d bytes/rank, one forward evolution moves %d — the output reductions must not add payload",
+				name, o.BytesPerRank, f.BytesPerRank)
+		}
 	}
 
 	// -out must write the same report shape to disk.

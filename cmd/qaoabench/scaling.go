@@ -53,7 +53,10 @@ func runScaling(w io.Writer, args []string) error {
 			return err
 		}
 		overlap := r.Overlap()
-		shots := sampling.SamplesToSolution(overlap, 0.99)
+		shots, err := sampling.SamplesToSolution(overlap, 0.99)
+		if err != nil {
+			return err
+		}
 		layers := shots * float64(*p)
 
 		// Classical: median steps-to-optimum over seeds.

@@ -276,6 +276,41 @@ func runSuite(w io.Writer, args []string) error {
 		})
 	}
 
+	// Gather-free distributed outputs: CVaR via the k-way threshold
+	// reduction and k-shot two-stage sampling, both over quantized
+	// shards (the representation whose point is never gathering) —
+	// evolution included, so the rows track the full serving cost of
+	// one output request.
+	outSpecs := []struct {
+		name string
+		spec evaluator.OutputSpec
+	}{
+		{"distributed_cvar", evaluator.OutputSpec{CVaRAlphas: []float64{0.5, 0.1, 0.02}}},
+		{"distributed_sample", evaluator.OutputSpec{Shots: 1024, Seed: 1}},
+	}
+	oeng, err := distsim.NewGradEngine(*n, terms, qopts)
+	if err != nil {
+		return err
+	}
+	for _, ws := range outSpecs {
+		if _, err := oeng.Outputs(ctx, gamma, beta, ws.spec); err != nil {
+			return err
+		}
+		before := oeng.Counters()
+		tO, _ := benchutil.TimeRepeat(*reps, func() {
+			if _, err := oeng.Outputs(ctx, gamma, beta, ws.spec); err != nil {
+				panic(err)
+			}
+		})
+		perRank := perRankDelta(oeng.Counters(), before, *reps, *ranks)
+		report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
+			Name: ws.name, N: *n, P: *p, Ranks: *ranks,
+			SecondsPerOp:      tO.Seconds(),
+			BytesPerRank:      perRank.BytesSent,
+			ModeledNetSeconds: perRank.ModeledTime(model).Seconds(),
+		})
+	}
+
 	if *out != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -11,10 +11,19 @@
 //	qaoasolve -problem maxcut -n 14 -d 3 -p 6 -seed 7
 //	qaoasolve -problem portfolio -n 12 -budget 5 -p 6
 //	qaoasolve -problem sat -n 12 -k 3 -clauses 40 -p 4
-//	qaoasolve -problem labs -n 14 -p 4 -ranks 4   (distributed engine)
+//	qaoasolve -problem labs -n 14 -p 4 -ranks 4             (distributed solve)
+//	qaoasolve -problem labs -n 14 -p 4 -ranks 4 -quantize   (uint16 diagonal shards)
+//	qaoasolve -problem portfolio -n 12 -p 4 -ranks 4 -precision float32
+//
+// With -ranks > 0 the entire solve runs on the sharded cluster
+// substrate: Adam over the distributed adjoint gradient from a TQA
+// warm start, then sampling, CVaR, and overlap served gather-free on
+// the shards — no node ever holds the full state, so -quantize and
+// -precision float32 stay memory-reduced end to end.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/bits"
@@ -35,16 +44,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "instance seed")
 	evals := flag.Int("evals", 300, "optimizer evaluation budget")
 	backend := flag.String("backend", "auto", "auto | serial | parallel | soa")
-	ranks := flag.Int("ranks", 0, "run the final evaluation on the distributed engine with this many ranks (0 = single node)")
+	ranks := flag.Int("ranks", 0, "solve on the distributed sharded backend with this many ranks (0 = single node)")
+	precision := flag.String("precision", "float64", "distributed shard precision: float64 | float32")
+	quantize := flag.Bool("quantize", false, "distributed: store diagonal shards as uint16 codes")
 	flag.Parse()
 
-	if err := run(*problem, *n, *p, *d, *k, *clauses, *budget, *seed, *evals, *backend, *ranks); err != nil {
+	if err := run(*problem, *n, *p, *d, *k, *clauses, *budget, *seed, *evals, *backend, *ranks, *precision, *quantize); err != nil {
 		fmt.Fprintf(os.Stderr, "qaoasolve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(problem string, n, p, d, k, clauses, budget int, seed int64, evals int, backend string, ranks int) error {
+func run(problem string, n, p, d, k, clauses, budget int, seed int64, evals int, backend string, ranks int, precision string, quantize bool) error {
 	var terms qokit.Terms
 	mixer := qokit.MixerX
 	hw := 0
@@ -80,11 +91,15 @@ func run(problem string, n, p, d, k, clauses, budget int, seed int64, evals int,
 		return fmt.Errorf("unknown problem %q", problem)
 	}
 
+	fmt.Printf("problem: %s\n", describe)
+	if ranks > 0 {
+		return runDistributed(problem, terms, n, p, hw, seed, evals, ranks, precision, quantize, mixer)
+	}
+
 	be, err := parseBackend(backend)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("problem: %s\n", describe)
 
 	start := time.Now()
 	sim, err := qokit.NewSimulator(n, terms, qokit.Options{Backend: be, Mixer: mixer, HammingWeight: hw})
@@ -131,19 +146,89 @@ func run(problem string, n, p, d, k, clauses, budget int, seed int64, evals int,
 		fmt.Printf("  selected %d assets\n", bits.OnesCount(uint(argmax)))
 	}
 
-	if ranks > 0 {
-		if mixer != qokit.MixerX {
-			return fmt.Errorf("distributed engine supports the x mixer only")
-		}
-		dres, err := qokit.SimulateQAOADistributed(n, terms, gamma, beta, qokit.DistOptions{
-			Ranks: ranks, Algo: qokit.Transpose,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("distributed check (K=%d): expectation %.6f, overlap %.4g, %d bytes communicated\n",
-			ranks, dres.Expectation, dres.Overlap, dres.Comm.BytesSent)
+	return nil
+}
+
+// runDistributed solves the instance entirely on the sharded cluster
+// substrate: Adam over the distributed adjoint gradient from a TQA
+// warm start, then the final outputs — shots, CVaR, overlap, most
+// probable state — served gather-free on the shards through the same
+// evaluation service that handled the optimizer's requests.
+func runDistributed(problem string, terms qokit.Terms, n, p, hw int, seed int64, evals, ranks int, precision string, quantize bool, mixer qokit.Mixer) error {
+	prec := qokit.DistFloat64
+	switch precision {
+	case "", "float64":
+	case "float32":
+		prec = qokit.DistFloat32
+	default:
+		return fmt.Errorf("unknown precision %q (float64 | float32)", precision)
 	}
+	dopts := qokit.DistOptions{
+		Ranks: ranks, Algo: qokit.Transpose, Mixer: mixer, HammingWeight: hw,
+		Precision: prec, Quantize: quantize,
+	}
+	start := time.Now()
+	engine, err := qokit.NewDistributedGradEngine(n, terms, dopts)
+	if err != nil {
+		return err
+	}
+	svc, err := qokit.NewService([]qokit.Evaluator{engine}, qokit.ServiceOptions{})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	rep := "float64"
+	if quantize {
+		rep = "uint16-quantized diagonal"
+	} else if prec == qokit.DistFloat32 {
+		rep = "float32"
+	}
+	fmt.Printf("distributed setup: %v (K=%d ranks, %s shards, %d workers)\n",
+		time.Since(start).Round(time.Microsecond), ranks, rep, svc.Workers())
+
+	ctx := context.Background()
+	gamma, beta := qokit.TQAInit(p, 0.75)
+	x := append(append([]float64{}, gamma...), beta...)
+	var simErr error
+	start = time.Now()
+	res := qokit.Adam(svc.GradObjective(ctx, &simErr), x, qokit.AdamOptions{MaxIter: evals})
+	if simErr != nil {
+		return simErr
+	}
+	optTime := time.Since(start)
+	fmt.Printf("optimized p=%d parameters: %d gradient evaluations in %v (%.3g s/eval)\n",
+		p, res.Evals, optTime.Round(time.Millisecond), optTime.Seconds()/float64(res.Evals))
+
+	outs, err := svc.EvalOutputs(ctx, res.X, qokit.OutputSpec{
+		CVaRAlphas: []float64{0.1}, Shots: 1024, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("best energy found:   %.6f\n", res.F)
+	fmt.Printf("true optimum:        %.6f (reduced from the diagonal shards)\n", outs.MinCost)
+	if outs.MinCost != 0 {
+		fmt.Printf("ratio to optimum:    %.4f\n", res.F/outs.MinCost)
+	}
+	fmt.Printf("CVaR(0.1):           %.6f\n", outs.CVaR[0])
+	fmt.Printf("ground-state overlap: %.4g\n", outs.Overlap)
+	fmt.Printf("most probable outcome: %0*b (p=%.4g)\n", n, outs.MaxProbIndex, outs.MaxProb)
+	if problem == "labs" {
+		e := qokit.LABSEnergy(outs.MaxProbIndex, n)
+		fmt.Printf("  as LABS sequence: E=%d, merit factor %.3f\n", e, qokit.MeritFactor(n, e))
+	}
+	if problem == "portfolio" {
+		fmt.Printf("  selected %d assets\n", bits.OnesCount64(outs.MaxProbIndex))
+	}
+	hits := 0
+	for _, s := range outs.Samples {
+		if s == outs.MaxProbIndex {
+			hits++
+		}
+	}
+	fmt.Printf("sampled %d shots gather-free: %d hit the most probable state\n", len(outs.Samples), hits)
+	c := engine.Counters()
+	fmt.Printf("communication: %d bytes, %d messages, %d syncs\n", c.BytesSent, c.Messages, c.Syncs)
 	return nil
 }
 

@@ -4,16 +4,22 @@ import "testing"
 
 // TestSolverSmoke runs the end-to-end solver on every problem family
 // at tiny sizes; the CLI is a deliverable and gets tested like one.
+// The distributed cases run the whole solve on the sharded backend —
+// including the xy-mixer portfolio and both memory-reduced shard
+// representations, which the gather-free output path made servable.
 func TestSolverSmoke(t *testing.T) {
 	cases := []struct {
 		name string
 		call func() error
 	}{
-		{"labs", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "soa", 0) }},
-		{"maxcut", func() error { return run("maxcut", 8, 2, 3, 3, 20, 0, 1, 30, "serial", 0) }},
-		{"sat", func() error { return run("sat", 8, 2, 3, 3, 20, 0, 1, 30, "parallel", 0) }},
-		{"portfolio", func() error { return run("portfolio", 8, 2, 3, 3, 20, 3, 1, 30, "auto", 0) }},
-		{"distributed", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2) }},
+		{"labs", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "soa", 0, "float64", false) }},
+		{"maxcut", func() error { return run("maxcut", 8, 2, 3, 3, 20, 0, 1, 30, "serial", 0, "float64", false) }},
+		{"sat", func() error { return run("sat", 8, 2, 3, 3, 20, 0, 1, 30, "parallel", 0, "float64", false) }},
+		{"portfolio", func() error { return run("portfolio", 8, 2, 3, 3, 20, 3, 1, 30, "auto", 0, "float64", false) }},
+		{"distributed", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "float64", false) }},
+		{"distributed-quantized", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "float64", true) }},
+		{"distributed-float32", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "float32", false) }},
+		{"distributed-portfolio", func() error { return run("portfolio", 8, 2, 3, 3, 20, 4, 1, 30, "auto", 2, "float64", false) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -25,13 +31,16 @@ func TestSolverSmoke(t *testing.T) {
 }
 
 func TestSolverErrors(t *testing.T) {
-	if err := run("unknown-problem", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 0); err == nil {
+	if err := run("unknown-problem", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 0, "float64", false); err == nil {
 		t.Error("unknown problem accepted")
 	}
-	if err := run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "not-a-backend", 0); err == nil {
+	if err := run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "not-a-backend", 0, "float64", false); err == nil {
 		t.Error("unknown backend accepted")
 	}
-	if err := run("portfolio", 8, 2, 3, 3, 20, 4, 1, 30, "auto", 2); err == nil {
-		t.Error("distributed xy mixer accepted")
+	if err := run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "not-a-precision", false); err == nil {
+		t.Error("unknown distributed precision accepted")
+	}
+	if err := run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "float32", true); err == nil {
+		t.Error("quantize + float32 accepted (distsim rejects the combination)")
 	}
 }

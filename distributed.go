@@ -68,6 +68,34 @@ func SimulateQAOADistributed(n int, terms Terms, gamma, beta []float64, opts Dis
 	return distsim.SimulateQAOA(context.Background(), n, terms, gamma, beta, opts)
 }
 
+// SimulateQAOADistributedOutputs runs the sharded simulation and
+// serves its measurement-style outputs gather-free: CVaR levels,
+// sampled shots, ground-state overlap, and per-index probability
+// queries are all computed on the shards (per-rank sorts and alias
+// tables plus scalar/short-vector all-reduces), so no node ever holds
+// a 2^n buffer. This is what makes the §V-B memory-reduced
+// representations — float32 shards, quantized diagonals — full solver
+// backends: set DistOptions.Precision or Quantize as usual and leave
+// Gather false (it is rejected here). Sampling uses a two-stage alias
+// draw (rank by global mass, then index within the winning shard);
+// with a fixed OutputSpec.Seed the shot sequence is reproducible.
+func SimulateQAOADistributedOutputs(n int, terms Terms, gamma, beta []float64, opts DistOptions, spec OutputSpec) (*DistResult, error) {
+	return distsim.SimulateQAOAOutputs(context.Background(), n, terms, gamma, beta, opts, spec)
+}
+
+// SampleDistributed draws shots basis-state samples from the QAOA
+// state evolved on the sharded backend, without gathering it — the
+// convenience wrapper over SimulateQAOADistributedOutputs for callers
+// that only want measurement outcomes at shard scale.
+func SampleDistributed(n int, terms Terms, gamma, beta []float64, shots int, seed int64, opts DistOptions) ([]uint64, error) {
+	res, err := distsim.SimulateQAOAOutputs(context.Background(), n, terms, gamma, beta, opts,
+		OutputSpec{Shots: shots, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Samples, nil
+}
+
 // DistGradResult carries one distributed adjoint-gradient evaluation:
 // the energy, the exact ∂E/∂γ_ℓ and ∂E/∂β_ℓ, and the run's
 // communication counters.

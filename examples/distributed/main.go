@@ -212,5 +212,48 @@ func run(w io.Writer) error {
 	}
 	fmt.Fprintln(w, "Both clients' evaluations interleaved on leased rank groups through one")
 	fmt.Fprintln(w, "FIFO queue — the request-scheduling story the serving layer adds.")
+
+	// Gather-free outputs: CVaR, sampling, and overlap served directly
+	// on the shards — on the quantized representation, whose whole point
+	// is never holding a node-scale buffer. The two-stage alias draw
+	// picks a rank from the allreduced shard masses, then an index
+	// within the winning shard; CVaR comes from a k-way threshold
+	// reduction over per-rank ascending-cost prefix sums.
+	bestX := resOpt.X
+	bestGamma, bestBeta := bestX[:p], bestX[p:]
+	outs, err := qokit.SimulateQAOADistributedOutputs(n, terms, bestGamma, bestBeta,
+		qokit.DistOptions{Ranks: optRanks, Algo: qokit.Transpose, Quantize: true},
+		qokit.OutputSpec{CVaRAlphas: []float64{0.5, 0.1}, Shots: 2000, Seed: 7})
+	if err != nil {
+		return err
+	}
+	refBest, err := sim.SimulateQAOA(bestGamma, bestBeta)
+	if err != nil {
+		return err
+	}
+	refCVaR, err := refBest.CVaR(0.1)
+	if err != nil {
+		return err
+	}
+	if d := math.Abs(outs.CVaR[1] - refCVaR); d > 1e-9 {
+		return fmt.Errorf("gather-free CVaR(0.1) deviates from single-node by %g", d)
+	}
+	if d := math.Abs(outs.Overlap - refBest.Overlap()); d > 1e-9 {
+		return fmt.Errorf("gather-free overlap deviates from single-node by %g", d)
+	}
+	below := 0
+	for _, s := range outs.Samples {
+		if float64(qokit.LABSEnergy(s, n)) <= outs.CVaR[1] {
+			below++
+		}
+	}
+	fmt.Fprintf(w, "\nGather-free outputs at the optimum (K=%d, quantized shards):\n", optRanks)
+	fmt.Fprintf(w, "  CVaR(0.5) = %.6f   CVaR(0.1) = %.6f  (single-node match ≤ 1e-9)\n", outs.CVaR[0], outs.CVaR[1])
+	fmt.Fprintf(w, "  ground-state overlap %.4g, most probable state %0*b (p=%.4g)\n",
+		outs.Overlap, n, outs.MaxProbIndex, outs.MaxProb)
+	fmt.Fprintf(w, "  %d two-stage shots: %d at energy ≤ CVaR(0.1)\n", len(outs.Samples), below)
+	fmt.Fprintln(w, "No rank ever materialized the 2^n state: sampling, CVaR, and overlap ran")
+	fmt.Fprintln(w, "on shard-local alias tables and prefix sums plus scalar all-reduces, so")
+	fmt.Fprintln(w, "the memory-reduced representations serve as full solver backends.")
 	return nil
 }

@@ -69,7 +69,10 @@ func run(w io.Writer) error {
 
 	// Quantum time-to-solution: expected shots until an optimal
 	// sequence is measured, at 99% confidence.
-	shots := qokit.SamplesToSolution(overlap, 0.99)
+	shots, err := qokit.SamplesToSolution(overlap, 0.99)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\nexpected shots to optimal sequence (99%%): %.1f  (≈ %.0f circuit layers)\n",
 		shots, shots*float64(p))
 

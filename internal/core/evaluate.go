@@ -58,6 +58,7 @@ func (s *Simulator) Caps() evaluator.Caps {
 		Grad:       true,
 		Ranks:      1,
 		StateBytes: s.stateBytes(),
+		Outputs:    true,
 	}
 }
 

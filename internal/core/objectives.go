@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 )
@@ -45,11 +46,13 @@ func (r *Result) CVaR(alpha float64) (float64, error) {
 	probs := r.Probabilities(nil, true)
 	remaining := alpha
 	var acc float64
+	last := math.NaN() // largest positive-probability cost visited
 	for _, x := range order {
 		p := probs[x]
 		if p <= 0 {
 			continue
 		}
+		last = s.diag[x]
 		if p >= remaining {
 			acc += remaining * s.diag[x]
 			remaining = 0
@@ -59,9 +62,12 @@ func (r *Result) CVaR(alpha float64) (float64, error) {
 		remaining -= p
 	}
 	// remaining > 0 can only stem from normalization rounding; treat
-	// the shortfall as mass at the largest visited cost.
-	if remaining > 1e-12 && len(order) > 0 {
-		acc += remaining * s.diag[order[len(order)-1]]
+	// the shortfall as mass at the largest visited cost. order's tail
+	// may hold zero-probability states the loop skipped (e.g. the
+	// infeasible subspace under an xy mixer), so the charge uses the
+	// last cost actually visited, not order[len(order)-1].
+	if remaining > 1e-12 && !math.IsNaN(last) {
+		acc += remaining * last
 	}
 	return acc / alpha, nil
 }

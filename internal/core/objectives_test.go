@@ -123,6 +123,40 @@ func TestCVaRTinyAlphaApproachesBestSampledCost(t *testing.T) {
 	}
 }
 
+func TestCVaRShortfallChargesLastVisitedCost(t *testing.T) {
+	// Regression: when normalization shortfall remains after the sweep,
+	// it must be charged at the largest positive-probability cost
+	// actually visited — not at order[len(order)-1], which can be a
+	// zero-probability state. An unnormalized initial state with zero
+	// amplitude on the top-cost states makes the two charges differ by
+	// a macroscopic amount.
+	n := 4
+	diag := make([]float64, 1<<uint(n))
+	for i := range diag {
+		diag[i] = float64(i) // ascending costs; state 15 is the most expensive
+	}
+	init := make([]complex128, 1<<uint(n))
+	init[0] = complex(math.Sqrt(0.3), 0)
+	init[3] = complex(math.Sqrt(0.3), 0) // largest positive-probability cost: 3
+	sim, err := NewFromDiagonal(n, diag, Options{Backend: BackendSerial, InitialState: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.SimulateQAOA(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.CVaR(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mass: 0.3·cost0 + 0.3·cost3, shortfall 0.4 charged at cost 3.
+	want := 0.3*0 + 0.3*3 + 0.4*3
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("CVaR(1) = %v, want %v (shortfall mischarged)", got, want)
+	}
+}
+
 func TestCostOrderCached(t *testing.T) {
 	n := 5
 	sim, err := New(n, problems.LABSTerms(n), Options{Backend: BackendSerial})

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"qokit/internal/evaluator"
+	"qokit/internal/sampling"
+)
+
+// The Simulator also serves the measurement-style output contract:
+// sampling, CVaR, overlap, and probability queries from one evolution.
+// Like Energy, every call owns its state buffer, so concurrent
+// EvalOutputs calls are safe.
+var _ evaluator.OutputEvaluator = (*Simulator)(nil)
+
+// EvalOutputs evolves the state at the flat parameter vector once and
+// returns the outputs the spec selects (evaluator.OutputEvaluator).
+func (s *Simulator) EvalOutputs(ctx context.Context, x []float64, spec evaluator.OutputSpec) (*evaluator.Outputs, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	gamma, beta, err := evaluator.SplitFlat(x)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(s.n); err != nil {
+		return nil, err
+	}
+	r, err := s.SimulateQAOA(gamma, beta)
+	if err != nil {
+		return nil, err
+	}
+	out := &evaluator.Outputs{
+		Energy:  r.Expectation(),
+		Overlap: r.Overlap(),
+		MinCost: s.MinCost(),
+	}
+	if len(spec.CVaRAlphas) > 0 {
+		out.CVaR = make([]float64, len(spec.CVaRAlphas))
+		for i, a := range spec.CVaRAlphas {
+			if out.CVaR[i], err = r.CVaR(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// One probability extraction serves the argmax, the queries, and
+	// the sampler (the state is consumed on the last use).
+	probs := r.Probabilities(nil, true)
+	maxP, maxIdx := -1.0, uint64(0)
+	for x, p := range probs {
+		if p > maxP {
+			maxP, maxIdx = p, uint64(x)
+		}
+	}
+	out.MaxProb, out.MaxProbIndex = maxP, maxIdx
+	if len(spec.ProbIndices) > 0 {
+		out.Probs = make([]float64, len(spec.ProbIndices))
+		for i, q := range spec.ProbIndices {
+			out.Probs[i] = probs[q]
+		}
+	}
+	if spec.Shots > 0 {
+		sampler, err := sampling.NewSampler(probs, spec.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: EvalOutputs sampling: %w", err)
+		}
+		out.Samples = make([]uint64, spec.Shots)
+		for i := range out.Samples {
+			out.Samples[i] = sampler.Sample()
+		}
+	}
+	return out, nil
+}

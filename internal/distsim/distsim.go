@@ -172,10 +172,10 @@ func (o Options) validate(n int) (k int, err error) {
 		return 0, fmt.Errorf("distsim: Options.QuantScale=%v set without Options.Quantize", o.QuantScale)
 	}
 	if o.Gather && o.Quantize {
-		return 0, fmt.Errorf("distsim: Options.Gather=true does not compose with Options.Quantize — the memory-reduced shards exist to avoid materializing node-scale buffers; use the gather-free outputs")
+		return 0, fmt.Errorf("distsim: Options.Gather=true does not compose with Options.Quantize — the memory-reduced shards exist to avoid materializing node-scale buffers; use the gather-free outputs (SimulateQAOAOutputs or GradEngine.Outputs: sampling, CVaR, overlap, probability queries)")
 	}
 	if o.Gather && o.Precision == PrecisionFloat32 {
-		return 0, fmt.Errorf("distsim: Options.Gather=true does not compose with Options.Precision=float32 — the memory-reduced shards exist to avoid materializing node-scale buffers; use the gather-free outputs")
+		return 0, fmt.Errorf("distsim: Options.Gather=true does not compose with Options.Precision=float32 — the memory-reduced shards exist to avoid materializing node-scale buffers; use the gather-free outputs (SimulateQAOAOutputs or GradEngine.Outputs: sampling, CVaR, overlap, probability queries)")
 	}
 	return k, nil
 }
@@ -216,11 +216,25 @@ func (o Options) hammingWeight(n int) int {
 }
 
 // Result carries the distributed outputs plus per-run communication
-// statistics.
+// statistics. The CVaR, Samples, Probs, and MaxProb* fields are filled
+// only by the gather-free output entry points (SimulateQAOAOutputs,
+// GradEngine.Outputs) according to their OutputSpec.
 type Result struct {
 	Expectation float64
 	Overlap     float64
 	MinCost     float64
+	// CVaR holds CVaR(α) per OutputSpec.CVaRAlphas entry, matching
+	// core.Result.CVaR to floating-point reassociation.
+	CVaR []float64
+	// Samples holds OutputSpec.Shots global basis indices from the
+	// two-stage distributed draw.
+	Samples []uint64
+	// Probs holds |ψ_x|² per OutputSpec.ProbIndices entry.
+	Probs []float64
+	// MaxProbIndex and MaxProb identify the most probable basis state
+	// (ties resolve to the lowest global index).
+	MaxProbIndex uint64
+	MaxProb      float64
 	// State is the gathered state vector (nil unless Options.Gather).
 	State statevec.Vec
 	// Comm is the summed traffic with critical-path wall time.

@@ -505,6 +505,7 @@ func (e *GradEngine) Caps() evaluator.Caps {
 		MaxConcurrent: e.opts.concurrency(),
 		Ranks:         e.opts.Ranks,
 		StateBytes:    buffers * e.opts.Precision.AmpBytes() << uint(e.n),
+		Outputs:       true,
 	}
 }
 

@@ -1,0 +1,652 @@
+// Gather-free distributed outputs: sampling, CVaR, ground-state
+// overlap, and per-index probability queries evaluated directly on the
+// sharded state — the outputs that used to require Options.Gather, now
+// served without ever materializing a node-scale buffer. This is what
+// turns the §V-B memory-reduced representations (float32 shards,
+// uint16-quantized diagonals) into full solver backends: every
+// quantity below needs only |ψ_x|² and the cost of locally owned basis
+// states, both of which each rank holds.
+//
+// The three mechanisms:
+//
+//   - Two-stage alias sampling. One AllreduceSumVec combines the
+//     per-rank probability masses into a K-entry rank distribution;
+//     every rank builds the identical rank-level alias sampler from it
+//     (same masses, same seed — replicated RNG, zero extra
+//     communication), so all ranks agree on which rank wins each shot.
+//     The winning rank draws the local index from its shard's alias
+//     sampler and writes the global index (rank bits ‖ local index)
+//     into the shot's slot. One barrier models the shot merge a real
+//     cluster would run as a gather of O(Shots) indices — never
+//     O(2^n) amplitudes.
+//
+//   - Distributed CVaR. Each rank sorts its positive-probability
+//     entries by ascending cost once (the costOrder pattern of
+//     internal/core/objectives.go, shard-local) and exposes prefix
+//     sums of p and p·c. The global cost threshold c* — the smallest
+//     cost value whose cumulative mass reaches α — is found by a
+//     k-way threshold reduction: scalar-allreduce bisection on the
+//     cost axis, then a snap step (AllreduceMin over each rank's next
+//     actual cost value) so c* lands exactly on a spectrum point. The
+//     closed form Σ_{cost<c*} p·c + (α − P(cost<c*))·c* then needs one
+//     two-entry vector all-reduce. Tie mass at c* enters only through
+//     the closed form, which is order-independent — that is why the
+//     distributed value matches the single-node sweep to rounding.
+//
+//   - Overlap / probability queries. The feasible-subspace minimum is
+//     one AllreduceMin, the overlap mass one AllreduceSum; a
+//     ProbIndices query costs one vector all-reduce of len(queries)
+//     entries, each filled by the owning rank.
+package distsim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"qokit/internal/cluster"
+	"qokit/internal/core"
+	"qokit/internal/costvec"
+	"qokit/internal/evaluator"
+	"qokit/internal/graphs"
+	"qokit/internal/poly"
+	"qokit/internal/sampling"
+	"qokit/internal/statevec"
+)
+
+// OutputSpec selects the gather-free outputs of one distributed
+// evaluation (shared contract with the single-node engines).
+type OutputSpec = evaluator.OutputSpec
+
+// shardView is one rank's read-only view of its evolved shard for the
+// output stage: probability and cost by local index, plus the rank's
+// place in the global index space. It abstracts over the three shard
+// representations (complex128, SoA32, quantized diagonal) — the whole
+// output stage needs nothing else.
+type shardView struct {
+	size     int
+	localN   int
+	offset   uint64
+	restrict bool
+	hw       int
+	prob     func(i int) float64
+	cost     func(i int) float64
+}
+
+// feasible reports whether local index i lies in the mixer's feasible
+// subspace (always true for the transverse-field mixer).
+func (v *shardView) feasible(i int) bool {
+	return !v.restrict || popcount64(v.offset|uint64(i)) == v.hw
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// rankOutputs runs one rank's share of the gather-free output stage:
+// ground-state overlap and minimum, the most probable state, then the
+// spec's CVaR levels, probability queries, and sampled shots. Every
+// rank executes the same collective sequence; rank 0 stores the
+// (identical) reduced values into the shared res, and sampled shots
+// are written into disjoint slots of res.Samples by their winning
+// ranks. Safe to publish because Group.RunContext joins every rank
+// before the caller reads res.
+func rankOutputs(c *cluster.Comm, v shardView, spec OutputSpec, res *Result) error {
+	rank := c.Rank()
+
+	// Ground states: global (feasible-subspace) minimum, local overlap
+	// mass — the same reduction SimulateQAOA performs.
+	localMin := math.Inf(1)
+	for i := 0; i < v.size; i++ {
+		if !v.feasible(i) {
+			continue
+		}
+		if cv := v.cost(i); cv < localMin {
+			localMin = cv
+		}
+	}
+	gmin, err := c.AllreduceMin(localMin)
+	if err != nil {
+		return err
+	}
+	var ov float64
+	for i := 0; i < v.size; i++ {
+		if !v.feasible(i) {
+			continue
+		}
+		if v.cost(i) <= gmin+1e-9 {
+			ov += v.prob(i)
+		}
+	}
+	ovAll, err := c.AllreduceSum(ov)
+	if err != nil {
+		return err
+	}
+
+	// Most probable basis state: max over ranks, ties to the lowest
+	// global index (float64 holds any n ≤ 34 index exactly).
+	localMax, localArg := -1.0, 0
+	for i := 0; i < v.size; i++ {
+		if p := v.prob(i); p > localMax {
+			localMax, localArg = p, i
+		}
+	}
+	gmaxP, err := c.AllreduceMax(localMax)
+	if err != nil {
+		return err
+	}
+	cand := math.Inf(1)
+	if localMax == gmaxP {
+		cand = float64(v.offset | uint64(localArg))
+	}
+	argAll, err := c.AllreduceMin(cand)
+	if err != nil {
+		return err
+	}
+	if rank == 0 {
+		res.MinCost = gmin
+		res.Overlap = ovAll
+		res.MaxProb = gmaxP
+		res.MaxProbIndex = uint64(argAll)
+	}
+
+	if len(spec.CVaRAlphas) > 0 {
+		cv, err := rankCVaR(c, v, spec.CVaRAlphas)
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			res.CVaR = cv
+		}
+	}
+
+	if len(spec.ProbIndices) > 0 {
+		buf := make([]float64, len(spec.ProbIndices))
+		for j, q := range spec.ProbIndices {
+			if q>>uint(v.localN) == uint64(rank) {
+				buf[j] = v.prob(int(q & uint64(v.size-1)))
+			}
+		}
+		if err := c.AllreduceSumVec(buf); err != nil {
+			return err
+		}
+		if rank == 0 {
+			res.Probs = buf
+		}
+	}
+
+	if spec.Shots > 0 {
+		if err := rankSample(c, v, spec, res.Samples); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rankSample is the two-stage distributed alias draw. Stage 1 picks
+// the winning rank per shot from the allreduced rank-mass vector; the
+// rank-level sampler is built identically on every rank (same masses,
+// same seed), so the choice replicates with no further communication.
+// Stage 2 draws the local index on the winning rank only, from a
+// shard-local alias sampler over |ψ|², and writes the global index
+// into the shot's slot. Zero-mass shards never win stage 1 and build
+// no sampler. The closing barrier models the O(Shots) shot merge.
+func rankSample(c *cluster.Comm, v shardView, spec OutputSpec, samples []uint64) error {
+	rank := c.Rank()
+	localProbs := make([]float64, v.size)
+	var mass float64
+	for i := range localProbs {
+		p := v.prob(i)
+		localProbs[i] = p
+		mass += p
+	}
+	masses := make([]float64, c.Size())
+	masses[rank] = mass
+	if err := c.AllreduceSumVec(masses); err != nil {
+		return err
+	}
+	rankSampler, err := sampling.NewSampler(masses, spec.Seed)
+	if err != nil {
+		return fmt.Errorf("distsim: rank-mass distribution: %w", err)
+	}
+	var local *sampling.Sampler
+	if mass > 0 {
+		local, err = sampling.NewSampler(localProbs, spec.Seed+int64(rank)+1)
+		if err != nil {
+			return fmt.Errorf("distsim: rank %d shard distribution: %w", rank, err)
+		}
+	}
+	for j := range samples {
+		w := rankSampler.Sample()
+		if int(w) == rank {
+			samples[j] = v.offset | local.Sample()
+		}
+	}
+	return c.Barrier()
+}
+
+// rankCVaR evaluates CVaR at every requested level via per-rank
+// ascending-cost prefix sums merged by a k-way threshold reduction.
+// All ranks return the identical slice.
+func rankCVaR(c *cluster.Comm, v shardView, alphas []float64) ([]float64, error) {
+	// Shard-local ascending-cost order over positive-probability
+	// entries (the costOrder pattern, restricted to this rank's slice),
+	// with inclusive prefix sums of p and p·c.
+	costs := make([]float64, 0, v.size)
+	probs := make([]float64, 0, v.size)
+	for i := 0; i < v.size; i++ {
+		if p := v.prob(i); p > 0 {
+			costs = append(costs, v.cost(i))
+			probs = append(probs, p)
+		}
+	}
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return costs[order[a]] < costs[order[b]] })
+	sortedCosts := make([]float64, len(order))
+	cumP := make([]float64, len(order))
+	cumPC := make([]float64, len(order))
+	var p, pc float64
+	for j, i := range order {
+		p += probs[i]
+		pc += probs[i] * costs[i]
+		sortedCosts[j] = costs[i]
+		cumP[j] = p
+		cumPC[j] = pc
+	}
+	// massLE(x) is this rank's P(cost ≤ x); the lt variants are the
+	// strict prefix the closed form needs.
+	massLE := func(x float64) float64 {
+		j := sort.Search(len(sortedCosts), func(i int) bool { return sortedCosts[i] > x })
+		if j == 0 {
+			return 0
+		}
+		return cumP[j-1]
+	}
+	massLT := func(x float64) (pl, pcl float64) {
+		j := sort.SearchFloat64s(sortedCosts, x)
+		if j == 0 {
+			return 0, 0
+		}
+		return cumP[j-1], cumPC[j-1]
+	}
+
+	// Global aggregates: total mass, total p·c, and the positive-
+	// probability cost range (±Inf sentinels for empty shards).
+	agg := []float64{p, pc}
+	if err := c.AllreduceSumVec(agg); err != nil {
+		return nil, err
+	}
+	total, totalPC := agg[0], agg[1]
+	localMinPos, localMaxPos := math.Inf(1), math.Inf(-1)
+	if len(sortedCosts) > 0 {
+		localMinPos, localMaxPos = sortedCosts[0], sortedCosts[len(sortedCosts)-1]
+	}
+	gminPos, err := c.AllreduceMin(localMinPos)
+	if err != nil {
+		return nil, err
+	}
+	gmaxPos, err := c.AllreduceMax(localMaxPos)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]float64, len(alphas))
+	for ai, alpha := range alphas {
+		if alpha > total {
+			// The sweep consumes every positive-probability entry; any
+			// shortfall beyond rounding is charged at the largest cost
+			// actually carrying mass — the fixed single-node semantics.
+			acc := totalPC
+			if alpha-total > 1e-12 && !math.IsInf(gmaxPos, -1) {
+				acc += (alpha - total) * gmaxPos
+			}
+			out[ai] = acc / alpha
+			continue
+		}
+		// Threshold reduction: bisect the cost axis on the allreduced
+		// cumulative mass, keeping the invariant F(lo) < α ≤ F(hi).
+		lo, hi := gminPos-1, gmaxPos
+		for iter := 0; iter < 200 && lo < hi; iter++ {
+			mid := lo + (hi-lo)/2
+			if mid <= lo || mid >= hi {
+				break
+			}
+			f, err := c.AllreduceSum(massLE(mid))
+			if err != nil {
+				return nil, err
+			}
+			if f >= alpha {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		// Snap to an actual spectrum point: the smallest positive-
+		// probability cost in (lo, hi] across ranks. The bisected
+		// interval is a few ULPs wide, so this loop visits at most the
+		// handful of distinct cost values left inside it.
+		cstar := hi
+		for {
+			next := math.Inf(1)
+			if j := sort.Search(len(sortedCosts), func(i int) bool { return sortedCosts[i] > lo }); j < len(sortedCosts) && sortedCosts[j] <= hi {
+				next = sortedCosts[j]
+			}
+			c1, err := c.AllreduceMin(next)
+			if err != nil {
+				return nil, err
+			}
+			if math.IsInf(c1, 1) {
+				break // no spectrum point left; keep hi (F(hi) ≥ α)
+			}
+			f, err := c.AllreduceSum(massLE(c1))
+			if err != nil {
+				return nil, err
+			}
+			if f >= alpha {
+				cstar = c1
+				break
+			}
+			lo = c1
+		}
+		// Closed form: everything strictly below c* enters whole, the
+		// remainder of the α budget is charged at c*.
+		pl, pcl := massLT(cstar)
+		pair := []float64{pl, pcl}
+		if err := c.AllreduceSumVec(pair); err != nil {
+			return nil, err
+		}
+		out[ai] = (pair[1] + (alpha-pair[0])*cstar) / alpha
+	}
+	return out, nil
+}
+
+// SimulateQAOAOutputs runs the distributed forward pipeline and
+// serves the gather-free outputs the spec selects — sampling, CVaR,
+// overlap, probability queries — on any shard representation
+// (float64, float32, quantized). It is the output path the
+// Gather-rejection errors point at: nothing here materializes a
+// node-scale buffer, so it composes with every §V-B memory reduction.
+// Options.Gather must be false (gathering is exactly what this entry
+// point exists to avoid).
+func SimulateQAOAOutputs(ctx context.Context, n int, terms poly.Terms, gamma, beta []float64, opts Options, spec OutputSpec) (*Result, error) {
+	if err := terms.Validate(n); err != nil {
+		return nil, err
+	}
+	if len(gamma) != len(beta) {
+		return nil, fmt.Errorf("distsim: len(gamma)=%d != len(beta)=%d", len(gamma), len(beta))
+	}
+	if opts.Gather {
+		return nil, fmt.Errorf("distsim: Options.Gather=true is redundant with SimulateQAOAOutputs — the outputs are computed shard-locally; use SimulateQAOA for a gathered state")
+	}
+	k, err := opts.validate(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(n); err != nil {
+		return nil, err
+	}
+	edges, err := core.MixerSweepEdges(n, opts.Mixer)
+	if err != nil {
+		return nil, err
+	}
+	compiled := poly.Compile(terms)
+	g, err := cluster.NewGroup(opts.Ranks, opts.Algo)
+	if err != nil {
+		return nil, err
+	}
+
+	localN := n - k
+	localSize := 1 << uint(localN)
+	hw := opts.hammingWeight(n)
+	restrict := opts.Mixer != core.MixerX
+	res := &Result{}
+	if spec.Shots > 0 {
+		res.Samples = make([]uint64, spec.Shots)
+	}
+
+	err = g.RunContext(ctx, func(c *cluster.Comm) error {
+		rank := c.Rank()
+		offset := uint64(rank) << uint(localN)
+		diag := make([]float64, localSize)
+		costvec.PrecomputeRange(compiled, offset, diag)
+		cost := func(i int) float64 { return diag[i] }
+		if opts.Quantize {
+			q, err := agreeQuantization(c, diag, opts.QuantScale)
+			if err != nil {
+				return err
+			}
+			if q == nil {
+				return nil // a peer's shard failed; that rank reports
+			}
+			cost = q.Value
+			return outputsRank64(c, res, spec, n, k, hw, edges, gamma, beta, opts, nil, q, cost, offset, restrict)
+		}
+		if opts.Precision == PrecisionFloat32 {
+			return outputsRank32(c, res, spec, n, k, hw, edges, gamma, beta, opts, diag, offset, restrict)
+		}
+		return outputsRank64(c, res, spec, n, k, hw, edges, gamma, beta, opts, diag, nil, cost, offset, restrict)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.PerRank = make([]cluster.Counters, opts.Ranks)
+	for r := 0; r < opts.Ranks; r++ {
+		res.PerRank[r] = g.Counters(r)
+	}
+	res.Comm = g.TotalCounters()
+	return res, nil
+}
+
+// outputsRank64 is one rank's forward-evolve-then-outputs pipeline on
+// the complex128 shard, reading the diagonal from either
+// representation (float64 slice or exact uint16 codes).
+func outputsRank64(c *cluster.Comm, res *Result, spec OutputSpec, n, k, hw int, edges []graphs.Edge, gamma, beta []float64, opts Options, diag []float64, quant *costvec.Quantized, cost func(int) float64, offset uint64, restrict bool) error {
+	localN := n - k
+	localSize := 1 << uint(localN)
+	rank := c.Rank()
+	local := make(statevec.Vec, localSize)
+	initLocalState(local, n, rank, opts.Mixer, hw)
+	var recv, send statevec.Vec
+	if restrict {
+		recv = make(statevec.Vec, localSize)
+		send = make(statevec.Vec, localSize/2)
+	}
+	for l := range gamma {
+		if quant != nil {
+			quant.PhaseApplyVec(local, gamma[l])
+		} else {
+			statevec.PhaseDiag(local, diag, gamma[l])
+		}
+		if opts.Mixer == core.MixerX {
+			if err := distributedMixer(c, local, n, k, beta[l]); err != nil {
+				return err
+			}
+		} else if err := distributedMixerXY(c, local, recv, send, localN, edges, beta[l]); err != nil {
+			return err
+		}
+	}
+	localE := 0.0
+	if quant != nil {
+		localE = quant.ExpectationVec(local)
+	} else {
+		localE = statevec.ExpectationDiag(local, diag)
+	}
+	e, err := c.AllreduceSum(localE)
+	if err != nil {
+		return err
+	}
+	if rank == 0 {
+		res.Expectation = e
+	}
+	return rankOutputs(c, shardView{
+		size: localSize, localN: localN, offset: offset, restrict: restrict, hw: hw,
+		prob: func(i int) float64 {
+			a := local[i]
+			return real(a)*real(a) + imag(a)*imag(a)
+		},
+		cost: cost,
+	}, spec, res)
+}
+
+// outputsRank32 is outputsRank64 on the float32 shard (float64
+// diagonal, single-precision state and wire, reductions in float64 —
+// the single-node SoA32 error model).
+func outputsRank32(c *cluster.Comm, res *Result, spec OutputSpec, n, k, hw int, edges []graphs.Edge, gamma, beta []float64, opts Options, diag []float64, offset uint64, restrict bool) error {
+	localN := n - k
+	localSize := 1 << uint(localN)
+	rank := c.Rank()
+	local := statevec.NewSoA32(localN)
+	initLocalState32(local, n, rank, opts.Mixer, hw)
+	var recv, send f32buf
+	if restrict {
+		recv = newF32buf(localSize)
+		send = newF32buf(localSize / 2)
+	}
+	for l := range gamma {
+		local.PhaseDiag(serialPool, diag, gamma[l])
+		if opts.Mixer == core.MixerX {
+			if err := distributedMixer32(c, local, n, k, beta[l]); err != nil {
+				return err
+			}
+		} else if err := distributedMixerXY32(c, local, recv, send, localN, edges, beta[l]); err != nil {
+			return err
+		}
+	}
+	e, err := c.AllreduceSum(local.ExpectationDiag(serialPool, diag))
+	if err != nil {
+		return err
+	}
+	if rank == 0 {
+		res.Expectation = e
+	}
+	return rankOutputs(c, shardView{
+		size: localSize, localN: localN, offset: offset, restrict: restrict, hw: hw,
+		prob: func(i int) float64 {
+			r, m := float64(local.Re[i]), float64(local.Im[i])
+			return r*r + m*m
+		},
+		cost: func(i int) float64 { return diag[i] },
+	}, spec, res)
+}
+
+// Outputs evaluates the gather-free outputs at (γ, β) on a leased rank
+// group — the engine-resident counterpart of SimulateQAOAOutputs, with
+// warm per-rank state buffers and the engine's shared diagonal
+// representation. Safe for up to Options.Concurrency concurrent calls.
+// Communication accumulates on the engine's counters (Counters /
+// RankCounters); Result.Comm and Result.PerRank are left zero here.
+func (e *GradEngine) Outputs(ctx context.Context, gamma, beta []float64, spec OutputSpec) (*Result, error) {
+	if len(gamma) != len(beta) {
+		return nil, fmt.Errorf("distsim: len(gamma)=%d != len(beta)=%d", len(gamma), len(beta))
+	}
+	if err := spec.Validate(e.n); err != nil {
+		return nil, err
+	}
+	lease, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if spec.Shots > 0 {
+		res.Samples = make([]uint64, spec.Shots)
+	}
+	localN := e.n - e.k
+	localSize := 1 << uint(localN)
+	restrict := e.opts.Mixer != core.MixerX
+	err = lease.group.RunContext(ctx, func(c *cluster.Comm) error {
+		rank := c.Rank()
+		offset := uint64(rank) << uint(localN)
+		view := shardView{size: localSize, localN: localN, offset: offset, restrict: restrict, hw: e.hw}
+		if e.quants != nil {
+			view.cost = e.quants[rank].Value
+		} else {
+			diag := e.diags[rank]
+			view.cost = func(i int) float64 { return diag[i] }
+		}
+
+		if e.opts.Precision == PrecisionFloat32 {
+			psi := lease.psi32[rank]
+			initLocalState32(psi, e.n, rank, e.opts.Mixer, e.hw)
+			for l := range gamma {
+				psi.PhaseDiag(serialPool, e.diags[rank], gamma[l])
+				if err := e.forwardMixer32(c, lease, psi, rank, beta[l]); err != nil {
+					return err
+				}
+			}
+			eAll, err := c.AllreduceSum(psi.ExpectationDiag(serialPool, e.diags[rank]))
+			if err != nil {
+				return err
+			}
+			if rank == 0 {
+				res.Expectation = eAll
+			}
+			view.prob = func(i int) float64 {
+				r, m := float64(psi.Re[i]), float64(psi.Im[i])
+				return r*r + m*m
+			}
+			return rankOutputs(c, view, spec, res)
+		}
+
+		psi := lease.psi[rank]
+		initLocalState(psi, e.n, rank, e.opts.Mixer, e.hw)
+		for l := range gamma {
+			e.phase(rank, psi, gamma[l])
+			if err := e.forwardMixer(c, lease, psi, rank, beta[l]); err != nil {
+				return err
+			}
+		}
+		eAll, err := c.AllreduceSum(e.expectation(rank, psi))
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			res.Expectation = eAll
+		}
+		view.prob = func(i int) float64 {
+			a := psi[i]
+			return real(a)*real(a) + imag(a)*imag(a)
+		}
+		return rankOutputs(c, view, spec, res)
+	})
+	e.release(lease, err != nil)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// The distributed engine also implements the optional output contract,
+// so a serving layer schedules sampling and CVaR requests over rank-
+// group leases exactly like energy requests.
+var _ evaluator.OutputEvaluator = (*GradEngine)(nil)
+
+// EvalOutputs evolves the state at the flat parameter vector once and
+// returns the spec's outputs (evaluator.OutputEvaluator).
+func (e *GradEngine) EvalOutputs(ctx context.Context, x []float64, spec evaluator.OutputSpec) (*evaluator.Outputs, error) {
+	gamma, beta, err := evaluator.SplitFlat(x)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Outputs(ctx, gamma, beta, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &evaluator.Outputs{
+		Energy:       res.Expectation,
+		Overlap:      res.Overlap,
+		MinCost:      res.MinCost,
+		CVaR:         res.CVaR,
+		Samples:      res.Samples,
+		Probs:        res.Probs,
+		MaxProbIndex: res.MaxProbIndex,
+		MaxProb:      res.MaxProb,
+	}, nil
+}

@@ -1,0 +1,501 @@
+package distsim
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"qokit/internal/core"
+	"qokit/internal/evaluator"
+	"qokit/internal/problems"
+	"qokit/internal/sampling"
+)
+
+func rtolDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return d
+	}
+	return d / scale
+}
+
+// TestDistributedCVaROverlapMatchSingleNode is the tentpole acceptance
+// differential: gather-free CVaR, overlap, most-probable-state, and
+// per-index probabilities computed on sharded float64 and quantized
+// states must match the single-node values to rtol 1e-10 over ranks
+// {1, 2, 4, 8}.
+func TestDistributedCVaROverlapMatchSingleNode(t *testing.T) {
+	const rtol = 1e-10
+	rng := rand.New(rand.NewSource(71))
+	n := 8
+	ts := problems.LABSTerms(n)
+	p := 3
+	gamma := make([]float64, p)
+	beta := make([]float64, p)
+	for i := range gamma {
+		gamma[i] = rng.Float64() - 0.5
+		beta[i] = rng.Float64() - 0.5
+	}
+	alphas := []float64{1, 0.5, 0.1, 0.02}
+
+	single, err := core.New(n, ts, core.Options{Backend: core.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := single.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCVaR := make([]float64, len(alphas))
+	for i, a := range alphas {
+		if refCVaR[i], err = ref.CVaR(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refProbs := ref.Probabilities(nil, true)
+	queries := []uint64{0, 7, 128, 255}
+
+	for _, quantize := range []bool{false, true} {
+		for _, ranks := range []int{1, 2, 4, 8} {
+			spec := OutputSpec{CVaRAlphas: alphas, ProbIndices: queries}
+			res, err := SimulateQAOAOutputs(context.Background(), n, ts, gamma, beta,
+				Options{Ranks: ranks, Quantize: quantize}, spec)
+			if err != nil {
+				t.Fatalf("quantize=%v K=%d: %v", quantize, ranks, err)
+			}
+			if d := rtolDiff(res.Expectation, ref.Expectation()); d > rtol {
+				t.Errorf("quantize=%v K=%d: expectation rtol %g", quantize, ranks, d)
+			}
+			if d := rtolDiff(res.Overlap, ref.Overlap()); d > rtol {
+				t.Errorf("quantize=%v K=%d: overlap rtol %g", quantize, ranks, d)
+			}
+			if d := rtolDiff(res.MinCost, single.MinCost()); d > rtol {
+				t.Errorf("quantize=%v K=%d: min cost rtol %g", quantize, ranks, d)
+			}
+			for i := range alphas {
+				if d := rtolDiff(res.CVaR[i], refCVaR[i]); d > rtol {
+					t.Errorf("quantize=%v K=%d: CVaR(%v) = %v, want %v (rtol %g)",
+						quantize, ranks, alphas[i], res.CVaR[i], refCVaR[i], d)
+				}
+			}
+			for i, q := range queries {
+				if d := rtolDiff(res.Probs[i], refProbs[q]); d > rtol {
+					t.Errorf("quantize=%v K=%d: prob[%d] rtol %g", quantize, ranks, q, d)
+				}
+			}
+			// Most probable state: the index must attain the global max.
+			if d := rtolDiff(res.MaxProb, refProbs[res.MaxProbIndex]); d > rtol {
+				t.Errorf("quantize=%v K=%d: MaxProb %v but prob[%d]=%v",
+					quantize, ranks, res.MaxProb, res.MaxProbIndex, refProbs[res.MaxProbIndex])
+			}
+			wantMax := 0.0
+			for _, pr := range refProbs {
+				if pr > wantMax {
+					wantMax = pr
+				}
+			}
+			if d := rtolDiff(res.MaxProb, wantMax); d > rtol {
+				t.Errorf("quantize=%v K=%d: MaxProb %v, want %v", quantize, ranks, res.MaxProb, wantMax)
+			}
+		}
+	}
+}
+
+// TestDistributedOutputsXYMixer covers the restricted-subspace path:
+// CVaR and overlap over a ring-xy evolution must match the single-node
+// values, and the infeasible subspace (exactly-zero amplitudes) must
+// never contribute.
+func TestDistributedOutputsXYMixer(t *testing.T) {
+	const rtol = 1e-10
+	n := 8
+	ts := problems.LABSTerms(n)
+	gamma := []float64{0.3, -0.2}
+	beta := []float64{0.4, 0.1}
+	alphas := []float64{1, 0.25, 0.05}
+
+	single, err := core.New(n, ts, core.Options{Backend: core.BackendSerial, Mixer: core.MixerXYRing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := single.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCVaR := make([]float64, len(alphas))
+	for i, a := range alphas {
+		if refCVaR[i], err = ref.CVaR(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ranks := range []int{1, 2, 4} {
+		res, err := SimulateQAOAOutputs(context.Background(), n, ts, gamma, beta,
+			Options{Ranks: ranks, Mixer: core.MixerXYRing}, OutputSpec{CVaRAlphas: alphas})
+		if err != nil {
+			t.Fatalf("K=%d: %v", ranks, err)
+		}
+		if d := rtolDiff(res.Overlap, ref.Overlap()); d > rtol {
+			t.Errorf("K=%d: overlap rtol %g", ranks, d)
+		}
+		if d := rtolDiff(res.MinCost, single.MinCost()); d > rtol {
+			t.Errorf("K=%d: min cost %v, want %v", ranks, res.MinCost, single.MinCost())
+		}
+		for i := range alphas {
+			if d := rtolDiff(res.CVaR[i], refCVaR[i]); d > rtol {
+				t.Errorf("K=%d: CVaR(%v) = %v, want %v (rtol %g)",
+					ranks, alphas[i], res.CVaR[i], refCVaR[i], d)
+			}
+		}
+	}
+}
+
+// TestDistributedOutputsFloat32 checks the float32 shard path two
+// ways. The rtol-1e-10 check is against a reference reconstructed from
+// the float32 state itself (all 2^n probabilities via ProbIndices, the
+// exact cost diagonal) — that isolates the output algorithms from the
+// single-precision dynamics error. A coarse band against the float64
+// values then bounds that dynamics error.
+func TestDistributedOutputsFloat32(t *testing.T) {
+	const rtol = 1e-10
+	n := 8
+	ts := problems.LABSTerms(n)
+	gamma := []float64{0.3, -0.2, 0.15}
+	beta := []float64{0.4, 0.1, -0.3}
+	alphas := []float64{1, 0.5, 0.1, 0.02}
+
+	single, err := core.New(n, ts, core.Options{Backend: core.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := single.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := single.CostDiagonal()
+
+	all := make([]uint64, 1<<uint(n))
+	for i := range all {
+		all[i] = uint64(i)
+	}
+	for _, ranks := range []int{1, 2, 4, 8} {
+		res, err := SimulateQAOAOutputs(context.Background(), n, ts, gamma, beta,
+			Options{Ranks: ranks, Precision: PrecisionFloat32},
+			OutputSpec{CVaRAlphas: alphas, ProbIndices: all})
+		if err != nil {
+			t.Fatalf("K=%d: %v", ranks, err)
+		}
+		// Reconstruct the exact outputs of THIS float32 state.
+		probs := res.Probs
+		type pe struct{ c, p float64 }
+		ents := make([]pe, 0, len(probs))
+		var mass float64
+		for x, p := range probs {
+			if p > 0 {
+				ents = append(ents, pe{diag[x], p})
+				mass += p
+			}
+		}
+		sort.Slice(ents, func(a, b int) bool { return ents[a].c < ents[b].c })
+		for i, alpha := range alphas {
+			remaining := alpha
+			var acc, last float64
+			for _, e := range ents {
+				last = e.c
+				if e.p >= remaining {
+					acc += remaining * e.c
+					remaining = 0
+					break
+				}
+				acc += e.p * e.c
+				remaining -= e.p
+			}
+			if remaining > 1e-12 {
+				acc += remaining * last
+			}
+			want := acc / alpha
+			if d := rtolDiff(res.CVaR[i], want); d > rtol {
+				t.Errorf("K=%d: CVaR(%v) = %v, reconstructed %v (rtol %g)",
+					ranks, alphas[i], res.CVaR[i], want, d)
+			}
+		}
+		var wantOverlap float64
+		for x, p := range probs {
+			if diag[x] <= res.MinCost+1e-9 {
+				wantOverlap += p
+			}
+		}
+		if d := rtolDiff(res.Overlap, wantOverlap); d > rtol {
+			t.Errorf("K=%d: overlap %v, reconstructed %v", ranks, res.Overlap, wantOverlap)
+		}
+		// Single-precision dynamics stays in a coarse band of float64.
+		if d := math.Abs(res.Expectation - ref.Expectation()); d > 2e-3 {
+			t.Errorf("K=%d: float32 expectation drifted %g from float64", ranks, d)
+		}
+		if d := math.Abs(res.Overlap - ref.Overlap()); d > 2e-3 {
+			t.Errorf("K=%d: float32 overlap drifted %g from float64", ranks, d)
+		}
+	}
+}
+
+// TestTwoStageSamplingChiSquared: the two-stage distributed draw and a
+// single-node alias draw over the full distribution must agree as
+// distributions. Two-sample χ² over ~10 probability-ranked bins of
+// roughly equal mass; the critical value is hardcoded for p = 0.01.
+func TestTwoStageSamplingChiSquared(t *testing.T) {
+	n := 8
+	ts := problems.LABSTerms(n)
+	gamma := []float64{0.3, -0.2}
+	beta := []float64{0.4, 0.1}
+	shots := 200000
+
+	single, err := core.New(n, ts, core.Options{Backend: core.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := single.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := ref.Probabilities(nil, true)
+	sampler, err := sampling.NewSampler(probs, 909)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bins: states ranked by single-node probability, grouped greedily
+	// into runs of ≈1/B total mass each.
+	const bins = 10
+	order := make([]int, len(probs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return probs[order[a]] > probs[order[b]] })
+	binOf := make([]int, len(probs))
+	b, acc := 0, 0.0
+	for _, x := range order {
+		binOf[x] = b
+		acc += probs[x]
+		if acc > float64(b+1)/bins && b < bins-1 {
+			b++
+		}
+	}
+
+	for _, ranks := range []int{2, 8} {
+		res, err := SimulateQAOAOutputs(context.Background(), n, ts, gamma, beta,
+			Options{Ranks: ranks}, OutputSpec{Shots: shots, Seed: 4242})
+		if err != nil {
+			t.Fatalf("K=%d: %v", ranks, err)
+		}
+		if len(res.Samples) != shots {
+			t.Fatalf("K=%d: %d samples, want %d", ranks, len(res.Samples), shots)
+		}
+		a := make([]float64, bins)
+		bb := make([]float64, bins)
+		for i := 0; i < shots; i++ {
+			a[binOf[res.Samples[i]]]++
+			bb[binOf[sampler.Sample()]]++
+		}
+		var chi2 float64
+		for i := 0; i < bins; i++ {
+			if a[i]+bb[i] == 0 {
+				continue
+			}
+			d := a[i] - bb[i]
+			chi2 += d * d / (a[i] + bb[i])
+		}
+		// χ²(df=9) critical value at p = 0.01.
+		if chi2 > 21.666 {
+			t.Errorf("K=%d: two-sample χ² = %v exceeds 21.666 (p < 0.01)", ranks, chi2)
+		}
+	}
+}
+
+// TestTwoStageSamplingDeterministic: a fixed seed reproduces the exact
+// shot sequence, and every shot is a valid index.
+func TestTwoStageSamplingDeterministic(t *testing.T) {
+	n := 6
+	ts := problems.LABSTerms(n)
+	gamma := []float64{0.3}
+	beta := []float64{0.4}
+	run := func() []uint64 {
+		res, err := SimulateQAOAOutputs(context.Background(), n, ts, gamma, beta,
+			Options{Ranks: 4}, OutputSpec{Shots: 500, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Samples
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shot %d: %d vs %d under the same seed", i, a[i], b[i])
+		}
+		if a[i]>>uint(n) != 0 {
+			t.Fatalf("shot %d: index %d out of range", i, a[i])
+		}
+	}
+}
+
+// TestEngineOutputsMatchStandalone: GradEngine.Outputs on a leased rank
+// group returns the same values as the standalone entry point, for all
+// three shard representations, and EvalOutputs round-trips through the
+// evaluator contract.
+func TestEngineOutputsMatchStandalone(t *testing.T) {
+	const rtol = 1e-10
+	n := 8
+	ts := problems.LABSTerms(n)
+	gamma := []float64{0.3, -0.2}
+	beta := []float64{0.4, 0.1}
+	alphas := []float64{1, 0.1}
+	spec := OutputSpec{CVaRAlphas: alphas, Shots: 64, Seed: 11, ProbIndices: []uint64{0, 255}}
+
+	for _, opts := range []Options{
+		{Ranks: 4},
+		{Ranks: 4, Quantize: true},
+		{Ranks: 4, Precision: PrecisionFloat32},
+	} {
+		ref, err := SimulateQAOAOutputs(context.Background(), n, ts, gamma, beta, opts, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewGradEngine(n, ts, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Outputs(context.Background(), gamma, beta, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Caps().Outputs {
+			t.Error("engine Caps().Outputs = false")
+		}
+		if d := rtolDiff(res.Expectation, ref.Expectation); d > rtol {
+			t.Errorf("%+v: expectation rtol %g", opts, d)
+		}
+		if d := rtolDiff(res.Overlap, ref.Overlap); d > rtol {
+			t.Errorf("%+v: overlap rtol %g", opts, d)
+		}
+		for i := range alphas {
+			if d := rtolDiff(res.CVaR[i], ref.CVaR[i]); d > rtol {
+				t.Errorf("%+v: CVaR(%v) rtol %g", opts, alphas[i], d)
+			}
+		}
+		for i := range spec.ProbIndices {
+			if d := rtolDiff(res.Probs[i], ref.Probs[i]); d > rtol {
+				t.Errorf("%+v: prob[%d] rtol %g", opts, i, d)
+			}
+		}
+		for i := range ref.Samples {
+			if res.Samples[i] != ref.Samples[i] {
+				t.Errorf("%+v: shot %d differs: %d vs %d", opts, i, res.Samples[i], ref.Samples[i])
+				break
+			}
+		}
+		// EvalOutputs through the flat-vector contract.
+		x := append(append([]float64{}, gamma...), beta...)
+		outs, err := e.EvalOutputs(context.Background(), x, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := rtolDiff(outs.Energy, ref.Expectation); d > rtol {
+			t.Errorf("%+v: EvalOutputs energy rtol %g", opts, d)
+		}
+		if len(outs.Samples) != spec.Shots || len(outs.CVaR) != len(alphas) {
+			t.Errorf("%+v: EvalOutputs lengths %d/%d", opts, len(outs.Samples), len(outs.CVaR))
+		}
+	}
+}
+
+// TestEngineOutputsConcurrent exercises concurrent Outputs calls on one
+// engine (run under -race in CI) interleaved with Energy calls.
+func TestEngineOutputsConcurrent(t *testing.T) {
+	n := 7
+	ts := problems.LABSTerms(n)
+	e, err := NewGradEngine(n, ts, Options{Ranks: 2, Concurrency: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := []float64{0.3}
+	beta := []float64{0.4}
+	spec := OutputSpec{CVaRAlphas: []float64{0.5}, Shots: 100, Seed: 3}
+	want, err := e.Outputs(context.Background(), gamma, beta, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, 0.4}
+	wantE, err := e.Energy(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				res, err := e.Outputs(context.Background(), gamma, beta, spec)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.CVaR[0] != want.CVaR[0] || res.Overlap != want.Overlap {
+					t.Errorf("concurrent Outputs diverged")
+				}
+			} else {
+				got, err := e.Energy(context.Background(), x)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Abs(got-wantE) > 1e-12 {
+					t.Errorf("concurrent Energy diverged")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestOutputsValidation: Gather is rejected, bad specs name the field,
+// and the zero spec still serves the always-present outputs.
+func TestOutputsValidation(t *testing.T) {
+	n := 6
+	ts := problems.LABSTerms(n)
+	if _, err := SimulateQAOAOutputs(context.Background(), n, ts, []float64{0.1}, []float64{0.2},
+		Options{Ranks: 2, Gather: true}, OutputSpec{}); err == nil {
+		t.Error("Gather=true accepted by SimulateQAOAOutputs")
+	}
+	if _, err := SimulateQAOAOutputs(context.Background(), n, ts, []float64{0.1}, []float64{0.2},
+		Options{Ranks: 2}, OutputSpec{CVaRAlphas: []float64{0}}); err == nil {
+		t.Error("CVaR level 0 accepted")
+	}
+	if _, err := SimulateQAOAOutputs(context.Background(), n, ts, []float64{0.1}, []float64{0.2},
+		Options{Ranks: 2}, OutputSpec{ProbIndices: []uint64{1 << uint(n)}}); err == nil {
+		t.Error("out-of-range probability index accepted")
+	}
+	if err := (evaluator.OutputSpec{Shots: -1}).Validate(n); err == nil {
+		t.Error("negative Shots accepted")
+	}
+	res, err := SimulateQAOAOutputs(context.Background(), n, ts, []float64{0.1}, []float64{0.2},
+		Options{Ranks: 2}, OutputSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != nil || res.CVaR != nil || res.Probs != nil {
+		t.Error("zero spec filled optional outputs")
+	}
+	if res.MaxProb <= 0 {
+		t.Error("zero spec skipped always-present outputs")
+	}
+}

@@ -38,6 +38,9 @@ type Caps struct {
 	// StateBytes is the state-buffer memory one in-flight evaluation
 	// pins, summed over ranks — the dominant cost-model term.
 	StateBytes int64
+	// Outputs reports whether the evaluator also implements
+	// OutputEvaluator (sampling, CVaR, overlap, probability queries).
+	Outputs bool
 }
 
 // Evaluator is the unified evaluation contract. x is the flat

@@ -1,0 +1,82 @@
+package evaluator
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// OutputSpec selects the measurement-style outputs of one evaluation —
+// the quantities a hardware QAOA run would produce from shots rather
+// than from the exact state. Every engine computes them gather-free:
+// the distributed implementations never materialize a node-scale
+// buffer, which is what lets the §V-B memory-reduced shards (float32,
+// quantized) serve as full solver backends.
+//
+// The zero value requests nothing beyond the always-present outputs
+// (energy, ground-state overlap, minimum cost, most probable state).
+type OutputSpec struct {
+	// CVaRAlphas requests the Conditional Value at Risk objective at
+	// each level α ∈ (0, 1]; Outputs.CVaR holds one entry per level.
+	CVaRAlphas []float64
+	// Shots requests that many sampled basis-state indices
+	// (Outputs.Samples), drawn from |ψ|² with the engine's sampler.
+	Shots int
+	// Seed seeds the sampling streams; a fixed seed reproduces the
+	// exact shot sequence for a given engine configuration.
+	Seed int64
+	// ProbIndices requests |ψ_x|² at each listed global basis index
+	// (Outputs.Probs holds one entry per index).
+	ProbIndices []uint64
+}
+
+// Validate checks the spec against the problem size. Every violation
+// names the offending field.
+func (s OutputSpec) Validate(n int) error {
+	for i, a := range s.CVaRAlphas {
+		if math.IsNaN(a) || a <= 0 || a > 1 {
+			return fmt.Errorf("evaluator: OutputSpec.CVaRAlphas[%d]=%v outside (0,1]", i, a)
+		}
+	}
+	if s.Shots < 0 {
+		return fmt.Errorf("evaluator: OutputSpec.Shots=%d must be ≥ 0", s.Shots)
+	}
+	for i, x := range s.ProbIndices {
+		if x>>uint(n) != 0 {
+			return fmt.Errorf("evaluator: OutputSpec.ProbIndices[%d]=%d outside the %d-qubit index range", i, x, n)
+		}
+	}
+	return nil
+}
+
+// Outputs carries one evaluation's measurement-style outputs.
+type Outputs struct {
+	// Energy is ⟨ψ|Ĉ|ψ⟩, the same value Energy(x) returns.
+	Energy float64
+	// Overlap is the ground-state probability Σ_{x∈argmin} |ψ_x|².
+	Overlap float64
+	// MinCost is the minimum of the cost diagonal (over the feasible
+	// subspace for xy mixers).
+	MinCost float64
+	// CVaR holds CVaR(α) per OutputSpec.CVaRAlphas entry.
+	CVaR []float64
+	// Samples holds OutputSpec.Shots sampled global basis indices.
+	Samples []uint64
+	// Probs holds |ψ_x|² per OutputSpec.ProbIndices entry.
+	Probs []float64
+	// MaxProbIndex and MaxProb identify the single most probable basis
+	// state (ties resolve to the lowest index).
+	MaxProbIndex uint64
+	MaxProb      float64
+}
+
+// OutputEvaluator is the optional extension implemented by engines
+// that serve measurement-style outputs (sampling, CVaR, overlap,
+// probability queries) in addition to energies and gradients. Caps
+// with Outputs=true advertises it.
+type OutputEvaluator interface {
+	Evaluator
+	// EvalOutputs evolves the state at x once and returns the outputs
+	// the spec selects.
+	EvalOutputs(ctx context.Context, x []float64, spec OutputSpec) (*Outputs, error)
+}

@@ -149,6 +149,16 @@ func (e *Engine) Caps() evaluator.Caps {
 	return c
 }
 
+// EvalOutputs serves the measurement-style output contract
+// (evaluator.OutputEvaluator) by delegating to the underlying
+// simulator; the call owns its buffers, so it is safe alongside
+// pooled gradient evaluations.
+func (e *Engine) EvalOutputs(ctx context.Context, x []float64, spec evaluator.OutputSpec) (*evaluator.Outputs, error) {
+	return e.sim.EvalOutputs(ctx, x, spec)
+}
+
+var _ evaluator.OutputEvaluator = (*Engine)(nil)
+
 // FlatObjective adapts the engine into a value-and-gradient objective
 // over the flat parameter vector [γ₀…γ_{p−1}, β₀…β_{p−1}] — the form
 // internal/optimize's gradient optimizers consume. The returned

@@ -18,6 +18,12 @@ import (
 )
 
 // Sampler draws indices from a fixed discrete distribution.
+//
+// A Sampler is NOT safe for concurrent use: every draw mutates the
+// shared rand.Rand. Concurrent consumers (the serve pool's workers, a
+// sharded sampling stage) must each hold their own sampler — Split
+// derives one per goroutine in O(1), sharing the alias tables
+// read-only.
 type Sampler struct {
 	prob  []float64 // alias-method acceptance probabilities
 	alias []int
@@ -86,6 +92,16 @@ func NewSampler(probs []float64, seed int64) (*Sampler, error) {
 	return s, nil
 }
 
+// Split returns a new sampler over the same distribution with an
+// independent RNG stream seeded by seed. The alias tables are shared
+// read-only — O(1), no rebuild — so a pool can hand each worker
+// goroutine its own stream while paying the O(2^n) construction once.
+// Draws from the parent and a split sampler are independent streams;
+// neither is safe to share across goroutines.
+func (s *Sampler) Split(seed int64) *Sampler {
+	return &Sampler{prob: s.prob, alias: s.alias, rng: rand.New(rand.NewSource(seed))}
+}
+
 // Sample draws one index.
 func (s *Sampler) Sample() uint64 {
 	i := s.rng.Intn(len(s.prob))
@@ -115,21 +131,26 @@ func Counts(samples []uint64) map[uint64]int {
 
 // EstimateExpectation returns the sample mean and standard error of
 // cost over the samples — the finite-shot estimate of ⟨ψ|Ĉ|ψ⟩ a
-// hardware run would produce.
+// hardware run would produce. The variance is accumulated with
+// Welford's online update: the textbook sumSq − sum²/n form cancels
+// catastrophically when |mean| ≫ stddev (a large constant cost offset
+// would turn the standard error into noise, or a negative number),
+// while Welford's recurrence subtracts the running mean before
+// squaring and stays accurate at any offset.
 func EstimateExpectation(samples []uint64, cost func(uint64) float64) (mean, stderr float64) {
 	n := len(samples)
 	if n == 0 {
 		return 0, 0
 	}
-	var sum, sumSq float64
-	for _, x := range samples {
+	var m2 float64
+	for i, x := range samples {
 		c := cost(x)
-		sum += c
-		sumSq += c * c
+		d := c - mean
+		mean += d / float64(i+1)
+		m2 += d * (c - mean)
 	}
-	mean = sum / float64(n)
 	if n > 1 {
-		variance := (sumSq - sum*sum/float64(n)) / float64(n-1)
+		variance := m2 / float64(n-1)
 		if variance > 0 {
 			stderr = math.Sqrt(variance / float64(n))
 		}
@@ -159,16 +180,26 @@ func Best(samples []uint64, cost func(uint64) float64) (argmin uint64, min float
 //
 // This is the shots side of the time-to-solution metric in the LABS
 // scaling analysis (Ref. [6]) and the sampling-frequency-threshold
-// question of Ref. [5]. Overlap 0 returns +Inf; overlap 1 returns 1.
-func SamplesToSolution(overlap, confidence float64) float64 {
+// question of Ref. [5].
+//
+// Domain semantics: overlap ≤ 0 returns +Inf (the optimum is never
+// sampled), overlap ≥ 1 returns 1 (every shot is optimal) — both
+// without error, since they are legitimate limits that overlap
+// estimates reach through rounding. A NaN overlap and a confidence
+// outside (0, 1) are caller bugs and return an error; nothing is
+// silently rewritten.
+func SamplesToSolution(overlap, confidence float64) (float64, error) {
+	if math.IsNaN(overlap) {
+		return 0, fmt.Errorf("sampling: SamplesToSolution overlap is NaN")
+	}
+	if math.IsNaN(confidence) || confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("sampling: SamplesToSolution confidence %v outside (0, 1)", confidence)
+	}
 	if overlap <= 0 {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
 	if overlap >= 1 {
-		return 1
+		return 1, nil
 	}
-	if confidence <= 0 || confidence >= 1 {
-		confidence = 0.99
-	}
-	return math.Log(1-confidence) / math.Log(1-overlap)
+	return math.Log(1-confidence) / math.Log(1-overlap), nil
 }

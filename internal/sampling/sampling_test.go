@@ -2,6 +2,7 @@ package sampling
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -114,22 +115,113 @@ func TestBest(t *testing.T) {
 
 func TestSamplesToSolution(t *testing.T) {
 	// p = 0.5, confidence 0.99: N = ln(0.01)/ln(0.5) ≈ 6.64.
-	if got := SamplesToSolution(0.5, 0.99); math.Abs(got-math.Log(0.01)/math.Log(0.5)) > 1e-12 {
+	got, err := SamplesToSolution(0.5, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Log(0.01)/math.Log(0.5)) > 1e-12 {
 		t.Errorf("N = %v", got)
 	}
-	if !math.IsInf(SamplesToSolution(0, 0.99), 1) {
-		t.Error("overlap 0 must need infinite samples")
+	if v, err := SamplesToSolution(0, 0.99); err != nil || !math.IsInf(v, 1) {
+		t.Errorf("overlap 0 must need infinite samples (got %v, %v)", v, err)
 	}
-	if SamplesToSolution(1, 0.99) != 1 {
-		t.Error("overlap 1 must need one sample")
-	}
-	// Invalid confidence falls back to 0.99.
-	if a, b := SamplesToSolution(0.3, -1), SamplesToSolution(0.3, 0.99); a != b {
-		t.Error("confidence fallback broken")
+	if v, err := SamplesToSolution(1, 0.99); err != nil || v != 1 {
+		t.Errorf("overlap 1 must need one sample (got %v, %v)", v, err)
 	}
 	// Monotone: higher overlap, fewer samples.
-	if SamplesToSolution(0.2, 0.9) <= SamplesToSolution(0.4, 0.9) {
+	lo, err1 := SamplesToSolution(0.2, 0.9)
+	hi, err2 := SamplesToSolution(0.4, 0.9)
+	if err1 != nil || err2 != nil || lo <= hi {
 		t.Error("SamplesToSolution not decreasing in overlap")
+	}
+}
+
+func TestSamplesToSolutionRejectsBadInputs(t *testing.T) {
+	// NaN overlap must not slip through the ≤0 / ≥1 guards.
+	if _, err := SamplesToSolution(math.NaN(), 0.99); err == nil {
+		t.Error("NaN overlap accepted")
+	}
+	// Out-of-range confidence errors instead of defaulting to 0.99.
+	for _, conf := range []float64{-1, 0, 1, 2, math.NaN()} {
+		if _, err := SamplesToSolution(0.3, conf); err == nil {
+			t.Errorf("confidence %v accepted", conf)
+		}
+	}
+}
+
+func TestEstimateExpectationLargeOffset(t *testing.T) {
+	// Regression: with a 1e8 constant offset the old sumSq − sum²/n
+	// form lost all significant digits of the variance (stderr came
+	// back 0 or garbage); Welford's update keeps the offset-free value.
+	const offset = 1e8
+	samples := make([]uint64, 0, 10000)
+	for i := 0; i < 5000; i++ {
+		samples = append(samples, 0, 1)
+	}
+	base := func(x uint64) float64 { return float64(x) * 10 }
+	shifted := func(x uint64) float64 { return base(x) + offset }
+	meanB, stderrB := EstimateExpectation(samples, base)
+	meanS, stderrS := EstimateExpectation(samples, shifted)
+	if math.Abs(meanS-offset-meanB) > 1e-6 {
+		t.Errorf("shifted mean %v, want %v", meanS, meanB+offset)
+	}
+	if stderrB <= 0 {
+		t.Fatalf("base stderr = %v, want > 0", stderrB)
+	}
+	if math.Abs(stderrS-stderrB)/stderrB > 1e-6 {
+		t.Errorf("stderr not offset-invariant: %v vs %v", stderrS, stderrB)
+	}
+}
+
+// The concurrency contract under -race: one Sampler per goroutine via
+// Split (shared read-only alias tables, private RNG streams) is safe,
+// and every stream still draws the parent's distribution.
+func TestSplitPerGoroutineSamplers(t *testing.T) {
+	probs := []float64{0.1, 0.2, 0.3, 0.4}
+	parent, err := NewSampler(probs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const shotsEach = 25000
+	counts := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := parent.Split(int64(100 + w))
+			c := make([]int, len(probs))
+			for i := 0; i < shotsEach; i++ {
+				c[s.Sample()]++
+			}
+			counts[w] = c
+		}(w)
+	}
+	// The parent keeps its own stream while the splits draw.
+	for i := 0; i < shotsEach; i++ {
+		_ = parent.Sample()
+	}
+	wg.Wait()
+	total := make([]int, len(probs))
+	for _, c := range counts {
+		for i, v := range c {
+			total[i] += v
+		}
+	}
+	for i, want := range probs {
+		got := float64(total[i]) / float64(workers*shotsEach)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d: merged frequency %.4f, want %.2f", i, got, want)
+		}
+	}
+	// Two different split seeds give different streams; the same seed
+	// reproduces the same stream.
+	a, b := parent.Split(1), parent.Split(1)
+	for i := 0; i < 50; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatal("same split seed diverged")
+		}
 	}
 }
 

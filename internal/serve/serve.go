@@ -4,9 +4,11 @@
 // asked for — the piece that turns the engines (single-node sweep and
 // adjoint, sharded cluster) into one schedulable resource:
 //
-//   - requests are point energies, point gradients, or batches of
-//     either; a batch fans out as per-point tasks, so its points fill
-//     every idle worker instead of serializing behind one;
+//   - requests are point energies, point gradients, measurement-style
+//     outputs (sampling, CVaR, overlap — when every evaluator in the
+//     pool serves them), or batches of energies/gradients; a batch
+//     fans out as per-point tasks, so its points fill every idle
+//     worker instead of serializing behind one;
 //   - workers are evaluator-affine: each worker is bound to one
 //     evaluator for its lifetime, so the evaluator's pooled buffers
 //     stay warm per worker and a steady request stream performs no
@@ -74,6 +76,12 @@ type task struct {
 	x    []float64
 	g    []float64
 
+	// Output request: non-nil spec routes the task through
+	// EvalOutputs instead of Energy/EnergyGrad; the worker writes the
+	// result into outs.
+	spec *evaluator.OutputSpec
+	outs *evaluator.Outputs
+
 	// Single-request completion: the worker writes energy/err and
 	// signals done (capacity 1, reused across uses via the pool).
 	energy float64
@@ -137,6 +145,7 @@ func New(evals []evaluator.Evaluator, opts Options) (*Service, error) {
 				i, c.NumQubits, s.caps.NumQubits)
 		}
 		s.caps.Grad = s.caps.Grad && c.Grad
+		s.caps.Outputs = s.caps.Outputs && c.Outputs
 		if c.Ranks > s.caps.Ranks {
 			s.caps.Ranks = c.Ranks
 		}
@@ -180,6 +189,10 @@ func (s *Service) Workers() int { return s.workers }
 // service).
 var _ evaluator.Evaluator = (*Service)(nil)
 
+// It is also an output evaluator when its pool is (Caps().Outputs);
+// requests against a pool that is not fail without queueing.
+var _ evaluator.OutputEvaluator = (*Service)(nil)
+
 // Energy evaluates one point through the pool.
 func (s *Service) Energy(ctx context.Context, x []float64) (float64, error) {
 	return s.submit(ctx, x, nil, false)
@@ -197,6 +210,31 @@ func (s *Service) EnergyGrad(ctx context.Context, x, grad []float64) (float64, e
 	return s.submit(ctx, x, grad, true)
 }
 
+// EvalOutputs evaluates one point's measurement-style outputs
+// (sampling, CVaR, overlap, probability queries) through the pool —
+// the same FIFO queue and worker leases as energy requests
+// (evaluator.OutputEvaluator).
+func (s *Service) EvalOutputs(ctx context.Context, x []float64, spec evaluator.OutputSpec) (*evaluator.Outputs, error) {
+	if _, _, err := evaluator.SplitFlat(x); err != nil {
+		return nil, err
+	}
+	if !s.caps.Outputs {
+		return nil, fmt.Errorf("serve: pool has an evaluator without output support; EvalOutputs unavailable")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t := s.taskPool.Get().(*task)
+	t.ctx, t.x, t.spec, t.tr = ctx, x, &spec, nil
+	if err := s.await(ctx, t); err != nil {
+		s.putTask(t)
+		return nil, err
+	}
+	outs, err := t.outs, t.err
+	s.putTask(t)
+	return outs, err
+}
+
 func (s *Service) submit(ctx context.Context, x, g []float64, grad bool) (float64, error) {
 	if _, _, err := evaluator.SplitFlat(x); err != nil {
 		return 0, err
@@ -206,9 +244,21 @@ func (s *Service) submit(ctx context.Context, x, g []float64, grad bool) (float6
 	}
 	t := s.taskPool.Get().(*task)
 	t.ctx, t.x, t.g, t.grad, t.tr = ctx, x, g, grad, nil
-	if err := s.push(t); err != nil {
+	if err := s.await(ctx, t); err != nil {
 		s.putTask(t)
 		return 0, err
+	}
+	e, err := t.energy, t.err
+	s.putTask(t)
+	return e, err
+}
+
+// await pushes a single-request task and blocks until a worker settles
+// it. A non-nil return means the task never reached a worker (push
+// rejection or withdrawal before claim) and carries no result.
+func (s *Service) await(ctx context.Context, t *task) error {
+	if err := s.push(t); err != nil {
+		return err
 	}
 	if ctx.Done() != nil {
 		select {
@@ -216,8 +266,7 @@ func (s *Service) submit(ctx context.Context, x, g []float64, grad bool) (float6
 		case <-ctx.Done():
 			if s.tryRemove(t) {
 				// Withdrawn before any worker touched it.
-				s.putTask(t)
-				return 0, ctx.Err()
+				return ctx.Err()
 			}
 			// A worker holds it; the evaluator observes the same ctx
 			// and finishes promptly.
@@ -226,9 +275,7 @@ func (s *Service) submit(ctx context.Context, x, g []float64, grad bool) (float6
 	} else {
 		<-t.done
 	}
-	e, err := t.energy, t.err
-	s.putTask(t)
-	return e, err
+	return nil
 }
 
 // EnergyBatch evaluates every flat parameter vector in xs and returns
@@ -426,9 +473,19 @@ func (s *Service) worker(ev evaluator.Evaluator) {
 			err = t.tr.failedErr()
 		}
 		if err == nil {
-			if t.grad {
+			switch {
+			case t.spec != nil:
+				// Caps().Outputs aggregation guarantees the assertion
+				// holds for every evaluator in a pool that accepted the
+				// request; the guard keeps a mixed pool fail-safe.
+				if oe, ok := ev.(evaluator.OutputEvaluator); ok {
+					t.outs, err = oe.EvalOutputs(t.ctx, t.x, *t.spec)
+				} else {
+					err = fmt.Errorf("serve: evaluator does not implement OutputEvaluator")
+				}
+			case t.grad:
 				e, err = ev.EnergyGrad(t.ctx, t.x, t.g)
-			} else {
+			default:
 				e, err = ev.Energy(t.ctx, t.x)
 			}
 		}
@@ -456,6 +513,6 @@ func (s *Service) finish(t *task, e float64, err error) {
 
 // putTask clears a task's references and recycles it.
 func (s *Service) putTask(t *task) {
-	t.ctx, t.x, t.g, t.tr = nil, nil, nil, nil
+	t.ctx, t.x, t.g, t.tr, t.spec, t.outs = nil, nil, nil, nil, nil, nil
 	s.taskPool.Put(t)
 }

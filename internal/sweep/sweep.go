@@ -281,6 +281,16 @@ func (e *Engine) Caps() evaluator.Caps {
 	return c
 }
 
+// EvalOutputs serves the measurement-style output contract
+// (evaluator.OutputEvaluator) by delegating to the underlying
+// simulator; every call owns its buffers, so concurrent calls are
+// safe alongside in-flight sweeps.
+func (e *Engine) EvalOutputs(ctx context.Context, x []float64, spec evaluator.OutputSpec) (*evaluator.Outputs, error) {
+	return e.sim.EvalOutputs(ctx, x, spec)
+}
+
+var _ evaluator.OutputEvaluator = (*Engine)(nil)
+
 // Grid builds the p = 1 cartesian product of γ and β values in
 // row-major order (β varies fastest): the landscape scans of the
 // paper's Figs. 3–4. Index a point as points[i*len(betas)+j] for

@@ -36,6 +36,24 @@ type Evaluator = evaluator.Evaluator
 // evaluation cost.
 type EvaluatorCaps = evaluator.Caps
 
+// OutputSpec selects the measurement-style outputs of one evaluation:
+// CVaR levels, sampled shots (with a reproducible seed), and
+// per-index probability queries. The zero value requests only the
+// always-present outputs (energy, overlap, minimum cost, most
+// probable state).
+type OutputSpec = evaluator.OutputSpec
+
+// EvalOutputs carries one evaluation's measurement-style outputs.
+type EvalOutputs = evaluator.Outputs
+
+// OutputEvaluator is the optional evaluator extension serving
+// measurement-style outputs. All engines in this package implement it
+// — including the distributed ones, which compute every output
+// gather-free on the shards — and Service forwards EvalOutputs
+// requests through its queue when every pool member supports them
+// (EvaluatorCaps.Outputs).
+type OutputEvaluator = evaluator.OutputEvaluator
+
 // Service is the concurrent evaluation service: a FIFO request queue
 // feeding a pool of evaluators. Safe for concurrent use; implements
 // Evaluator itself, so services compose.
