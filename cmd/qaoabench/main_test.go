@@ -47,7 +47,7 @@ func TestRunnersSmoke(t *testing.T) {
 			[]string{"float32 shards", "half the", "modeled-net"}},
 		{"distgrad-quantized", runDistGrad, []string{"-n", "8", "-p", "2", "-kmax", "4", "-reps", "1", "-quantize"},
 			[]string{"uint16-quantized diagonal", "modeled-net"}},
-		{"suite", runSuite, []string{"-n", "8", "-p", "2", "-points", "8", "-reps", "1"},
+		{"suite", runSuite, []string{"-n", "8", "-p", "2", "-points", "8", "-reps", "1", "-kerneln", "10"},
 			[]string{"forward", "distributed_grad", "BENCH_qaoa.json"}},
 	}
 	for _, tc := range cases {
@@ -71,7 +71,7 @@ func TestRunnersSmoke(t *testing.T) {
 // BENCH_qaoa.json.
 func TestSuiteJSONRoundTrips(t *testing.T) {
 	var out strings.Builder
-	if err := runSuite(&out, []string{"-n", "8", "-p", "2", "-points", "4", "-reps", "1", "-json"}); err != nil {
+	if err := runSuite(&out, []string{"-n", "8", "-p", "2", "-points", "4", "-reps", "1", "-kerneln", "10", "-json"}); err != nil {
 		t.Fatal(err)
 	}
 	var report suiteReport
@@ -81,7 +81,9 @@ func TestSuiteJSONRoundTrips(t *testing.T) {
 	if report.Schema != "qaoabench/suite/v1" {
 		t.Errorf("schema = %q", report.Schema)
 	}
-	want := []string{"forward", "grad", "sweep", "distributed_forward", "distributed_grad",
+	want := []string{"forward", "grad", "sweep",
+		"unfused_layer", "fused_layer", "fwht_mixer",
+		"distributed_forward", "distributed_grad",
 		"distributed_forward_float32", "distributed_grad_float32", "distributed_grad_quantized",
 		"distributed_cvar", "distributed_sample"}
 	if len(report.Benchmarks) != len(want) {
@@ -134,7 +136,7 @@ func TestSuiteJSONRoundTrips(t *testing.T) {
 
 	// -out must write the same report shape to disk.
 	path := filepath.Join(t.TempDir(), "BENCH_qaoa.json")
-	if err := runSuite(io.Discard, []string{"-n", "8", "-p", "2", "-points", "4", "-reps", "1", "-out", path}); err != nil {
+	if err := runSuite(io.Discard, []string{"-n", "8", "-p", "2", "-points", "4", "-reps", "1", "-kerneln", "10", "-out", path}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -170,7 +172,7 @@ func TestLandscapeRejectsDegenerateSizes(t *testing.T) {
 func TestSuiteBaselineGate(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "BENCH_qaoa.json")
-	args := []string{"-n", "8", "-p", "2", "-ranks", "2", "-points", "4", "-reps", "1"}
+	args := []string{"-n", "8", "-p", "2", "-ranks", "2", "-points", "4", "-reps", "1", "-kerneln", "10"}
 	if err := runSuite(io.Discard, append([]string{"-out", base}, args...)); err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +216,7 @@ func TestSuiteBaselineGate(t *testing.T) {
 	}
 
 	// Config mismatch (different n) must refuse to compare.
-	err = runSuite(io.Discard, []string{"-n", "6", "-p", "2", "-ranks", "2", "-points", "4", "-reps", "1", "-baseline", base})
+	err = runSuite(io.Discard, []string{"-n", "6", "-p", "2", "-ranks", "2", "-points", "4", "-reps", "1", "-kerneln", "10", "-baseline", base})
 	if err == nil || !strings.Contains(err.Error(), "config mismatch") {
 		t.Errorf("config mismatch not detected: %v", err)
 	}
@@ -241,7 +243,7 @@ func TestSuiteBaselineGate(t *testing.T) {
 func TestSuiteBaselineForwardCompat(t *testing.T) {
 	dir := t.TempDir()
 	full := filepath.Join(dir, "full.json")
-	args := []string{"-n", "8", "-p", "2", "-ranks", "2", "-points", "4", "-reps", "1"}
+	args := []string{"-n", "8", "-p", "2", "-ranks", "2", "-points", "4", "-reps", "1", "-kerneln", "10"}
 	if err := runSuite(io.Discard, append([]string{"-out", full}, args...)); err != nil {
 		t.Fatal(err)
 	}

@@ -43,6 +43,11 @@ type suiteConfig struct {
 	Ranks  int `json:"ranks"`
 	Points int `json:"sweep_points"`
 	Reps   int `json:"reps"`
+	// KernelN is the qubit count of the kernel-speed rows
+	// (unfused_layer, fused_layer, fwht_mixer) — larger than N so the
+	// state outgrows cache and the rows measure memory traffic, the
+	// regime the fused and FWHT kernels target.
+	KernelN int `json:"kernel_n"`
 }
 
 type suiteBenchmark struct {
@@ -53,6 +58,10 @@ type suiteBenchmark struct {
 	Ranks int `json:"ranks,omitempty"`
 	// Points is set only for the batched sweep.
 	Points int `json:"points,omitempty"`
+	// Workers is the kernel-pool size behind the single-node rows —
+	// the thread count the timing actually ran at, which the global
+	// gomaxprocs field does not pin down per row.
+	Workers int `json:"workers,omitempty"`
 	// SecondsPerOp is the median wall time of one operation (one
 	// simulation, one gradient, one full batch, …).
 	SecondsPerOp float64 `json:"seconds_per_op"`
@@ -74,6 +83,7 @@ func runSuite(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("suite", flag.ContinueOnError)
 	n := fs.Int("n", 14, "qubit count (fixed across workloads)")
 	p := fs.Int("p", 6, "QAOA depth")
+	kernelN := fs.Int("kerneln", 20, "qubit count for the kernel-speed rows")
 	ranks := fs.Int("ranks", 4, "rank count for the distributed workloads")
 	points := fs.Int("points", 64, "batch size for the sweep workload")
 	reps := fs.Int("reps", 3, "timing repetitions (median)")
@@ -91,7 +101,7 @@ func runSuite(w io.Writer, args []string) error {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Config:     suiteConfig{N: *n, P: *p, Ranks: *ranks, Points: *points, Reps: *reps},
+		Config:     suiteConfig{N: *n, P: *p, Ranks: *ranks, Points: *points, Reps: *reps, KernelN: *kernelN},
 	}
 	terms := problems.LABSTerms(*n)
 	gamma, beta := optimize.TQAInit(*p, 0.75)
@@ -112,7 +122,7 @@ func runSuite(w io.Writer, args []string) error {
 		}
 	})
 	report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
-		Name: "forward", N: *n, P: *p, SecondsPerOp: tFwd.Seconds(),
+		Name: "forward", N: *n, P: *p, Workers: sim.Workers(), SecondsPerOp: tFwd.Seconds(),
 	})
 
 	// Gradient: one exact 2p-component adjoint gradient through a
@@ -134,7 +144,7 @@ func runSuite(w io.Writer, args []string) error {
 		}
 	})
 	report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
-		Name: "grad", N: *n, P: *p,
+		Name: "grad", N: *n, P: *p, Workers: sim.Workers(),
 		SecondsPerOp:   tGrad.Seconds(),
 		SecondsPerUnit: tGrad.Seconds() / float64(2**p),
 	})
@@ -163,10 +173,50 @@ func runSuite(w io.Writer, args []string) error {
 		}
 	})
 	report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
-		Name: "sweep", N: *n, P: *p, Points: *points,
+		Name: "sweep", N: *n, P: *p, Points: *points, Workers: ssvc.Workers(),
 		SecondsPerOp:   tSweep.Seconds(),
 		SecondsPerUnit: tSweep.Seconds() / float64(*points),
 	})
+
+	// Kernel speed: one p-layer evolution at the larger kernelN over
+	// the default (SoA) backend — the separate phase + per-qubit sweep
+	// the repository started from, the fused single-pass layer (phase
+	// folded into the first pass of the F = 2 pair-fused sweep), and
+	// the cache-blocked FWHT mixer route. The sweep rows pin
+	// RouteSweep so no auto-calibration runs inside a timing window. A
+	// synthetic diagonal keeps setup cheap at the larger size; the
+	// evolution cost does not depend on the diagonal's values.
+	kdiag := make([]float64, 1<<uint(*kernelN))
+	for i := range kdiag {
+		kdiag[i] = float64((i*2654435761)%31) - 15
+	}
+	for _, kv := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"unfused_layer", core.Options{SeparatePhase: true, MixerRoute: core.RouteSweep}},
+		{"fused_layer", core.Options{FusedMixer: true, MixerRoute: core.RouteSweep}},
+		{"fwht_mixer", core.Options{MixerRoute: core.RouteFWHT}},
+	} {
+		ksim, err := core.NewFromDiagonal(*kernelN, kdiag, kv.opts)
+		if err != nil {
+			return err
+		}
+		kres := ksim.NewResult()
+		if err := ksim.SimulateQAOAInto(kres, gamma, beta); err != nil {
+			return err
+		}
+		tK, _ := benchutil.TimeRepeat(*reps, func() {
+			if err := ksim.SimulateQAOAInto(kres, gamma, beta); err != nil {
+				panic(err)
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
+			Name: kv.name, N: *kernelN, P: *p, Workers: ksim.Workers(),
+			SecondsPerOp:   tK.Seconds(),
+			SecondsPerUnit: tK.Seconds() / float64(*p),
+		})
+	}
 
 	// Distributed forward: full sharded pipeline. Each precision
 	// variant's forward and grad workloads share one Options value, so
@@ -333,11 +383,15 @@ func runSuite(w io.Writer, args []string) error {
 		}
 		return nil
 	}
-	tab := benchutil.NewTable("benchmark", "n", "p", "K", "time/op", "bytes/rank", "modeled-net")
+	tab := benchutil.NewTable("benchmark", "n", "p", "K", "W", "time/op", "bytes/rank", "modeled-net")
 	for _, b := range report.Benchmarks {
 		k := ""
 		if b.Ranks > 0 {
 			k = fmt.Sprint(b.Ranks)
+		}
+		workers := ""
+		if b.Workers > 0 {
+			workers = fmt.Sprint(b.Workers)
 		}
 		net := ""
 		if b.ModeledNetSeconds > 0 {
@@ -347,7 +401,7 @@ func runSuite(w io.Writer, args []string) error {
 		if b.BytesPerRank > 0 {
 			bytes = fmt.Sprint(b.BytesPerRank)
 		}
-		tab.Add(b.Name, fmt.Sprint(b.N), fmt.Sprint(b.P), k, fmt.Sprintf("%.3g", b.SecondsPerOp), bytes, net)
+		tab.Add(b.Name, fmt.Sprint(b.N), fmt.Sprint(b.P), k, workers, fmt.Sprintf("%.3g", b.SecondsPerOp), bytes, net)
 	}
 	fmt.Fprintf(w, "Benchmark suite, LABS n=%d p=%d (median of %d)\n", *n, *p, *reps)
 	tab.Fprint(w)

@@ -141,8 +141,23 @@ type Options struct {
 	// §VI's "gate fusion with F = 2" applied to the mixer, halving
 	// passes over the state. Combined with the SoA backend this is the
 	// fastest single-node engine and recovers the paper's ≈2×
-	// vendor-kernel gap. Ignored by the xy mixers.
+	// vendor-kernel gap. Ignored by the xy mixers and by the FWHT
+	// mixer route (which has no per-qubit sweeps to fuse).
 	FusedMixer bool
+	// MixerRoute selects the execution route for the transverse-field
+	// mixer: the per-qubit sweep, the cache-blocked Walsh–Hadamard
+	// route (forward FWHT · popcount diagonal · inverse FWHT), or — the
+	// zero value — automatic per-shape calibration (sweeps outright
+	// below the calibration threshold of n = 18). RouteFWHT is rejected
+	// at construction for the xy mixers, which have no FWHT form.
+	MixerRoute MixerRoute
+	// SeparatePhase forces the phase operator to run as its own full
+	// pass over the state instead of being folded into the first mixer
+	// sweep of each layer. The fused layer is the default because it is
+	// bit-identical and one traversal cheaper; this ablation isolates
+	// what the fusion buys, mirroring RecomputePhase's role for the
+	// diagonal precompute.
+	SeparatePhase bool
 	// RecomputePhase disables the paper's central optimization: the
 	// phase operator re-evaluates the cost polynomial term-by-term on
 	// every layer (O(|T|·2^n) per layer) instead of reading the cached
@@ -172,6 +187,11 @@ type Simulator struct {
 
 	// mixerPairs is the ordered edge list swept by the xy mixers.
 	mixerPairs []graphs.Edge
+
+	// route is the resolved mixer route; routeDec carries the shared
+	// calibration state when route is RouteAuto (nil otherwise).
+	route    MixerRoute
+	routeDec *routeDecision
 
 	minCost      float64
 	groundStates []uint64
@@ -269,6 +289,9 @@ func NewFromDiagonal(n int, diag []float64, opts Options) (*Simulator, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown mixer %v", opts.Mixer)
 	}
+	if err := s.resolveRoute(); err != nil {
+		return nil, err
+	}
 	if err := s.setupInitialState(); err != nil {
 		return nil, err
 	}
@@ -330,6 +353,41 @@ func (s *Simulator) computeGroundStates() {
 	}
 }
 
+// resolveRoute validates Options.MixerRoute against the mixer family
+// and fixes the route for this simulator's shape: xy mixers always
+// sweep, explicit routes pass through, and RouteAuto either collapses
+// to the sweep (small n) or binds the shared per-shape calibration.
+func (s *Simulator) resolveRoute() error {
+	switch s.opts.MixerRoute {
+	case RouteAuto, RouteSweep, RouteFWHT:
+	default:
+		return fmt.Errorf("core: unknown Options.MixerRoute %v", s.opts.MixerRoute)
+	}
+	if s.opts.Mixer != MixerX {
+		if s.opts.MixerRoute == RouteFWHT {
+			return fmt.Errorf("core: Options.MixerRoute fwht requires the x mixer, got %v", s.opts.Mixer)
+		}
+		s.route, s.routeDec = RouteSweep, nil
+		return nil
+	}
+	s.route = s.opts.MixerRoute
+	s.routeDec = nil
+	if s.route == RouteAuto {
+		if s.n < routeAutoMinQubits {
+			s.route = RouteSweep
+			return nil
+		}
+		s.routeDec = routeDecisionFor(routeKey{
+			n:       s.n,
+			workers: s.pool.Workers,
+			backend: s.backend,
+			single:  s.opts.SinglePrecision,
+			fused:   s.opts.FusedMixer,
+		})
+	}
+	return nil
+}
+
 // KernelPoolView returns a simulator sharing every precomputed
 // structure with s — diagonal, quantization, compiled terms, mixer
 // sweep, ground states, initial state, CVaR cache — but running its
@@ -345,6 +403,13 @@ func (s *Simulator) KernelPoolView(workers int) *Simulator {
 	// is shared, which is exactly the semantics a view wants.
 	v := *s
 	v.pool = statevec.NewPool(workers)
+	// The sweep-vs-FWHT crossover depends on the worker count, so a
+	// view re-resolves its route instead of inheriting the parent
+	// shape's calibration (resolveRoute cannot fail here: the options
+	// already validated at construction).
+	if err := v.resolveRoute(); err != nil {
+		panic(fmt.Sprintf("core: KernelPoolView route re-resolution failed on validated options: %v", err))
+	}
 	return &v
 }
 
@@ -358,6 +423,17 @@ func (s *Simulator) Backend() Backend { return s.backend }
 // (GOMAXPROCS when ≤ 0) for the pooled backends, always 1 for the
 // Serial backend.
 func (s *Simulator) Workers() int { return s.pool.Workers }
+
+// MixerRoute returns the route the transverse-field mixer currently
+// runs on: RouteSweep or RouteFWHT once fixed (explicitly, by the
+// small-n collapse, or by calibration), or RouteAuto while an
+// auto-routed shape has not yet measured both candidates.
+func (s *Simulator) MixerRoute() MixerRoute {
+	if s.route != RouteAuto {
+		return s.route
+	}
+	return s.routeDec.decided()
+}
 
 // CostDiagonal returns the precomputed cost vector (shared storage —
 // do not mutate). This is QOKit's get_cost_diagonal.

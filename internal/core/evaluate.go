@@ -59,6 +59,7 @@ func (s *Simulator) Caps() evaluator.Caps {
 		Ranks:      1,
 		StateBytes: s.stateBytes(),
 		Outputs:    true,
+		Streaming:  true,
 	}
 }
 

@@ -61,14 +61,81 @@ func (s *Simulator) EvalOutputs(ctx context.Context, x []float64, spec evaluator
 		}
 	}
 	if spec.Shots > 0 {
-		sampler, err := sampling.NewSampler(probs, spec.Seed)
+		// Validate bounded Shots by MaxShotsPerRequest, so this is the
+		// largest buffer a request can pin; the draw itself goes through
+		// the same chunked path the streaming contract uses, checking
+		// ctx at every chunk boundary.
+		out.Samples = make([]uint64, 0, spec.Shots)
+		err := sampleInChunks(ctx, probs, spec.Shots, spec.Seed, func(chunk []uint64) error {
+			out.Samples = append(out.Samples, chunk...)
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("core: EvalOutputs sampling: %w", err)
-		}
-		out.Samples = make([]uint64, spec.Shots)
-		for i := range out.Samples {
-			out.Samples[i] = sampler.Sample()
+			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// The Simulator also serves the chunked sampling contract: shot counts
+// beyond MaxShotsPerRequest stream through a SampleChunkSize buffer.
+var _ evaluator.SampleStreamer = (*Simulator)(nil)
+
+// StreamSamples evolves the state at the flat parameter vector once
+// and streams spec.Shots sampled basis indices to fn in chunks of at
+// most evaluator.SampleChunkSize (evaluator.SampleStreamer). With the
+// same seed, the concatenated chunks equal the Outputs.Samples that
+// EvalOutputs returns; only spec.Shots and spec.Seed are consulted.
+func (s *Simulator) StreamSamples(ctx context.Context, x []float64, spec evaluator.OutputSpec, fn func(chunk []uint64) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	gamma, beta, err := evaluator.SplitFlat(x)
+	if err != nil {
+		return err
+	}
+	if err := spec.ValidateStreaming(s.n); err != nil {
+		return err
+	}
+	if spec.Shots == 0 {
+		return nil
+	}
+	r, err := s.SimulateQAOA(gamma, beta)
+	if err != nil {
+		return err
+	}
+	return sampleInChunks(ctx, r.Probabilities(nil, true), spec.Shots, spec.Seed, fn)
+}
+
+// sampleInChunks draws shots indices from probs into one reused
+// chunk buffer, delivering each full (or final partial) chunk to fn.
+// Both the buffered and the streaming sample paths draw through this
+// one loop, which is what guarantees their shot sequences coincide.
+func sampleInChunks(ctx context.Context, probs []float64, shots int, seed int64, fn func(chunk []uint64) error) error {
+	sampler, err := sampling.NewSampler(probs, seed)
+	if err != nil {
+		return fmt.Errorf("core: sampling: %w", err)
+	}
+	chunkLen := evaluator.SampleChunkSize
+	if shots < chunkLen {
+		chunkLen = shots
+	}
+	chunk := make([]uint64, chunkLen)
+	for drawn := 0; drawn < shots; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c := chunk
+		if rem := shots - drawn; rem < len(c) {
+			c = c[:rem]
+		}
+		for i := range c {
+			c[i] = sampler.Sample()
+		}
+		drawn += len(c)
+		if err := fn(c); err != nil {
+			return err
+		}
+	}
+	return nil
 }

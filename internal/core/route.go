@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MixerRoute selects how the transverse-field mixer is executed.
+// There are two algebraically equivalent routes with different memory
+// traffic profiles: the per-qubit sweep (Algorithm 2, optionally F = 2
+// pair-fused) streams the state once per qubit (or qubit pair), while
+// the Walsh–Hadamard route (H^⊗n · popcount diagonal · H^⊗n over the
+// cache-blocked FWHT) costs a near-constant number of traversals
+// regardless of n. Which wins depends on n, the worker count, and the
+// machine's cache/bandwidth ratio — so the default calibrates.
+type MixerRoute int
+
+const (
+	// RouteAuto times one live application of each route the first time
+	// a given (n, workers, backend, precision, fusion) shape runs and
+	// uses the winner from then on; shapes below the calibration
+	// threshold always sweep. The measurement applies real mixer layers
+	// (both routes compute the same unitary), so no work is wasted.
+	RouteAuto MixerRoute = iota
+	// RouteSweep forces the per-qubit sweep (Algorithm 2 / fused pairs).
+	RouteSweep
+	// RouteFWHT forces the cache-blocked Walsh–Hadamard route. Invalid
+	// for the xy mixers, which have no FWHT form.
+	RouteFWHT
+)
+
+// String returns the canonical route name.
+func (r MixerRoute) String() string {
+	switch r {
+	case RouteAuto:
+		return "auto"
+	case RouteSweep:
+		return "sweep"
+	case RouteFWHT:
+		return "fwht"
+	default:
+		return fmt.Sprintf("MixerRoute(%d)", int(r))
+	}
+}
+
+// ParseMixerRoute resolves a route name.
+func ParseMixerRoute(name string) (MixerRoute, error) {
+	switch name {
+	case "", "auto":
+		return RouteAuto, nil
+	case "sweep":
+		return RouteSweep, nil
+	case "fwht", "hadamard":
+		return RouteFWHT, nil
+	default:
+		return 0, fmt.Errorf("core: unknown mixer route %q (want auto, sweep, fwht)", name)
+	}
+}
+
+// routeAutoMinQubits is the smallest n RouteAuto calibrates at. Below
+// it the sweep always wins (the whole state is cache-resident and the
+// FWHT route's extra traversals are pure overhead), and keeping small
+// shapes on the deterministic sweep path means test-sized simulators
+// never depend on wall-clock measurements.
+const routeAutoMinQubits = 18
+
+// routeKey identifies one calibration shape: every field that changes
+// the relative cost of the two routes.
+type routeKey struct {
+	n       int
+	workers int
+	backend Backend
+	single  bool
+	fused   bool
+}
+
+// routeCache holds one decision per shape for the process lifetime
+// (routeKey → *routeDecision). Calibration timings are only meaningful
+// per machine, so the cache is deliberately global, not per-Simulator:
+// every simulator of the same shape — including kernel-pool views
+// recreated per evaluation by the sweep engine — shares one decision.
+var routeCache sync.Map
+
+func routeDecisionFor(k routeKey) *routeDecision {
+	if d, ok := routeCache.Load(k); ok {
+		return d.(*routeDecision)
+	}
+	d, _ := routeCache.LoadOrStore(k, &routeDecision{})
+	return d.(*routeDecision)
+}
+
+// routeDecision is the one-shot sweep-vs-FWHT calibration state for a
+// shape. The first two mixer applications on the shape are timed (one
+// per route, serialized under mu so concurrent evaluations cannot
+// interleave measurements); after both are measured the winner is
+// published through done and every later application takes the
+// lock-free fast path.
+type routeDecision struct {
+	mu       sync.Mutex
+	measured [2]bool // indexed: 0 = sweep, 1 = fwht
+	elapsed  [2]time.Duration
+	done     atomic.Int32 // 0 undecided; otherwise 1 + int32(route)
+}
+
+// decided returns the calibrated route, or RouteAuto while undecided.
+func (d *routeDecision) decided() MixerRoute {
+	if v := d.done.Load(); v != 0 {
+		return MixerRoute(v - 1)
+	}
+	return RouteAuto
+}
+
+// apply runs f with the route to use for this application. While the
+// shape is uncalibrated it picks the not-yet-measured route, times the
+// application, and publishes the winner once both routes have run.
+func (d *routeDecision) apply(f func(MixerRoute)) {
+	if v := d.done.Load(); v != 0 {
+		f(MixerRoute(v - 1))
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if v := d.done.Load(); v != 0 {
+		f(MixerRoute(v - 1))
+		return
+	}
+	idx := 0
+	rt := RouteSweep
+	if d.measured[0] {
+		idx, rt = 1, RouteFWHT
+	}
+	start := time.Now()
+	f(rt)
+	d.elapsed[idx] = time.Since(start)
+	d.measured[idx] = true
+	if d.measured[0] && d.measured[1] {
+		winner := RouteSweep
+		if d.elapsed[1] < d.elapsed[0] {
+			winner = RouteFWHT
+		}
+		d.done.Store(1 + int32(winner))
+	}
+}

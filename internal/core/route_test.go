@@ -1,0 +1,323 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qokit/internal/statevec"
+)
+
+func routeTestDiag(n int) []float64 {
+	diag := make([]float64, 1<<uint(n))
+	for i := range diag {
+		diag[i] = float64((i*2654435761)%17) - 8
+	}
+	return diag
+}
+
+// TestMixerRouteEquality checks that the FWHT route reproduces the
+// sweep route's evolution on every backend, including single
+// precision, for odd and even n and depth > 1.
+func TestMixerRouteEquality(t *testing.T) {
+	gamma := []float64{0.7, -0.3, 0.45}
+	beta := []float64{0.4, 0.9, -0.2}
+	for _, n := range []int{5, 8} {
+		diag := routeTestDiag(n)
+		for _, cfg := range []struct {
+			name string
+			opts Options
+			tol  float64
+		}{
+			{"serial", Options{Backend: BackendSerial}, 1e-11},
+			{"parallel", Options{Backend: BackendParallel, Workers: 3}, 1e-11},
+			{"soa", Options{Backend: BackendSoA, Workers: 2}, 1e-11},
+			{"soa32", Options{Backend: BackendSoA, Workers: 2, SinglePrecision: true}, 2e-3},
+		} {
+			sweepOpts := cfg.opts
+			sweepOpts.MixerRoute = RouteSweep
+			fwhtOpts := cfg.opts
+			fwhtOpts.MixerRoute = RouteFWHT
+
+			sw, err := NewFromDiagonal(n, diag, sweepOpts)
+			if err != nil {
+				t.Fatalf("n=%d %s sweep: %v", n, cfg.name, err)
+			}
+			fw, err := NewFromDiagonal(n, diag, fwhtOpts)
+			if err != nil {
+				t.Fatalf("n=%d %s fwht: %v", n, cfg.name, err)
+			}
+			if sw.MixerRoute() != RouteSweep || fw.MixerRoute() != RouteFWHT {
+				t.Fatalf("n=%d %s: explicit routes not resolved: %v / %v", n, cfg.name, sw.MixerRoute(), fw.MixerRoute())
+			}
+			rs, err := sw.SimulateQAOA(gamma, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rf, err := fw.SimulateQAOA(gamma, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := statevec.MaxAbsDiff(rs.StateVector(), rf.StateVector()); d > cfg.tol {
+				t.Errorf("n=%d %s: fwht route deviates from sweep by %g", n, cfg.name, d)
+			}
+			if d := math.Abs(rs.Expectation() - rf.Expectation()); d > cfg.tol*16 {
+				t.Errorf("n=%d %s: fwht route energy deviates by %g", n, cfg.name, d)
+			}
+		}
+	}
+}
+
+// TestSeparatePhaseAblation pins the tentpole invariant: the default
+// fused phase+mixer layer is bit-identical to the SeparatePhase
+// ablation on the double-precision backends (the fused kernels replay
+// the exact unfused arithmetic), with and without the F = 2 pair
+// fusion, for odd and even n.
+func TestSeparatePhaseAblation(t *testing.T) {
+	gamma := []float64{0.7, -0.3}
+	beta := []float64{0.4, 0.9}
+	for _, n := range []int{5, 6} {
+		diag := routeTestDiag(n)
+		for _, base := range []struct {
+			name string
+			opts Options
+		}{
+			{"serial", Options{Backend: BackendSerial}},
+			{"parallel", Options{Backend: BackendParallel, Workers: 3}},
+			{"soa", Options{Backend: BackendSoA, Workers: 2}},
+			{"soa32", Options{Backend: BackendSoA, SinglePrecision: true}},
+			{"serial+pairfused", Options{Backend: BackendSerial, FusedMixer: true}},
+			{"soa+pairfused", Options{Backend: BackendSoA, FusedMixer: true}},
+			{"soa32+pairfused", Options{Backend: BackendSoA, SinglePrecision: true, FusedMixer: true}},
+		} {
+			fusedOpts := base.opts
+			sepOpts := base.opts
+			sepOpts.SeparatePhase = true
+			fs, err := NewFromDiagonal(n, diag, fusedOpts)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, base.name, err)
+			}
+			sp, err := NewFromDiagonal(n, diag, sepOpts)
+			if err != nil {
+				t.Fatalf("n=%d %s separate: %v", n, base.name, err)
+			}
+			rf, err := fs.SimulateQAOA(gamma, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := sp.SimulateQAOA(gamma, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := rf.StateVector(), rs.StateVector()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("n=%d %s: fused layer not bit-identical to separate phase at %d: %v vs %v",
+						n, base.name, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSeparatePhaseXYMixers checks the fused-layer dispatch leaves the
+// xy mixer families untouched: SeparatePhase must be a no-op there
+// (the layer never fuses), on all four representations.
+func TestSeparatePhaseXYMixers(t *testing.T) {
+	gamma := []float64{0.5}
+	beta := []float64{0.8}
+	for _, mixer := range []Mixer{MixerXYRing, MixerXYComplete} {
+		for _, n := range []int{5, 6} {
+			diag := routeTestDiag(n)
+			for _, base := range []Options{
+				{Backend: BackendSerial, Mixer: mixer},
+				{Backend: BackendParallel, Mixer: mixer, Workers: 2},
+				{Backend: BackendSoA, Mixer: mixer},
+				{Backend: BackendSoA, Mixer: mixer, SinglePrecision: true},
+			} {
+				sep := base
+				sep.SeparatePhase = true
+				s1, err := NewFromDiagonal(n, diag, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s2, err := NewFromDiagonal(n, diag, sep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r1, err := s1.SimulateQAOA(gamma, beta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r2, err := s2.SimulateQAOA(gamma, beta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, b := r1.StateVector(), r2.StateVector()
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("%v n=%d: SeparatePhase changed the xy evolution at %d", mixer, n, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGradMatchesUnderRoutes checks the adjoint gradient against both
+// mixer routes: the reverse pass replays the same route, so gradients
+// must agree to the usual cross-backend tolerance.
+func TestGradMatchesUnderRoutes(t *testing.T) {
+	const n = 6
+	diag := routeTestDiag(n)
+	gamma := []float64{0.7, -0.3}
+	beta := []float64{0.4, 0.9}
+	sw, err := NewFromDiagonal(n, diag, Options{Backend: BackendSoA, MixerRoute: RouteSweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := NewFromDiagonal(n, diag, Options{Backend: BackendSoA, MixerRoute: RouteFWHT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eS, ggS, gbS, err := sw.SimulateQAOAGrad(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eF, ggF, gbF, err := fw.SimulateQAOAGrad(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(eS - eF); d > 1e-10 {
+		t.Errorf("energy deviates across routes by %g", d)
+	}
+	for l := range ggS {
+		if d := math.Abs(ggS[l] - ggF[l]); d > 1e-9 {
+			t.Errorf("∂E/∂γ_%d deviates across routes by %g", l, d)
+		}
+		if d := math.Abs(gbS[l] - gbF[l]); d > 1e-9 {
+			t.Errorf("∂E/∂β_%d deviates across routes by %g", l, d)
+		}
+	}
+}
+
+// TestRouteValidationAndParsing covers the construction-time contract:
+// RouteFWHT is rejected for xy mixers with an error naming the field,
+// unknown route values are rejected, small auto shapes collapse to the
+// sweep, and ParseMixerRoute round-trips the names.
+func TestRouteValidationAndParsing(t *testing.T) {
+	diag := routeTestDiag(4)
+	_, err := NewFromDiagonal(4, diag, Options{Mixer: MixerXYRing, MixerRoute: RouteFWHT})
+	if err == nil || !strings.Contains(err.Error(), "Options.MixerRoute") {
+		t.Errorf("xy + RouteFWHT: error %v, want one naming Options.MixerRoute", err)
+	}
+	_, err = NewFromDiagonal(4, diag, Options{MixerRoute: MixerRoute(99)})
+	if err == nil || !strings.Contains(err.Error(), "Options.MixerRoute") {
+		t.Errorf("unknown route: error %v, want one naming Options.MixerRoute", err)
+	}
+
+	s, err := NewFromDiagonal(4, diag, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MixerRoute(); got != RouteSweep {
+		t.Errorf("auto route at n=4 resolved to %v, want sweep", got)
+	}
+	// xy mixers always sweep, silently.
+	sxy, err := NewFromDiagonal(4, diag, Options{Mixer: MixerXYRing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sxy.MixerRoute(); got != RouteSweep {
+		t.Errorf("xy route resolved to %v, want sweep", got)
+	}
+
+	for _, tc := range []struct {
+		in   string
+		want MixerRoute
+	}{{"", RouteAuto}, {"auto", RouteAuto}, {"sweep", RouteSweep}, {"fwht", RouteFWHT}, {"hadamard", RouteFWHT}} {
+		got, err := ParseMixerRoute(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseMixerRoute(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseMixerRoute("bogus"); err == nil {
+		t.Error("ParseMixerRoute(bogus) succeeded")
+	}
+}
+
+// TestRouteAutoCalibration runs an auto-routed shape above the
+// calibration threshold: after one two-layer evolution both candidate
+// routes have been measured, the decision is published, and the result
+// agrees with a forced-sweep simulator.
+func TestRouteAutoCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=18 calibration shape in -short mode")
+	}
+	const n = routeAutoMinQubits
+	diag := routeTestDiag(n)
+	gamma := []float64{0.6, -0.2}
+	beta := []float64{0.3, 0.7}
+	// Workers: 5 keys a shape no other test calibrates.
+	auto, err := NewFromDiagonal(n, diag, Options{Backend: BackendSoA, Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := auto.MixerRoute(); got != RouteAuto {
+		t.Fatalf("uncalibrated shape reports %v, want auto", got)
+	}
+	ra, err := auto.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decided := auto.MixerRoute()
+	if decided != RouteSweep && decided != RouteFWHT {
+		t.Fatalf("after two layers the route is still %v", decided)
+	}
+	forced, err := NewFromDiagonal(n, diag, Options{Backend: BackendSoA, Workers: 5, MixerRoute: RouteSweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := forced.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(ra.Expectation() - rf.Expectation()); d > 1e-9 {
+		t.Errorf("auto-routed energy deviates from sweep by %g", d)
+	}
+	// A later evolution takes the decided fast path and stays equal.
+	ra2, err := auto.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(ra2.Expectation() - rf.Expectation()); d > 1e-9 {
+		t.Errorf("post-calibration energy deviates from sweep by %g", d)
+	}
+}
+
+// TestKernelPoolViewReresolvesRoute checks that views re-key the
+// calibration by their own worker count instead of inheriting the
+// parent's decision state.
+func TestKernelPoolViewReresolvesRoute(t *testing.T) {
+	const n = 6
+	diag := routeTestDiag(n)
+	s, err := NewFromDiagonal(n, diag, Options{Backend: BackendSoA, Workers: 4, MixerRoute: RouteFWHT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.KernelPoolView(1)
+	if got := v.MixerRoute(); got != RouteFWHT {
+		t.Errorf("view lost the explicit route: %v", got)
+	}
+	r1, err := s.SimulateQAOA([]float64{0.4}, []float64{0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := v.SimulateQAOA([]float64{0.4}, []float64{0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := statevec.MaxAbsDiff(r1.StateVector(), r2.StateVector()); d > 1e-11 {
+		t.Errorf("view evolution deviates by %g", d)
+	}
+}

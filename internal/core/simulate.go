@@ -68,8 +68,7 @@ func (s *Simulator) SimulateQAOAInto(r *Result, gamma, beta []float64) error {
 		return err
 	}
 	for l := range gamma {
-		s.applyPhase(r, gamma[l])
-		s.applyMixer(r, beta[l])
+		s.applyLayer(r, gamma[l], beta[l])
 	}
 	return nil
 }
@@ -119,8 +118,51 @@ func (s *Simulator) bindResult(r *Result) error {
 // lets callers build up depth incrementally (e.g. the Fig. 4 sweep
 // reuses a single evolution instead of re-simulating prefixes).
 func (s *Simulator) ApplyLayer(r *Result, gamma, beta float64) {
+	s.applyLayer(r, gamma, beta)
+}
+
+// applyLayer applies e^{−iβM}·e^{−iγĈ}. On the default x-mixer sweep
+// path the phase folds into the first mixer pass (bit-identical to the
+// separate passes, one traversal cheaper); every other configuration —
+// xy mixers, the FWHT route, quantized/recomputed phases, the
+// SeparatePhase ablation, and auto shapes still calibrating — runs the
+// two operators separately.
+func (s *Simulator) applyLayer(r *Result, gamma, beta float64) {
+	if s.opts.Mixer == MixerX && !s.opts.SeparatePhase && !s.opts.RecomputePhase && s.quant == nil {
+		route := s.route
+		if route == RouteAuto {
+			route = s.routeDec.decided()
+		}
+		if route == RouteSweep {
+			s.applyFusedLayer(r, gamma, beta)
+			return
+		}
+	}
 	s.applyPhase(r, gamma)
 	s.applyMixer(r, beta)
+}
+
+// applyFusedLayer dispatches the fused phase+mixer sweep kernels.
+func (s *Simulator) applyFusedLayer(r *Result, gamma, beta float64) {
+	fused := s.opts.FusedMixer
+	switch {
+	case r.soa32 != nil && fused:
+		r.soa32.ApplyPhaseThenUniformRXFused(s.pool, s.diag, gamma, beta)
+	case r.soa32 != nil:
+		r.soa32.ApplyPhaseThenUniformRX(s.pool, s.diag, gamma, beta)
+	case r.soa != nil && fused:
+		r.soa.ApplyPhaseThenUniformRXFused(s.pool, s.diag, gamma, beta)
+	case r.soa != nil:
+		r.soa.ApplyPhaseThenUniformRX(s.pool, s.diag, gamma, beta)
+	case s.backend == BackendSerial && fused:
+		statevec.ApplyPhaseThenUniformRXFused(r.vec, s.diag, gamma, beta)
+	case s.backend == BackendSerial:
+		statevec.ApplyPhaseThenUniformRX(r.vec, s.diag, gamma, beta)
+	case fused:
+		s.pool.ApplyPhaseThenUniformRXFused(r.vec, s.diag, gamma, beta)
+	default:
+		s.pool.ApplyPhaseThenUniformRX(r.vec, s.diag, gamma, beta)
+	}
 }
 
 func (s *Simulator) applyPhase(r *Result, gamma float64) {
@@ -207,23 +249,19 @@ func tableToSoA(tab []complex128, codes []uint16) (cosT, sinT []float64) {
 func (s *Simulator) applyMixer(r *Result, beta float64) {
 	switch s.opts.Mixer {
 	case MixerX:
-		switch {
-		case r.soa32 != nil && s.opts.FusedMixer:
-			r.soa32.ApplyUniformRXFused(s.pool, beta)
-		case r.soa32 != nil:
-			r.soa32.ApplyUniformRX(s.pool, beta)
-		case r.soa != nil && s.opts.FusedMixer:
-			r.soa.ApplyUniformRXFused(s.pool, beta)
-		case r.soa != nil:
-			r.soa.ApplyUniformRX(s.pool, beta)
-		case s.backend == BackendSerial && s.opts.FusedMixer:
-			statevec.ApplyUniformRXFused(r.vec, beta)
-		case s.backend == BackendSerial:
-			statevec.ApplyUniformRX(r.vec, beta)
-		case s.opts.FusedMixer:
-			s.pool.ApplyUniformRXFused(r.vec, beta)
-		default:
-			s.pool.ApplyUniformRX(r.vec, beta)
+		switch s.route {
+		case RouteSweep:
+			s.applyMixerSweep(r, beta)
+		case RouteFWHT:
+			s.applyMixerFWHT(r, beta)
+		default: // RouteAuto: calibrate on live applications
+			s.routeDec.apply(func(rt MixerRoute) {
+				if rt == RouteFWHT {
+					s.applyMixerFWHT(r, beta)
+				} else {
+					s.applyMixerSweep(r, beta)
+				}
+			})
 		}
 	default: // xy mixers share the per-edge sweep
 		for _, e := range s.mixerPairs {
@@ -238,6 +276,44 @@ func (s *Simulator) applyMixer(r *Result, beta float64) {
 				s.pool.ApplyXY(r.vec, e.U, e.V, beta)
 			}
 		}
+	}
+}
+
+// applyMixerSweep runs the transverse-field mixer as per-qubit (or
+// F = 2 pair-fused) sweeps — Algorithm 2.
+func (s *Simulator) applyMixerSweep(r *Result, beta float64) {
+	switch {
+	case r.soa32 != nil && s.opts.FusedMixer:
+		r.soa32.ApplyUniformRXFused(s.pool, beta)
+	case r.soa32 != nil:
+		r.soa32.ApplyUniformRX(s.pool, beta)
+	case r.soa != nil && s.opts.FusedMixer:
+		r.soa.ApplyUniformRXFused(s.pool, beta)
+	case r.soa != nil:
+		r.soa.ApplyUniformRX(s.pool, beta)
+	case s.backend == BackendSerial && s.opts.FusedMixer:
+		statevec.ApplyUniformRXFused(r.vec, beta)
+	case s.backend == BackendSerial:
+		statevec.ApplyUniformRX(r.vec, beta)
+	case s.opts.FusedMixer:
+		s.pool.ApplyUniformRXFused(r.vec, beta)
+	default:
+		s.pool.ApplyUniformRX(r.vec, beta)
+	}
+}
+
+// applyMixerFWHT runs the transverse-field mixer through the
+// cache-blocked Walsh–Hadamard route.
+func (s *Simulator) applyMixerFWHT(r *Result, beta float64) {
+	switch {
+	case r.soa32 != nil:
+		r.soa32.ApplyUniformRXViaFWHT(s.pool, beta)
+	case r.soa != nil:
+		r.soa.ApplyUniformRXViaFWHT(s.pool, beta)
+	case s.backend == BackendSerial:
+		statevec.ApplyUniformRXViaFWHT(r.vec, beta)
+	default:
+		s.pool.ApplyUniformRXViaFWHT(r.vec, beta)
 	}
 }
 

@@ -41,6 +41,10 @@ type Caps struct {
 	// Outputs reports whether the evaluator also implements
 	// OutputEvaluator (sampling, CVaR, overlap, probability queries).
 	Outputs bool
+	// Streaming reports whether the evaluator also implements
+	// SampleStreamer (chunked sampling with memory bounded by the
+	// chunk size rather than the shot count).
+	Streaming bool
 }
 
 // Evaluator is the unified evaluation contract. x is the flat

@@ -21,6 +21,9 @@ type OutputSpec struct {
 	CVaRAlphas []float64
 	// Shots requests that many sampled basis-state indices
 	// (Outputs.Samples), drawn from |ψ|² with the engine's sampler.
+	// At most MaxShotsPerRequest per request; larger shot counts go
+	// through SampleStreamer, whose memory is bounded by the chunk
+	// size instead of the shot count.
 	Shots int
 	// Seed seeds the sampling streams; a fixed seed reproduces the
 	// exact shot sequence for a given engine configuration.
@@ -30,9 +33,39 @@ type OutputSpec struct {
 	ProbIndices []uint64
 }
 
-// Validate checks the spec against the problem size. Every violation
-// names the offending field.
+const (
+	// MaxShotsPerRequest bounds OutputSpec.Shots for the buffered
+	// EvalOutputs path. Outputs.Samples is allocated at 8 B per shot
+	// inside the engine, so an unvalidated shot count lets one request
+	// pin arbitrary memory per in-flight evaluation; 2²⁰ shots (8 MiB)
+	// is far beyond statistical need at these problem sizes while
+	// keeping the worst case smaller than a single n = 20 state.
+	MaxShotsPerRequest = 1 << 20
+	// SampleChunkSize is the fixed chunk length of the streaming
+	// sample path: SampleStreamer implementations draw into one
+	// reused buffer of this many indices, independent of the total
+	// shot count.
+	SampleChunkSize = 4096
+)
+
+// Validate checks the spec against the problem size for the buffered
+// EvalOutputs path, where Outputs.Samples is allocated at the shot
+// count. Every violation names the offending field.
 func (s OutputSpec) Validate(n int) error {
+	if err := s.ValidateStreaming(n); err != nil {
+		return err
+	}
+	if s.Shots > MaxShotsPerRequest {
+		return fmt.Errorf("evaluator: OutputSpec.Shots=%d exceeds MaxShotsPerRequest=%d; stream larger shot counts through SampleStreamer",
+			s.Shots, MaxShotsPerRequest)
+	}
+	return nil
+}
+
+// ValidateStreaming checks the spec for the streaming sample path:
+// identical to Validate except that Shots is unbounded above, since
+// streaming allocates per chunk, not per shot.
+func (s OutputSpec) ValidateStreaming(n int) error {
 	for i, a := range s.CVaRAlphas {
 		if math.IsNaN(a) || a <= 0 || a > 1 {
 			return fmt.Errorf("evaluator: OutputSpec.CVaRAlphas[%d]=%v outside (0,1]", i, a)
@@ -79,4 +112,22 @@ type OutputEvaluator interface {
 	// EvalOutputs evolves the state at x once and returns the outputs
 	// the spec selects.
 	EvalOutputs(ctx context.Context, x []float64, spec OutputSpec) (*Outputs, error)
+}
+
+// SampleStreamer is the optional extension implemented by engines that
+// serve sampling with memory bounded by the chunk size rather than the
+// shot count: the state is evolved once, and spec.Shots indices are
+// drawn from |ψ|² into one reused buffer of at most SampleChunkSize
+// entries, delivered to fn chunk by chunk. The concatenation of the
+// chunks is exactly the sequence EvalOutputs would return in
+// Outputs.Samples for the same spec — but spec.Shots may exceed
+// MaxShotsPerRequest here, since no shot-count-sized buffer exists.
+// Caps with Streaming=true advertises it.
+type SampleStreamer interface {
+	OutputEvaluator
+	// StreamSamples evolves the state at x once and streams spec.Shots
+	// sampled basis indices to fn in chunks. The chunk slice is reused
+	// between calls: fn must copy anything it keeps. A non-nil error
+	// from fn aborts the stream and is returned verbatim.
+	StreamSamples(ctx context.Context, x []float64, spec OutputSpec, fn func(chunk []uint64) error) error
 }

@@ -1,0 +1,55 @@
+package evaluator
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOutputSpecShotBound pins the buffered path's memory bound: a
+// Shots beyond MaxShotsPerRequest fails Validate with an error naming
+// the field, while ValidateStreaming — whose memory is per chunk, not
+// per shot — accepts the same spec.
+func TestOutputSpecShotBound(t *testing.T) {
+	spec := OutputSpec{Shots: MaxShotsPerRequest + 1}
+	err := spec.Validate(4)
+	if err == nil || !strings.Contains(err.Error(), "OutputSpec.Shots") {
+		t.Fatalf("over-bound Shots: Validate err = %v", err)
+	}
+	if err := spec.ValidateStreaming(4); err != nil {
+		t.Fatalf("over-bound Shots must stream: ValidateStreaming err = %v", err)
+	}
+	spec.Shots = MaxShotsPerRequest
+	if err := spec.Validate(4); err != nil {
+		t.Fatalf("Shots at the bound: Validate err = %v", err)
+	}
+}
+
+// TestOutputSpecValidate covers the shared field checks both
+// validation paths apply.
+func TestOutputSpecValidate(t *testing.T) {
+	for _, tc := range []struct {
+		spec OutputSpec
+		want string // substring of the error; "" means valid
+	}{
+		{OutputSpec{}, ""},
+		{OutputSpec{CVaRAlphas: []float64{0.1, 1}, Shots: 10, ProbIndices: []uint64{15}}, ""},
+		{OutputSpec{CVaRAlphas: []float64{0}, Shots: 1}, "OutputSpec.CVaRAlphas"},
+		{OutputSpec{CVaRAlphas: []float64{1.5}}, "OutputSpec.CVaRAlphas"},
+		{OutputSpec{Shots: -1}, "OutputSpec.Shots"},
+		{OutputSpec{ProbIndices: []uint64{16}}, "OutputSpec.ProbIndices"},
+	} {
+		for name, validate := range map[string]func(int) error{
+			"Validate":          tc.spec.Validate,
+			"ValidateStreaming": tc.spec.ValidateStreaming,
+		} {
+			err := validate(4)
+			if tc.want == "" {
+				if err != nil {
+					t.Errorf("%s(%+v) = %v, want nil", name, tc.spec, err)
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("%s(%+v) = %v, want error naming %s", name, tc.spec, err, tc.want)
+			}
+		}
+	}
+}

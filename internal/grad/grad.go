@@ -159,6 +159,15 @@ func (e *Engine) EvalOutputs(ctx context.Context, x []float64, spec evaluator.Ou
 
 var _ evaluator.OutputEvaluator = (*Engine)(nil)
 
+// StreamSamples serves the chunked sampling contract
+// (evaluator.SampleStreamer) by delegating to the underlying
+// simulator.
+func (e *Engine) StreamSamples(ctx context.Context, x []float64, spec evaluator.OutputSpec, fn func(chunk []uint64) error) error {
+	return e.sim.StreamSamples(ctx, x, spec, fn)
+}
+
+var _ evaluator.SampleStreamer = (*Engine)(nil)
+
 // FlatObjective adapts the engine into a value-and-gradient objective
 // over the flat parameter vector [γ₀…γ_{p−1}, β₀…β_{p−1}] — the form
 // internal/optimize's gradient optimizers consume. The returned

@@ -82,6 +82,11 @@ type task struct {
 	spec *evaluator.OutputSpec
 	outs *evaluator.Outputs
 
+	// Streaming request: a non-nil stream closure runs against the
+	// worker's bound evaluator (chunked sampling — the submitter's
+	// chunk callback is captured inside).
+	stream func(ev evaluator.Evaluator) error
+
 	// Single-request completion: the worker writes energy/err and
 	// signals done (capacity 1, reused across uses via the pool).
 	energy float64
@@ -146,6 +151,7 @@ func New(evals []evaluator.Evaluator, opts Options) (*Service, error) {
 		}
 		s.caps.Grad = s.caps.Grad && c.Grad
 		s.caps.Outputs = s.caps.Outputs && c.Outputs
+		s.caps.Streaming = s.caps.Streaming && c.Streaming
 		if c.Ranks > s.caps.Ranks {
 			s.caps.Ranks = c.Ranks
 		}
@@ -233,6 +239,47 @@ func (s *Service) EvalOutputs(ctx context.Context, x []float64, spec evaluator.O
 	outs, err := t.outs, t.err
 	s.putTask(t)
 	return outs, err
+}
+
+// The service streams samples when its whole pool does
+// (Caps().Streaming); requests against a pool that does not fail
+// without queueing.
+var _ evaluator.SampleStreamer = (*Service)(nil)
+
+// StreamSamples streams one point's sampled basis indices through the
+// pool in bounded chunks (evaluator.SampleStreamer): the request holds
+// one worker for its duration, and fn runs on that worker's goroutine,
+// so a slow consumer backpressures the stream rather than buffering
+// it. The chunk slice is reused; fn must copy anything it keeps.
+func (s *Service) StreamSamples(ctx context.Context, x []float64, spec evaluator.OutputSpec, fn func(chunk []uint64) error) error {
+	if _, _, err := evaluator.SplitFlat(x); err != nil {
+		return err
+	}
+	if !s.caps.Streaming {
+		return fmt.Errorf("serve: pool has an evaluator without streaming support; StreamSamples unavailable")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := s.taskPool.Get().(*task)
+	t.ctx, t.x, t.tr = ctx, x, nil
+	t.stream = func(ev evaluator.Evaluator) error {
+		ss, ok := ev.(evaluator.SampleStreamer)
+		if !ok {
+			// Caps().Streaming aggregation makes this unreachable for a
+			// pool that accepted the request; the guard keeps a mixed
+			// pool fail-safe.
+			return fmt.Errorf("serve: evaluator does not implement SampleStreamer")
+		}
+		return ss.StreamSamples(ctx, x, spec, fn)
+	}
+	if err := s.await(ctx, t); err != nil {
+		s.putTask(t)
+		return err
+	}
+	err := t.err
+	s.putTask(t)
+	return err
 }
 
 func (s *Service) submit(ctx context.Context, x, g []float64, grad bool) (float64, error) {
@@ -474,6 +521,8 @@ func (s *Service) worker(ev evaluator.Evaluator) {
 		}
 		if err == nil {
 			switch {
+			case t.stream != nil:
+				err = t.stream(ev)
 			case t.spec != nil:
 				// Caps().Outputs aggregation guarantees the assertion
 				// holds for every evaluator in a pool that accepted the
@@ -513,6 +562,6 @@ func (s *Service) finish(t *task, e float64, err error) {
 
 // putTask clears a task's references and recycles it.
 func (s *Service) putTask(t *task) {
-	t.ctx, t.x, t.g, t.tr, t.spec, t.outs = nil, nil, nil, nil, nil, nil
+	t.ctx, t.x, t.g, t.tr, t.spec, t.outs, t.stream = nil, nil, nil, nil, nil, nil, nil
 	s.taskPool.Put(t)
 }

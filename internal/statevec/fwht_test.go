@@ -1,0 +1,199 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// fwhtReference is the textbook one-stage-per-traversal transform the
+// blocked implementation must agree with.
+func fwhtReference(v Vec) {
+	n := v.NumQubits()
+	inv := complex(1/math.Sqrt2, 0)
+	for q := 0; q < n; q++ {
+		stride := 1 << uint(q)
+		for base := 0; base < len(v); base += 2 * stride {
+			for off := 0; off < stride; off++ {
+				l1 := base + off
+				l2 := l1 + stride
+				y1, y2 := v[l1], v[l2]
+				v[l1] = (y1 + y2) * inv
+				v[l2] = (y1 - y2) * inv
+			}
+		}
+	}
+}
+
+// TestFWHTBlockedMatchesReference drives the blocked transform with
+// artificially small block lengths so every split of low/high stages —
+// including radix-4 pairs and the trailing unpaired stage — is
+// exercised against the per-stage reference. The radix-4 pairing
+// merges two 1/√2 normalizations into one 1/2, so agreement is to
+// rounding, not bit-exact.
+func TestFWHTBlockedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for n := 0; n <= 10; n++ {
+		orig := randomState(rng, n)
+		want := orig.Clone()
+		fwhtReference(want)
+		for _, blockLen := range []int{2, 4, 16, 1 << 14} {
+			got := orig.Clone()
+			fwhtSerial(got, blockLen)
+			if d := MaxAbsDiff(got, want); d > 1e-12 {
+				t.Errorf("n=%d blockLen=%d serial blocked FWHT deviates by %g", n, blockLen, d)
+			}
+			for _, workers := range []int{2, 3, 7} {
+				p := NewPool(workers)
+				p.minParallel = 1 // force the parallel path on tiny states
+				got := orig.Clone()
+				fwhtPool(p, got, blockLen)
+				if d := MaxAbsDiff(got, want); d > 1e-12 {
+					t.Errorf("n=%d blockLen=%d workers=%d pooled blocked FWHT deviates by %g", n, blockLen, workers, d)
+				}
+			}
+		}
+	}
+}
+
+// TestFWHTRealPlanes checks the generic transform over real element
+// types: a complex state transforms exactly as its Re/Im planes
+// transformed independently (the FWHT is real-linear), in both
+// float64 and float32 (to single-precision tolerance).
+func TestFWHTRealPlanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const n = 7
+	v := randomState(rng, n)
+	want := v.Clone()
+	FWHT(want)
+
+	re64 := make([]float64, len(v))
+	im64 := make([]float64, len(v))
+	re32 := make([]float32, len(v))
+	im32 := make([]float32, len(v))
+	for i, a := range v {
+		re64[i], im64[i] = real(a), imag(a)
+		re32[i], im32[i] = float32(real(a)), float32(imag(a))
+	}
+	fwhtSerial(re64, 16)
+	fwhtSerial(im64, 16)
+	fwhtSerial(re32, 16)
+	fwhtSerial(im32, 16)
+	for i := range want {
+		if d := math.Abs(re64[i] - real(want[i])); d > 1e-12 {
+			t.Fatalf("float64 Re plane deviates at %d by %g", i, d)
+		}
+		if d := math.Abs(im64[i] - imag(want[i])); d > 1e-12 {
+			t.Fatalf("float64 Im plane deviates at %d by %g", i, d)
+		}
+		if d := math.Abs(float64(re32[i]) - real(want[i])); d > 1e-5 {
+			t.Fatalf("float32 Re plane deviates at %d by %g", i, d)
+		}
+	}
+}
+
+// TestPoolFWHTSerialFallback pins the satellite fix: below the pool's
+// inline threshold Pool.FWHT must produce exactly the serial result
+// (it delegates outright instead of spawning a parallel Run per
+// butterfly stage), and above it the parallel path must still agree.
+func TestPoolFWHTSerialFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	p := NewPool(4) // default minParallel = 1<<12
+	small := randomState(rng, 8)
+	want := small.Clone()
+	FWHT(want)
+	got := small.Clone()
+	p.FWHT(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("below-threshold Pool.FWHT is not bit-identical to serial at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	big := randomState(rng, 13) // 2^13 ≥ minParallel: parallel path
+	want = big.Clone()
+	FWHT(want)
+	p.FWHT(big)
+	if d := MaxAbsDiff(big, want); d > 1e-12 {
+		t.Fatalf("above-threshold Pool.FWHT deviates from serial by %g", d)
+	}
+}
+
+// TestMixerViaFWHTRouteMatchesSweep checks the full FWHT mixer route —
+// forward transform, popcount diagonal, inverse — against the
+// Algorithm 2 sweep on every state representation, for odd and even n
+// (n = 15 exceeds the complex block length, so the serial route also
+// crosses into the high-stage code).
+func TestMixerViaFWHTRouteMatchesSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, n := range []int{1, 2, 5, 6, 15} {
+		beta := 0.37 + 0.11*float64(n)
+		v := randomState(rng, n)
+		v.Normalize()
+		want := v.Clone()
+		ApplyUniformRX(want, beta)
+
+		serial := v.Clone()
+		ApplyUniformRXViaFWHT(serial, beta)
+		if d := MaxAbsDiff(serial, want); d > 1e-11 {
+			t.Errorf("n=%d serial FWHT route deviates by %g", n, d)
+		}
+
+		p := NewPool(3)
+		p.minParallel = 1
+		pooled := v.Clone()
+		p.ApplyUniformRXViaFWHT(pooled, beta)
+		if d := MaxAbsDiff(pooled, want); d > 1e-11 {
+			t.Errorf("n=%d pooled FWHT route deviates by %g", n, d)
+		}
+
+		soa := SoAFromVec(v)
+		soa.ApplyUniformRXViaFWHT(p, beta)
+		if d := MaxAbsDiff(soa.ToVec(), want); d > 1e-11 {
+			t.Errorf("n=%d SoA FWHT route deviates by %g", n, d)
+		}
+
+		soa32 := SoA32FromVec(v)
+		soa32.ApplyUniformRXViaFWHT(p, beta)
+		if d := MaxAbsDiff(soa32.ToVec(), want); d > 1e-4*float64(n) {
+			t.Errorf("n=%d SoA32 FWHT route deviates by %g", n, d)
+		}
+	}
+}
+
+// TestRunWorkThreshold pins runWork's coarse-item semantics: a few
+// large blocks must still split across workers (total elements above
+// minParallel), while genuinely tiny work stays inline.
+func TestRunWorkThreshold(t *testing.T) {
+	p := NewPool(4)
+	var calls atomic.Int32
+	p.runWork(8, 1<<12, func(lo, hi int) { calls.Add(1) })
+	if calls.Load() < 2 {
+		t.Errorf("runWork(8 blocks × 4096) ran inline (%d chunk calls), want a parallel split", calls.Load())
+	}
+	calls.Store(0)
+	p.runWork(8, 16, func(lo, hi int) { calls.Add(1) })
+	if calls.Load() != 1 {
+		t.Errorf("runWork(8 blocks × 16) split into %d chunks, want inline", calls.Load())
+	}
+}
+
+func BenchmarkMixerRoutes(b *testing.B) {
+	const n = 18
+	beta := 0.4
+	p := NewPool(0)
+	v := NewUniform(n)
+	b.Run("sweep", func(b *testing.B) {
+		b.SetBytes(int64(16 * len(v)))
+		for i := 0; i < b.N; i++ {
+			p.ApplyUniformRX(v, beta)
+		}
+	})
+	b.Run("fwht", func(b *testing.B) {
+		b.SetBytes(int64(16 * len(v)))
+		for i := 0; i < b.N; i++ {
+			p.ApplyUniformRXViaFWHT(v, beta)
+		}
+	})
+}

@@ -132,28 +132,6 @@ func Apply2Q(v Vec, q1, q2 int, u [4][4]complex128) {
 	}
 }
 
-// FWHT applies the normalized fast Walsh–Hadamard transform H^⊗n in
-// place. Applying it twice recovers the input (H is an involution).
-// The paper's §III-B notes the mixer at β = π/2 is exactly this
-// transform; the serial Python simulator of Ref. [43] uses two of
-// these per mixer where Algorithm 2 needs the cost of one.
-func FWHT(v Vec) {
-	n := v.NumQubits()
-	inv := complex(1/math.Sqrt2, 0)
-	for q := 0; q < n; q++ {
-		stride := 1 << uint(q)
-		for base := 0; base < len(v); base += 2 * stride {
-			for off := 0; off < stride; off++ {
-				l1 := base + off
-				l2 := l1 + stride
-				y1, y2 := v[l1], v[l2]
-				v[l1] = (y1 + y2) * inv
-				v[l2] = (y1 - y2) * inv
-			}
-		}
-	}
-}
-
 // expand2 inserts zero bits at positions lo and hi (lo < hi) into the
 // packed index t, enumerating all indices whose lo-th and hi-th bits
 // are clear. This is how one GPU thread (here: one loop iteration)

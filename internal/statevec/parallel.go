@@ -36,6 +36,22 @@ func (p *Pool) Run(n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
+	p.runParallel(n, fn)
+}
+
+// runWork is Run for coarse work items: the inline threshold is taken
+// on the total element count (n items × work elements each) rather
+// than the item count, so a pass over a few large blocks still splits
+// across workers (n blocks alone would always sit under minParallel).
+func (p *Pool) runWork(n, work int, fn func(lo, hi int)) {
+	if p == nil || p.Workers <= 1 || n*work < p.minParallel {
+		fn(0, n)
+		return
+	}
+	p.runParallel(n, fn)
+}
+
+func (p *Pool) runParallel(n int, fn func(lo, hi int)) {
 	w := p.Workers
 	if w > n {
 		w = n
@@ -232,24 +248,4 @@ func (p *Pool) NormSquared(v Vec) float64 {
 		}
 		return s
 	})
-}
-
-// FWHT is the pool version of the fast Walsh–Hadamard transform: each
-// butterfly stage parallelizes over its pair index space.
-func (p *Pool) FWHT(v Vec) {
-	n := v.NumQubits()
-	inv := complex(1/math.Sqrt2, 0)
-	for q := 0; q < n; q++ {
-		stride := 1 << uint(q)
-		mask := stride - 1
-		p.Run(len(v)/2, func(lo, hi int) {
-			for t := lo; t < hi; t++ {
-				l1 := (t>>uint(q))<<uint(q+1) | (t & mask)
-				l2 := l1 + stride
-				y1, y2 := v[l1], v[l2]
-				v[l1] = (y1 + y2) * inv
-				v[l2] = (y1 - y2) * inv
-			}
-		})
-	}
 }

@@ -291,6 +291,15 @@ func (e *Engine) EvalOutputs(ctx context.Context, x []float64, spec evaluator.Ou
 
 var _ evaluator.OutputEvaluator = (*Engine)(nil)
 
+// StreamSamples serves the chunked sampling contract
+// (evaluator.SampleStreamer) by delegating to the underlying
+// simulator.
+func (e *Engine) StreamSamples(ctx context.Context, x []float64, spec evaluator.OutputSpec, fn func(chunk []uint64) error) error {
+	return e.sim.StreamSamples(ctx, x, spec, fn)
+}
+
+var _ evaluator.SampleStreamer = (*Engine)(nil)
+
 // Grid builds the p = 1 cartesian product of γ and β values in
 // row-major order (β varies fastest): the landscape scans of the
 // paper's Figs. 3–4. Index a point as points[i*len(betas)+j] for

@@ -92,6 +92,23 @@ const (
 	MixerXYComplete = core.MixerXYComplete
 )
 
+// MixerRoute selects how the x mixer is executed: the per-qubit sweep
+// or the cache-blocked Walsh–Hadamard route (Options.MixerRoute).
+type MixerRoute = core.MixerRoute
+
+// Mixer routes: RouteAuto (the default) calibrates sweep vs FWHT once
+// per (n, workers, backend, precision, fusion) shape and uses the
+// winner; the other two force a route. RouteFWHT is valid only with
+// MixerX.
+const (
+	RouteAuto  = core.RouteAuto
+	RouteSweep = core.RouteSweep
+	RouteFWHT  = core.RouteFWHT
+)
+
+// ParseMixerRoute resolves a route name ("auto", "sweep", "fwht").
+func ParseMixerRoute(name string) (MixerRoute, error) { return core.ParseMixerRoute(name) }
+
 // NewSimulator builds a simulator for an n-qubit problem from its cost
 // polynomial, precomputing the cost diagonal (the paper's Fig. 1
 // pipeline). This is the analogue of instantiating a QOKit simulator

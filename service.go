@@ -54,6 +54,22 @@ type EvalOutputs = evaluator.Outputs
 // (EvaluatorCaps.Outputs).
 type OutputEvaluator = evaluator.OutputEvaluator
 
+// SampleStreamer is the optional evaluator extension serving chunked
+// sampling: shot counts beyond MaxShotsPerRequest stream through one
+// SampleChunkSize buffer instead of a shot-count-sized allocation.
+// The single-node engines and Service implement it; Service forwards
+// StreamSamples through its queue when every pool member supports it
+// (EvaluatorCaps.Streaming).
+type SampleStreamer = evaluator.SampleStreamer
+
+const (
+	// MaxShotsPerRequest bounds OutputSpec.Shots on the buffered
+	// EvalOutputs path; larger shot counts go through SampleStreamer.
+	MaxShotsPerRequest = evaluator.MaxShotsPerRequest
+	// SampleChunkSize is the chunk length of the streaming sample path.
+	SampleChunkSize = evaluator.SampleChunkSize
+)
+
 // Service is the concurrent evaluation service: a FIFO request queue
 // feeding a pool of evaluators. Safe for concurrent use; implements
 // Evaluator itself, so services compose.
