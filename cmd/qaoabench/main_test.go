@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -145,6 +146,23 @@ func TestSuiteJSONRoundTrips(t *testing.T) {
 	}
 	if err := json.Unmarshal(data, &report); err != nil {
 		t.Fatalf("-out file is invalid JSON: %v", err)
+	}
+}
+
+// TestOptDurableSmoke runs `opt -checkpoint`: the durable Adam job
+// completes in one invocation, reports as such, and removes its state
+// file.
+func TestOptDurableSmoke(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "opt.ckpt")
+	var out strings.Builder
+	if err := runOpt(&out, []string{"-n", "8", "-p", "2", "-evals", "8", "-checkpoint", ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Durable Adam") {
+		t.Errorf("output missing the durable-job header:\n%s", out.String())
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("completed job left its checkpoint behind (stat: %v)", err)
 	}
 }
 

@@ -32,6 +32,7 @@ func runOpt(w io.Writer, args []string) error {
 	n := fs.Int("n", 14, "qubit count (paper: 26)")
 	p := fs.Int("p", 6, "QAOA depth")
 	evals := fs.Int("evals", 60, "objective-evaluation budget")
+	ckpt := fs.String("checkpoint", "", "run the optimization as a durable Adam job with this state file (resumes if present; skips the gate baseline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +57,27 @@ func runOpt(w io.Writer, args []string) error {
 		return err
 	}
 	defer svc.Close()
+
+	// -checkpoint switches the optimizer to a durable Adam job: complete
+	// optimizer state lands in the file after every iteration, an
+	// interrupted run resumes from it bit-identical, and a completed run
+	// removes it. The gate baseline is skipped — the mode exists to
+	// exercise durability, not the speedup comparison.
+	if *ckpt != "" {
+		res, err := svc.OptimizeAdam(context.Background(), x0, serve.JobOptions{
+			Adam:           optimize.AdamOptions{MaxIter: *evals},
+			CheckpointPath: *ckpt,
+		})
+		if err != nil {
+			return fmt.Errorf("durable job (checkpoint %s): %w", *ckpt, err)
+		}
+		tJob := time.Since(startFast)
+		fmt.Fprintf(w, "Durable Adam optimization, LABS n=%d p=%d, checkpoint %s\n", *n, *p, *ckpt)
+		fmt.Fprintf(w, "best energy %.4f after %d gradient evaluations in %s; state file removed on completion\n",
+			res.F, res.Evals, benchutil.Seconds(tJob))
+		return nil
+	}
+
 	var simErr error
 	resFast := optimize.NelderMead(svc.Objective(context.Background(), &simErr), x0, nm)
 	if simErr != nil {

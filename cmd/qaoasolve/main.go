@@ -14,6 +14,12 @@
 //	qaoasolve -problem labs -n 14 -p 4 -ranks 4             (distributed solve)
 //	qaoasolve -problem labs -n 14 -p 4 -ranks 4 -quantize   (uint16 diagonal shards)
 //	qaoasolve -problem portfolio -n 12 -p 4 -ranks 4 -precision float32
+//	qaoasolve -problem labs -n 14 -p 4 -checkpoint job.ckpt (durable Adam job)
+//
+// With -checkpoint the parameter optimization runs as a durable Adam
+// job: complete optimizer state lands in the named file after every
+// iteration, an interrupted solve resumes from it bit-identical on the
+// next invocation, and a completed solve removes it.
 //
 // With -ranks > 0 the entire solve runs on the sharded cluster
 // substrate: Adam over the distributed adjoint gradient from a TQA
@@ -47,15 +53,16 @@ func main() {
 	ranks := flag.Int("ranks", 0, "solve on the distributed sharded backend with this many ranks (0 = single node)")
 	precision := flag.String("precision", "float64", "distributed shard precision: float64 | float32")
 	quantize := flag.Bool("quantize", false, "distributed: store diagonal shards as uint16 codes")
+	checkpoint := flag.String("checkpoint", "", "durable Adam job: optimizer-state file (an existing file resumes the interrupted job)")
 	flag.Parse()
 
-	if err := run(*problem, *n, *p, *d, *k, *clauses, *budget, *seed, *evals, *backend, *ranks, *precision, *quantize); err != nil {
+	if err := run(*problem, *n, *p, *d, *k, *clauses, *budget, *seed, *evals, *backend, *ranks, *precision, *quantize, *checkpoint); err != nil {
 		fmt.Fprintf(os.Stderr, "qaoasolve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(problem string, n, p, d, k, clauses, budget int, seed int64, evals int, backend string, ranks int, precision string, quantize bool) error {
+func run(problem string, n, p, d, k, clauses, budget int, seed int64, evals int, backend string, ranks int, precision string, quantize bool, checkpoint string) error {
 	var terms qokit.Terms
 	mixer := qokit.MixerX
 	hw := 0
@@ -93,7 +100,7 @@ func run(problem string, n, p, d, k, clauses, budget int, seed int64, evals int,
 
 	fmt.Printf("problem: %s\n", describe)
 	if ranks > 0 {
-		return runDistributed(problem, terms, n, p, hw, seed, evals, ranks, precision, quantize, mixer)
+		return runDistributed(problem, terms, n, p, hw, seed, evals, ranks, precision, quantize, mixer, checkpoint)
 	}
 
 	be, err := parseBackend(backend)
@@ -109,9 +116,31 @@ func run(problem string, n, p, d, k, clauses, budget int, seed int64, evals int,
 	fmt.Printf("precompute + setup: %v (backend %v)\n", time.Since(start).Round(time.Microsecond), sim.Backend())
 
 	start = time.Now()
-	gamma, beta, energy, used, err := qokit.OptimizeParameters(sim, p, qokit.NMOptions{MaxEvals: evals})
-	if err != nil {
-		return err
+	var gamma, beta []float64
+	var energy float64
+	var used int
+	if checkpoint != "" {
+		svc, err := qokit.NewLocalService(sim, qokit.ServiceOptions{})
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		g0, b0 := qokit.TQAInit(p, 0.75)
+		res, err := svc.OptimizeAdam(context.Background(), append(append([]float64{}, g0...), b0...), qokit.JobOptions{
+			Adam:           qokit.AdamOptions{MaxIter: evals},
+			CheckpointPath: checkpoint,
+		})
+		if err != nil {
+			return fmt.Errorf("durable job (checkpoint %s): %w", checkpoint, err)
+		}
+		gamma, beta = res.X[:p], res.X[p:]
+		energy, used = res.F, res.Evals
+	} else {
+		var err error
+		gamma, beta, energy, used, err = qokit.OptimizeParameters(sim, p, qokit.NMOptions{MaxEvals: evals})
+		if err != nil {
+			return err
+		}
 	}
 	optTime := time.Since(start)
 	fmt.Printf("optimized p=%d parameters: %d objective evaluations in %v (%.3g s/eval)\n",
@@ -154,7 +183,7 @@ func run(problem string, n, p, d, k, clauses, budget int, seed int64, evals int,
 // warm start, then the final outputs — shots, CVaR, overlap, most
 // probable state — served gather-free on the shards through the same
 // evaluation service that handled the optimizer's requests.
-func runDistributed(problem string, terms qokit.Terms, n, p, hw int, seed int64, evals, ranks int, precision string, quantize bool, mixer qokit.Mixer) error {
+func runDistributed(problem string, terms qokit.Terms, n, p, hw int, seed int64, evals, ranks int, precision string, quantize bool, mixer qokit.Mixer, checkpoint string) error {
 	prec := qokit.DistFloat64
 	switch precision {
 	case "", "float64":
@@ -189,11 +218,22 @@ func runDistributed(problem string, terms qokit.Terms, n, p, hw int, seed int64,
 	ctx := context.Background()
 	gamma, beta := qokit.TQAInit(p, 0.75)
 	x := append(append([]float64{}, gamma...), beta...)
-	var simErr error
+	var res qokit.AdamResult
 	start = time.Now()
-	res := qokit.Adam(svc.GradObjective(ctx, &simErr), x, qokit.AdamOptions{MaxIter: evals})
-	if simErr != nil {
-		return simErr
+	if checkpoint != "" {
+		res, err = svc.OptimizeAdam(ctx, x, qokit.JobOptions{
+			Adam:           qokit.AdamOptions{MaxIter: evals},
+			CheckpointPath: checkpoint,
+		})
+		if err != nil {
+			return fmt.Errorf("durable job (checkpoint %s): %w", checkpoint, err)
+		}
+	} else {
+		var simErr error
+		res = qokit.Adam(svc.GradObjective(ctx, &simErr), x, qokit.AdamOptions{MaxIter: evals})
+		if simErr != nil {
+			return simErr
+		}
 	}
 	optTime := time.Since(start)
 	fmt.Printf("optimized p=%d parameters: %d gradient evaluations in %v (%.3g s/eval)\n",

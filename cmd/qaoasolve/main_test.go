@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // TestSolverSmoke runs the end-to-end solver on every problem family
 // at tiny sizes; the CLI is a deliverable and gets tested like one.
@@ -12,14 +17,14 @@ func TestSolverSmoke(t *testing.T) {
 		name string
 		call func() error
 	}{
-		{"labs", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "soa", 0, "float64", false) }},
-		{"maxcut", func() error { return run("maxcut", 8, 2, 3, 3, 20, 0, 1, 30, "serial", 0, "float64", false) }},
-		{"sat", func() error { return run("sat", 8, 2, 3, 3, 20, 0, 1, 30, "parallel", 0, "float64", false) }},
-		{"portfolio", func() error { return run("portfolio", 8, 2, 3, 3, 20, 3, 1, 30, "auto", 0, "float64", false) }},
-		{"distributed", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "float64", false) }},
-		{"distributed-quantized", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "float64", true) }},
-		{"distributed-float32", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "float32", false) }},
-		{"distributed-portfolio", func() error { return run("portfolio", 8, 2, 3, 3, 20, 4, 1, 30, "auto", 2, "float64", false) }},
+		{"labs", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "soa", 0, "float64", false, "") }},
+		{"maxcut", func() error { return run("maxcut", 8, 2, 3, 3, 20, 0, 1, 30, "serial", 0, "float64", false, "") }},
+		{"sat", func() error { return run("sat", 8, 2, 3, 3, 20, 0, 1, 30, "parallel", 0, "float64", false, "") }},
+		{"portfolio", func() error { return run("portfolio", 8, 2, 3, 3, 20, 3, 1, 30, "auto", 0, "float64", false, "") }},
+		{"distributed", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "float64", false, "") }},
+		{"distributed-quantized", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "float64", true, "") }},
+		{"distributed-float32", func() error { return run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "float32", false, "") }},
+		{"distributed-portfolio", func() error { return run("portfolio", 8, 2, 3, 3, 20, 4, 1, 30, "auto", 2, "float64", false, "") }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -30,17 +35,33 @@ func TestSolverSmoke(t *testing.T) {
 	}
 }
 
+// TestSolverDurableSmoke runs the -checkpoint path end to end on both
+// the single-node service and the sharded backend: the durable Adam
+// job completes in one invocation and removes its state file.
+func TestSolverDurableSmoke(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "job.ckpt")
+	if err := run("labs", 8, 2, 3, 3, 20, 0, 1, 10, "soa", 0, "float64", false, ckpt); err != nil {
+		t.Fatalf("single-node durable solve: %v", err)
+	}
+	if err := run("labs", 8, 2, 3, 3, 20, 0, 1, 10, "auto", 2, "float64", false, ckpt); err != nil {
+		t.Fatalf("distributed durable solve: %v", err)
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("completed solve left its checkpoint behind (stat: %v)", err)
+	}
+}
+
 func TestSolverErrors(t *testing.T) {
-	if err := run("unknown-problem", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 0, "float64", false); err == nil {
+	if err := run("unknown-problem", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 0, "float64", false, ""); err == nil {
 		t.Error("unknown problem accepted")
 	}
-	if err := run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "not-a-backend", 0, "float64", false); err == nil {
+	if err := run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "not-a-backend", 0, "float64", false, ""); err == nil {
 		t.Error("unknown backend accepted")
 	}
-	if err := run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "not-a-precision", false); err == nil {
+	if err := run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "not-a-precision", false, ""); err == nil {
 		t.Error("unknown distributed precision accepted")
 	}
-	if err := run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "float32", true); err == nil {
+	if err := run("labs", 8, 2, 3, 3, 20, 0, 1, 30, "auto", 2, "float32", true, ""); err == nil {
 		t.Error("quantize + float32 accepted (distsim rejects the combination)")
 	}
 }

@@ -1,0 +1,373 @@
+// Package checkpoint is the durable on-disk format behind the
+// checkpoint/restart layer: a small framed container (magic, frame
+// version, a kind tag naming the content, a CRC-32 checksum) plus a
+// little-endian binary codec for the payloads the simulator snapshots
+// (float64/float32/uint16/complex128 slices, scalars, strings).
+//
+// Files are written atomically: the frame goes to a temporary file in
+// the destination directory, is synced, and is renamed over the target
+// — a reader never observes a half-written checkpoint, and a crash
+// mid-write leaves the previous checkpoint intact. Reads verify the
+// magic, frame version, kind, declared length, and checksum before any
+// payload byte is interpreted, so truncated or corrupted files fail
+// with a clean error instead of feeding garbage into a resume.
+//
+// The package deliberately has no dependency on the simulator layers;
+// cluster, distsim, optimize, and serve all encode through it.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// magic identifies a checkpoint frame. The trailing NUL keeps the
+// header fixed-width at 8 bytes.
+const magic = "QOKCKPT\x00"
+
+// frameVersion is the container format version (the content inside a
+// payload carries its own per-kind version).
+const frameVersion = 1
+
+// maxKindLen bounds the kind tag, keeping header parsing allocation-
+// safe on corrupted input.
+const maxKindLen = 64
+
+// EncodeFrame wraps payload in a checkpoint frame tagged with kind.
+func EncodeFrame(kind string, payload []byte) ([]byte, error) {
+	if len(kind) == 0 || len(kind) > maxKindLen {
+		return nil, fmt.Errorf("checkpoint: kind %q must be 1–%d bytes", kind, maxKindLen)
+	}
+	buf := make([]byte, 0, len(magic)+4+4+len(kind)+8+4+len(payload))
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, frameVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(kind)))
+	buf = append(buf, kind...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, frameSum(kind, payload))
+	buf = append(buf, payload...)
+	return buf, nil
+}
+
+// frameSum covers the kind tag as well as the payload, so corruption
+// anywhere past the fixed header fails the checksum (the fixed header
+// fields are each validated directly).
+func frameSum(kind string, payload []byte) uint32 {
+	sum := crc32.ChecksumIEEE([]byte(kind))
+	return crc32.Update(sum, crc32.IEEETable, payload)
+}
+
+// DecodeFrame validates a frame and returns its kind tag and payload.
+// The payload aliases buf; callers that keep it past buf's lifetime
+// must copy.
+func DecodeFrame(buf []byte) (kind string, payload []byte, err error) {
+	if len(buf) < len(magic)+4+4 {
+		return "", nil, fmt.Errorf("checkpoint: truncated frame header (%d bytes)", len(buf))
+	}
+	if string(buf[:len(magic)]) != magic {
+		return "", nil, fmt.Errorf("checkpoint: bad magic (not a checkpoint file)")
+	}
+	off := len(magic)
+	v := binary.LittleEndian.Uint32(buf[off:])
+	off += 4
+	if v != frameVersion {
+		return "", nil, fmt.Errorf("checkpoint: unsupported frame version %d (want %d)", v, frameVersion)
+	}
+	kl := binary.LittleEndian.Uint32(buf[off:])
+	off += 4
+	if kl == 0 || kl > maxKindLen || off+int(kl)+8+4 > len(buf) {
+		return "", nil, fmt.Errorf("checkpoint: corrupted kind tag (length %d)", kl)
+	}
+	kind = string(buf[off : off+int(kl)])
+	off += int(kl)
+	plen := binary.LittleEndian.Uint64(buf[off:])
+	off += 8
+	sum := binary.LittleEndian.Uint32(buf[off:])
+	off += 4
+	if plen != uint64(len(buf)-off) {
+		return "", nil, fmt.Errorf("checkpoint: truncated payload: header declares %d bytes, file holds %d", plen, len(buf)-off)
+	}
+	payload = buf[off:]
+	if got := frameSum(kind, payload); got != sum {
+		return "", nil, fmt.Errorf("checkpoint: checksum mismatch (stored %08x, computed %08x): file is corrupted", sum, got)
+	}
+	return kind, payload, nil
+}
+
+// WriteFile atomically persists a frame at path: the bytes land in a
+// temporary file in path's directory, are synced to stable storage,
+// and are renamed over path in one step.
+func WriteFile(path, kind string, payload []byte) error {
+	frame, err := EncodeFrame(kind, payload)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(frame); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile reads and verifies the frame at path, checking its kind tag
+// against want. A missing file surfaces as the underlying
+// fs.ErrNotExist, so callers can distinguish "no checkpoint yet" from
+// a corrupted one.
+func ReadFile(path, want string) ([]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	kind, payload, err := DecodeFrame(buf)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	if kind != want {
+		return nil, fmt.Errorf("checkpoint: %s holds a %q checkpoint, want %q", path, kind, want)
+	}
+	return payload, nil
+}
+
+// Encoder builds a little-endian payload. The zero value is ready to
+// use; every Put method appends.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U32 appends a uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// Int appends an int (as its uint64 bit pattern).
+func (e *Encoder) Int(v int) { e.U64(uint64(int64(v))) }
+
+// Bool appends a bool as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// F64 appends a float64 bit pattern — exact round-trip, including
+// NaNs, infinities, and signed zeros.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.U64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// F64s appends a length-prefixed []float64.
+func (e *Encoder) F64s(v []float64) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.F64(x)
+	}
+}
+
+// F32s appends a length-prefixed []float32.
+func (e *Encoder) F32s(v []float32) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.U32(math.Float32bits(x))
+	}
+}
+
+// U16s appends a length-prefixed []uint16.
+func (e *Encoder) U16s(v []uint16) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.buf = binary.LittleEndian.AppendUint16(e.buf, x)
+	}
+}
+
+// C128s appends a length-prefixed []complex128 as (re, im) float64
+// pairs.
+func (e *Encoder) C128s(v []complex128) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.F64(real(x))
+		e.F64(imag(x))
+	}
+}
+
+// Decoder reads a payload written by Encoder. The first malformed read
+// latches an error; every later read returns zero values, so decode
+// sequences stay linear and check Err once at the end.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a payload for reading.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decode error (nil while healthy). A fully
+// consumed payload is not required; use Remaining to assert that.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread payload bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// fail latches the first error.
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("checkpoint: "+format, args...)
+	}
+}
+
+// take returns the next n raw bytes, or nil after latching a
+// truncation error.
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) || d.off+n < d.off {
+		d.fail("truncated payload: need %d bytes at offset %d of %d", n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U32 reads a uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int reads an int.
+func (d *Decoder) Int() int { return int(int64(d.U64())) }
+
+// Bool reads a bool.
+func (d *Decoder) Bool() bool {
+	b := d.take(1)
+	return b != nil && b[0] != 0
+}
+
+// F64 reads a float64.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.sliceLen(1)
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// sliceLen reads a length prefix and bounds it by the remaining bytes
+// at elemSize each — a corrupted length fails cleanly instead of
+// driving a giant allocation.
+func (d *Decoder) sliceLen(elemSize int) int {
+	n := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(d.Remaining()/elemSize) {
+		d.fail("truncated payload: length prefix %d exceeds %d remaining bytes", n, d.Remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// F64s reads a length-prefixed []float64.
+func (d *Decoder) F64s() []float64 {
+	n := d.sliceLen(8)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = d.F64()
+	}
+	return v
+}
+
+// F32s reads a length-prefixed []float32.
+func (d *Decoder) F32s() []float32 {
+	n := d.sliceLen(4)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = math.Float32frombits(d.U32())
+	}
+	return v
+}
+
+// U16s reads a length-prefixed []uint16.
+func (d *Decoder) U16s() []uint16 {
+	n := d.sliceLen(2)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]uint16, n)
+	for i := range v {
+		b := d.take(2)
+		if b == nil {
+			return nil
+		}
+		v[i] = binary.LittleEndian.Uint16(b)
+	}
+	return v
+}
+
+// C128s reads a length-prefixed []complex128.
+func (d *Decoder) C128s() []complex128 {
+	n := d.sliceLen(16)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]complex128, n)
+	for i := range v {
+		re := d.F64()
+		im := d.F64()
+		v[i] = complex(re, im)
+	}
+	return v
+}

@@ -1,0 +1,220 @@
+package checkpoint
+
+import (
+	"errors"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCodecRoundTrip drives every Encoder/Decoder pair through one
+// payload and asserts exact (bitwise) recovery, including the float
+// edge cases a resume must preserve.
+func TestCodecRoundTrip(t *testing.T) {
+	f64s := []float64{0, math.Copysign(0, -1), 1.5, -math.Pi, math.Inf(1), math.Inf(-1), math.NaN()}
+	f32s := []float32{0, float32(math.Copysign(0, -1)), 0.25, -3.5, float32(math.Inf(1))}
+	u16s := []uint16{0, 1, 65535, 32768}
+	c128s := []complex128{complex(1, -2), complex(math.Inf(-1), 0), 0}
+
+	var e Encoder
+	e.U32(7)
+	e.U64(1 << 40)
+	e.Int(-42)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(-0.125)
+	e.String("sharded adam")
+	e.F64s(f64s)
+	e.F32s(f32s)
+	e.U16s(u16s)
+	e.C128s(c128s)
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U32(); got != 7 {
+		t.Errorf("U32 = %d", got)
+	}
+	if got := d.U64(); got != 1<<40 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := d.Int(); got != -42 {
+		t.Errorf("Int = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Errorf("Bool pair mismatch")
+	}
+	if got := d.F64(); got != -0.125 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.String(); got != "sharded adam" {
+		t.Errorf("String = %q", got)
+	}
+	gotF64 := d.F64s()
+	if len(gotF64) != len(f64s) {
+		t.Fatalf("F64s len = %d", len(gotF64))
+	}
+	for i := range f64s {
+		if math.Float64bits(gotF64[i]) != math.Float64bits(f64s[i]) {
+			t.Errorf("F64s[%d] = %v, want %v (bits differ)", i, gotF64[i], f64s[i])
+		}
+	}
+	gotF32 := d.F32s()
+	for i := range f32s {
+		if math.Float32bits(gotF32[i]) != math.Float32bits(f32s[i]) {
+			t.Errorf("F32s[%d] = %v, want %v", i, gotF32[i], f32s[i])
+		}
+	}
+	gotU16 := d.U16s()
+	for i := range u16s {
+		if gotU16[i] != u16s[i] {
+			t.Errorf("U16s[%d] = %d, want %d", i, gotU16[i], u16s[i])
+		}
+	}
+	gotC := d.C128s()
+	for i := range c128s {
+		if math.Float64bits(real(gotC[i])) != math.Float64bits(real(c128s[i])) ||
+			math.Float64bits(imag(gotC[i])) != math.Float64bits(imag(c128s[i])) {
+			t.Errorf("C128s[%d] = %v, want %v", i, gotC[i], c128s[i])
+		}
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode error: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("%d bytes left over", d.Remaining())
+	}
+}
+
+// TestDecoderLatchesFirstError checks the error-latching contract:
+// after the first malformed read every later read is a zero-value
+// no-op and Err keeps reporting the original failure.
+func TestDecoderLatchesFirstError(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if got := d.U64(); got != 0 {
+		t.Errorf("truncated U64 = %d, want 0", got)
+	}
+	first := d.Err()
+	if first == nil {
+		t.Fatal("no error after truncated read")
+	}
+	if got := d.F64s(); got != nil {
+		t.Errorf("post-error F64s = %v, want nil", got)
+	}
+	if d.Err() != first {
+		t.Errorf("latched error changed: %v → %v", first, d.Err())
+	}
+}
+
+// TestDecoderRejectsGiantLengthPrefix ensures a corrupted length
+// prefix fails cleanly instead of attempting the allocation it names.
+func TestDecoderRejectsGiantLengthPrefix(t *testing.T) {
+	var e Encoder
+	e.U64(1 << 60) // claims 2^60 float64s follow
+	d := NewDecoder(e.Bytes())
+	if got := d.F64s(); got != nil {
+		t.Fatalf("F64s = %v, want nil", got)
+	}
+	if d.Err() == nil || !strings.Contains(d.Err().Error(), "length prefix") {
+		t.Fatalf("err = %v, want length-prefix failure", d.Err())
+	}
+}
+
+// TestFileRoundTrip exercises the atomic write/read path, the kind
+// check, and the not-exists passthrough.
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+
+	if _, err := ReadFile(path, "unit-test"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file error = %v, want fs.ErrNotExist", err)
+	}
+
+	payload := []byte("the payload bytes")
+	if err := WriteFile(path, "unit-test", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, "unit-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+
+	if _, err := ReadFile(path, "other-kind"); err == nil || !strings.Contains(err.Error(), `want "other-kind"`) {
+		t.Fatalf("kind mismatch error = %v", err)
+	}
+
+	// Overwrite must be atomic-rename, leaving no temp droppings.
+	if err := WriteFile(path, "unit-test", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "state.ckpt" {
+		t.Fatalf("directory holds %v, want only state.ckpt", entries)
+	}
+}
+
+// TestCorruptionDetection flips and truncates bytes of a valid frame
+// and asserts each damaged variant is rejected with a checksum or
+// truncation error — never accepted, never a panic.
+func TestCorruptionDetection(t *testing.T) {
+	frame, err := EncodeFrame("unit-test", []byte("some checkpoint payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeFrame(frame); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		if _, _, err := DecodeFrame(bad); err == nil {
+			t.Errorf("bit flip at byte %d accepted", i)
+		}
+	}
+	for cut := 1; cut < len(frame); cut++ {
+		if _, _, err := DecodeFrame(frame[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+// FuzzDecodeFrame is the corrupted/truncated-checkpoint fuzz target:
+// DecodeFrame must never panic on arbitrary bytes, and any input it
+// accepts must re-encode to an equivalent frame (kind and payload
+// round-trip).
+func FuzzDecodeFrame(f *testing.F) {
+	valid, err := EncodeFrame("fuzz-seed", []byte("seed payload"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	empty, err := EncodeFrame("empty", nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeFrame(kind, payload)
+		if err != nil {
+			t.Fatalf("accepted frame fails to re-encode: %v", err)
+		}
+		k2, p2, err := DecodeFrame(re)
+		if err != nil || k2 != kind || string(p2) != string(payload) {
+			t.Fatalf("round-trip mismatch: kind %q→%q err=%v", kind, k2, err)
+		}
+	})
+}

@@ -83,6 +83,19 @@ func DefaultNetworkModel() NetworkModel {
 	}
 }
 
+// FaultFn is a fault injector consulted at the entry of every
+// collective: it receives the calling rank, the collective's name
+// ("Barrier", "Alltoall", "AllreduceSumVec", "Sendrecv", …), and how
+// many times this rank has entered that collective before (0-based).
+// Returning a non-nil error kills the rank at that point — the group
+// is aborted with the error as its cause, the failing rank returns it,
+// and every peer unwinds from its next synchronization with the same
+// cause. This is the test harness behind the checkpoint/restart
+// recovery suite: it simulates a node dying mid-collective without any
+// cooperation from the code under test. Production groups leave it
+// unset.
+type FaultFn func(rank int, op string, call int) error
+
 // Counters accumulates one rank's communication activity.
 type Counters struct {
 	BytesSent int64
@@ -124,6 +137,12 @@ type Group struct {
 
 	counters []Counters
 
+	// fault, when non-nil, is consulted by every collective entry;
+	// faultCalls counts per-rank, per-collective entries (rank-local
+	// maps, written only by the owning rank's goroutine).
+	fault      FaultFn
+	faultCalls []map[string]int
+
 	// abortCause latches the first Abort cause; once set, the barrier
 	// is poisoned and every collective returns the cause.
 	abortCause atomic.Pointer[error]
@@ -163,6 +182,18 @@ func (g *Group) Comm(r int) *Comm {
 
 // Counters returns a copy of rank r's traffic counters.
 func (g *Group) Counters(r int) Counters { return g.counters[r] }
+
+// SetFault installs a fault injector. It must be called before any
+// rank enters a collective (in practice: before Run/RunContext).
+func (g *Group) SetFault(f FaultFn) {
+	g.fault = f
+	if f != nil && g.faultCalls == nil {
+		g.faultCalls = make([]map[string]int, g.size)
+		for r := range g.faultCalls {
+			g.faultCalls[r] = make(map[string]int)
+		}
+	}
+}
 
 // TotalCounters sums counters across ranks.
 func (g *Group) TotalCounters() Counters {
@@ -248,6 +279,14 @@ func (g *Group) RunContext(ctx context.Context, fn func(c *Comm) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// The latched abort cause is the root error. Scanning errs in rank
+	// order would report whichever failing rank has the lowest id —
+	// when two ranks abort concurrently with distinct causes, the rank
+	// that lost the Abort CAS could still win the scan and mask the
+	// first (root) cause behind its own secondary one.
+	if cause := g.aborted(); cause != nil {
+		return cause
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -274,6 +313,9 @@ func (c *Comm) Counters() Counters { return c.g.counters[c.rank] }
 // Barrier synchronizes all ranks. It returns non-nil only when the
 // group has been aborted.
 func (c *Comm) Barrier() error {
+	if err := c.checkFault("Barrier"); err != nil {
+		return err
+	}
 	start := time.Now()
 	if !c.g.bar.wait() {
 		return c.abortErr()
@@ -292,6 +334,32 @@ func (c *Comm) abortErr() error {
 	return ErrAborted
 }
 
+// Abort poisons the whole group from one rank (see Group.Abort). A rank
+// whose rank-local work fails — a checkpoint write, say — uses this to
+// kill its peers' next synchronization instead of stranding them at the
+// barrier it will never reach.
+func (c *Comm) Abort(cause error) { c.g.Abort(cause) }
+
+// checkFault consults the installed fault injector at a collective
+// entry. On injection the rank dies exactly as a real failure would:
+// the group is aborted with the fault as its cause and the collective
+// returns it without touching the fabric.
+func (c *Comm) checkFault(op string) error {
+	g := c.g
+	if g.fault == nil {
+		return nil
+	}
+	calls := g.faultCalls[c.rank]
+	n := calls[op]
+	calls[op] = n + 1
+	if err := g.fault(c.rank, op, n); err != nil {
+		err = fmt.Errorf("cluster: injected fault at rank %d %s[%d]: %w", c.rank, op, n, err)
+		g.Abort(err)
+		return err
+	}
+	return nil
+}
+
 // Alltoall performs the in-place all-to-all exchange: buf is split
 // into Size() equal subchunks; subchunk s is sent to rank s, which
 // stores it as its subchunk Rank(). Every rank must call with equal
@@ -299,6 +367,9 @@ func (c *Comm) abortErr() error {
 // heart of Algorithm 4 — for a state vector it transposes the
 // (rank, top-local-qubits) index pair.
 func (c *Comm) Alltoall(buf []complex128) error {
+	if err := c.checkFault("Alltoall"); err != nil {
+		return err
+	}
 	g := c.g
 	k := g.size
 	if len(buf)%k != 0 {
@@ -372,6 +443,9 @@ func (c *Comm) Alltoall(buf []complex128) error {
 
 // AllreduceSum returns the sum of x across ranks, on every rank.
 func (c *Comm) AllreduceSum(x float64) (float64, error) {
+	if err := c.checkFault("AllreduceSum"); err != nil {
+		return 0, err
+	}
 	g := c.g
 	g.floats[c.rank] = x
 	c.syncCount(2)
@@ -390,6 +464,9 @@ func (c *Comm) AllreduceSum(x float64) (float64, error) {
 
 // AllreduceMin returns the minimum of x across ranks, on every rank.
 func (c *Comm) AllreduceMin(x float64) (float64, error) {
+	if err := c.checkFault("AllreduceMin"); err != nil {
+		return 0, err
+	}
 	g := c.g
 	g.floats[c.rank] = x
 	c.syncCount(2)
@@ -433,6 +510,9 @@ func (c *Comm) AllreduceMax(x float64) (float64, error) {
 // exchanges, which dominate at any realistic n (2p·8 bytes vs
 // 2^{n−k}·16 per rank).
 func (c *Comm) AllreduceSumVec(x []float64) error {
+	if err := c.checkFault("AllreduceSumVec"); err != nil {
+		return err
+	}
 	g := c.g
 	start := time.Now()
 	g.fvecs[c.rank] = x
@@ -488,6 +568,9 @@ func firstMismatch(vecs [][]float64, want int) int {
 // carried onto the cluster). Both slices must have equal lengths
 // divisible by Size(), identical on every rank.
 func (c *Comm) Alltoall32(re, im []float32) error {
+	if err := c.checkFault("Alltoall32"); err != nil {
+		return err
+	}
 	g := c.g
 	k := g.size
 	if len(re) != len(im) {
@@ -573,6 +656,9 @@ func (c *Comm) Alltoall32(re, im []float32) error {
 // bit), so the gate needs a point-to-point slice exchange, not a full
 // all-to-all (the cuStateVec index-bit-swap pattern).
 func (c *Comm) Sendrecv(partner int, buf []complex128, recv []complex128) error {
+	if err := c.checkFault("Sendrecv"); err != nil {
+		return err
+	}
 	g := c.g
 	start := time.Now()
 	// Validation must not strand the peers: an erroring rank still
@@ -614,6 +700,9 @@ func (c *Comm) Sendrecv(partner int, buf []complex128, recv []complex128) error 
 // the float32 xy partner exchanges. Same pairing and no-stranding
 // contract as Sendrecv; recvRe/recvIm must have equal lengths.
 func (c *Comm) Sendrecv32(partner int, re, im, recvRe, recvIm []float32) error {
+	if err := c.checkFault("Sendrecv32"); err != nil {
+		return err
+	}
 	g := c.g
 	start := time.Now()
 	var err error
@@ -661,6 +750,9 @@ func (c *Comm) Sendrecv32(partner int, re, im, recvRe, recvIm []float32) error {
 // returns the full vector on every rank (the paper's mpi_gather=True
 // output path).
 func (c *Comm) AllGather(local []complex128) ([]complex128, error) {
+	if err := c.checkFault("AllGather"); err != nil {
+		return nil, err
+	}
 	g := c.g
 	g.bufs[c.rank] = local
 	c.syncCount(2)

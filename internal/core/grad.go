@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"qokit/internal/statevec"
@@ -79,6 +80,15 @@ func (s *Simulator) SimulateQAOAGrad(gamma, beta []float64) (energy float64, gra
 // Distinct GradBuffers may be evolved concurrently against one shared
 // Simulator, exactly like Results in SimulateQAOAInto.
 func (s *Simulator) SimulateQAOAGradInto(w *GradBuffers, gamma, beta, gradGamma, gradBeta []float64) (float64, error) {
+	return s.SimulateQAOAGradIntoCtx(nil, w, gamma, beta, gradGamma, gradBeta)
+}
+
+// SimulateQAOAGradIntoCtx is SimulateQAOAGradInto under a request
+// context: both the forward pass and the reverse mixer undos reach the
+// RouteAuto calibration path, and ctx lets a cancelled request fail
+// fast there instead of burning a timed mixer application. A nil ctx
+// behaves like SimulateQAOAGradInto.
+func (s *Simulator) SimulateQAOAGradIntoCtx(ctx context.Context, w *GradBuffers, gamma, beta, gradGamma, gradBeta []float64) (float64, error) {
 	if len(gamma) != len(beta) {
 		return 0, fmt.Errorf("core: len(gamma)=%d != len(beta)=%d", len(gamma), len(beta))
 	}
@@ -89,7 +99,7 @@ func (s *Simulator) SimulateQAOAGradInto(w *GradBuffers, gamma, beta, gradGamma,
 	if w == nil || w.psi == nil || w.lam == nil {
 		return 0, fmt.Errorf("core: nil GradBuffers; use NewGradBuffers")
 	}
-	if err := s.SimulateQAOAInto(w.psi, gamma, beta); err != nil {
+	if err := s.SimulateQAOAIntoCtx(ctx, w.psi, gamma, beta); err != nil {
 		return 0, err
 	}
 	if err := s.bindResult(w.lam); err != nil {
@@ -102,7 +112,11 @@ func (s *Simulator) SimulateQAOAGradInto(w *GradBuffers, gamma, beta, gradGamma,
 	s.mulDiag(w.lam)
 
 	for l := len(gamma) - 1; l >= 0; l-- {
-		gradBeta[l] = 2 * s.mixerDerivUndo(w.lam, w.psi, beta[l])
+		d, err := s.mixerDerivUndo(ctx, w.lam, w.psi, beta[l])
+		if err != nil {
+			return 0, err
+		}
+		gradBeta[l] = 2 * d
 		gradGamma[l] = 2 * s.imDotDiag(w.lam, w.psi)
 		if l > 0 {
 			// Undo the phase on both states; skipped on the last
@@ -120,13 +134,17 @@ func (s *Simulator) SimulateQAOAGradInto(w *GradBuffers, gamma, beta, gradGamma,
 // once against the post-mixer pair; for the Trotterized xy mixers the
 // per-edge factors do not commute, so the sweep interleaves one edge
 // reduction with one edge undo, in reverse application order.
-func (s *Simulator) mixerDerivUndo(lam, psi *Result, beta float64) float64 {
+func (s *Simulator) mixerDerivUndo(ctx context.Context, lam, psi *Result, beta float64) (float64, error) {
 	var d float64
 	if s.opts.Mixer == MixerX {
 		d = s.imDotXAll(lam, psi)
-		s.applyMixer(psi, -beta)
-		s.applyMixer(lam, -beta)
-		return d
+		if err := s.applyMixerCtx(ctx, psi, -beta); err != nil {
+			return 0, err
+		}
+		if err := s.applyMixerCtx(ctx, lam, -beta); err != nil {
+			return 0, err
+		}
+		return d, nil
 	}
 	for k := len(s.mixerPairs) - 1; k >= 0; k-- {
 		e := s.mixerPairs[k]
@@ -134,7 +152,7 @@ func (s *Simulator) mixerDerivUndo(lam, psi *Result, beta float64) float64 {
 		s.applyXYPair(psi, e.U, e.V, -beta)
 		s.applyXYPair(lam, e.U, e.V, -beta)
 	}
-	return d
+	return d, nil
 }
 
 // copyState overwrites dst's amplitudes with src's (same backend, no

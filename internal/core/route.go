@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -115,16 +116,32 @@ func (d *routeDecision) decided() MixerRoute {
 // apply runs f with the route to use for this application. While the
 // shape is uncalibrated it picks the not-yet-measured route, times the
 // application, and publishes the winner once both routes have run.
-func (d *routeDecision) apply(f func(MixerRoute)) {
+//
+// The request context gates the calibration path: a cancelled request
+// must not burn a full timed mixer application (at calibration sizes,
+// n ≥ 18, that is the most expensive single step a request takes).
+// It is consulted before queueing on the calibration lock and again
+// after acquiring it — the second check is what protects a request
+// that went stale while waiting behind another shape measurement. The
+// decided fast path never consults ctx: once calibrated, applications
+// are plain kernel work whose callers handle cancellation at layer
+// boundaries. A nil ctx (internal callers) never fails.
+func (d *routeDecision) apply(ctx context.Context, f func(MixerRoute)) error {
 	if v := d.done.Load(); v != 0 {
 		f(MixerRoute(v - 1))
-		return
+		return nil
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if v := d.done.Load(); v != 0 {
 		f(MixerRoute(v - 1))
-		return
+		return nil
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
 	}
 	idx := 0
 	rt := RouteSweep
@@ -142,4 +159,26 @@ func (d *routeDecision) apply(f func(MixerRoute)) {
 		}
 		d.done.Store(1 + int32(winner))
 	}
+	return nil
+}
+
+// ctxErr reports a cancelled calibration context (nil ctx never fails).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: mixer route calibration aborted: %w", err)
+	}
+	return nil
+}
+
+// resetRouteCacheForTest clears the process-global calibration cache so
+// calibration tests see a cold state regardless of which tests ran
+// before them. Test-only: production code never unpublishes a decision.
+func resetRouteCacheForTest() {
+	routeCache.Range(func(k, _ any) bool {
+		routeCache.Delete(k)
+		return true
+	})
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -258,7 +260,9 @@ func TestRouteAutoCalibration(t *testing.T) {
 	diag := routeTestDiag(n)
 	gamma := []float64{0.6, -0.2}
 	beta := []float64{0.3, 0.7}
-	// Workers: 5 keys a shape no other test calibrates.
+	// Start from a cold cache instead of hoping no earlier test
+	// calibrated this shape.
+	resetRouteCacheForTest()
 	auto, err := NewFromDiagonal(n, diag, Options{Backend: BackendSoA, Workers: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -292,6 +296,48 @@ func TestRouteAutoCalibration(t *testing.T) {
 	}
 	if d := math.Abs(ra2.Expectation() - rf.Expectation()); d > 1e-9 {
 		t.Errorf("post-calibration energy deviates from sweep by %g", d)
+	}
+}
+
+// TestRouteCalibrationCancelledCtx exercises the request-context gate
+// on the calibration path: a cancelled request must fail before the
+// timed mixer application runs, a nil (internal) context must still
+// calibrate, and once the decision is published the fast path must
+// ignore the context entirely.
+func TestRouteCalibrationCancelledCtx(t *testing.T) {
+	resetRouteCacheForTest()
+	d := routeDecisionFor(routeKey{n: 20, workers: 3, backend: BackendSoA})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := d.apply(ctx, func(MixerRoute) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled calibration returned %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "calibration aborted") {
+		t.Errorf("error %q does not name the calibration path", err)
+	}
+	if ran {
+		t.Fatal("cancelled request still burned a timed measurement")
+	}
+
+	// A nil ctx (internal caller) calibrates as before; two
+	// applications publish the decision.
+	for i := 0; i < 2; i++ {
+		if err := d.apply(nil, func(MixerRoute) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.decided() == RouteAuto {
+		t.Fatal("decision not published after both measurements")
+	}
+
+	// Decided fast path: the cancelled ctx is no longer consulted —
+	// cancellation is the caller's job at layer boundaries.
+	ran = false
+	if err := d.apply(ctx, func(MixerRoute) { ran = true }); err != nil || !ran {
+		t.Fatalf("decided fast path: err=%v ran=%v", err, ran)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -61,6 +62,14 @@ func (s *Simulator) NewResult() *Result {
 // Simulator — the simulator is read-only during evolution — which is
 // what the internal/sweep batch engine does.
 func (s *Simulator) SimulateQAOAInto(r *Result, gamma, beta []float64) error {
+	return s.SimulateQAOAIntoCtx(nil, r, gamma, beta)
+}
+
+// SimulateQAOAIntoCtx is SimulateQAOAInto under a request context: the
+// RouteAuto calibration path consults ctx and fails fast instead of
+// timing a live mixer application for a request nobody is waiting on.
+// A nil ctx behaves like SimulateQAOAInto.
+func (s *Simulator) SimulateQAOAIntoCtx(ctx context.Context, r *Result, gamma, beta []float64) error {
 	if len(gamma) != len(beta) {
 		return fmt.Errorf("core: len(gamma)=%d != len(beta)=%d", len(gamma), len(beta))
 	}
@@ -68,7 +77,9 @@ func (s *Simulator) SimulateQAOAInto(r *Result, gamma, beta []float64) error {
 		return err
 	}
 	for l := range gamma {
-		s.applyLayer(r, gamma[l], beta[l])
+		if err := s.applyLayerCtx(ctx, r, gamma[l], beta[l]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -121,13 +132,20 @@ func (s *Simulator) ApplyLayer(r *Result, gamma, beta float64) {
 	s.applyLayer(r, gamma, beta)
 }
 
-// applyLayer applies e^{−iβM}·e^{−iγĈ}. On the default x-mixer sweep
-// path the phase folds into the first mixer pass (bit-identical to the
-// separate passes, one traversal cheaper); every other configuration —
-// xy mixers, the FWHT route, quantized/recomputed phases, the
-// SeparatePhase ablation, and auto shapes still calibrating — runs the
-// two operators separately.
+// applyLayer is applyLayerCtx without a request context (nil ctx never
+// fails, so the error is statically nil).
 func (s *Simulator) applyLayer(r *Result, gamma, beta float64) {
+	s.applyLayerCtx(nil, r, gamma, beta)
+}
+
+// applyLayerCtx applies e^{−iβM}·e^{−iγĈ}. On the default x-mixer
+// sweep path the phase folds into the first mixer pass (bit-identical
+// to the separate passes, one traversal cheaper); every other
+// configuration — xy mixers, the FWHT route, quantized/recomputed
+// phases, the SeparatePhase ablation, and auto shapes still
+// calibrating — runs the two operators separately. ctx gates only the
+// calibration path (see routeDecision.apply); it may be nil.
+func (s *Simulator) applyLayerCtx(ctx context.Context, r *Result, gamma, beta float64) error {
 	if s.opts.Mixer == MixerX && !s.opts.SeparatePhase && !s.opts.RecomputePhase && s.quant == nil {
 		route := s.route
 		if route == RouteAuto {
@@ -135,11 +153,11 @@ func (s *Simulator) applyLayer(r *Result, gamma, beta float64) {
 		}
 		if route == RouteSweep {
 			s.applyFusedLayer(r, gamma, beta)
-			return
+			return nil
 		}
 	}
 	s.applyPhase(r, gamma)
-	s.applyMixer(r, beta)
+	return s.applyMixerCtx(ctx, r, beta)
 }
 
 // applyFusedLayer dispatches the fused phase+mixer sweep kernels.
@@ -247,6 +265,10 @@ func tableToSoA(tab []complex128, codes []uint16) (cosT, sinT []float64) {
 }
 
 func (s *Simulator) applyMixer(r *Result, beta float64) {
+	s.applyMixerCtx(nil, r, beta)
+}
+
+func (s *Simulator) applyMixerCtx(ctx context.Context, r *Result, beta float64) error {
 	switch s.opts.Mixer {
 	case MixerX:
 		switch s.route {
@@ -255,7 +277,7 @@ func (s *Simulator) applyMixer(r *Result, beta float64) {
 		case RouteFWHT:
 			s.applyMixerFWHT(r, beta)
 		default: // RouteAuto: calibrate on live applications
-			s.routeDec.apply(func(rt MixerRoute) {
+			return s.routeDec.apply(ctx, func(rt MixerRoute) {
 				if rt == RouteFWHT {
 					s.applyMixerFWHT(r, beta)
 				} else {
@@ -277,6 +299,7 @@ func (s *Simulator) applyMixer(r *Result, beta float64) {
 			}
 		}
 	}
+	return nil
 }
 
 // applyMixerSweep runs the transverse-field mixer as per-qubit (or

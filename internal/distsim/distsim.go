@@ -87,6 +87,11 @@ type Options struct {
 	// QuantScale fixes the quantization step; 0 selects automatically
 	// (the AutoScales power-of-two ladder, reconciled across ranks).
 	QuantScale float64
+	// Fault, when non-nil, is installed on every rank group this run
+	// creates (cluster.Group.SetFault) — the test-only fault injector
+	// the checkpoint/restart suite uses to kill ranks mid-collective.
+	// Production callers leave it nil.
+	Fault cluster.FaultFn
 }
 
 // Precision selects the sharded state's amplitude storage.
@@ -247,6 +252,13 @@ type Result struct {
 // the problem given by terms. Cancelling ctx releases every rank from
 // its next collective and returns ctx.Err().
 func SimulateQAOA(ctx context.Context, n int, terms poly.Terms, gamma, beta []float64, opts Options) (*Result, error) {
+	return simulateQAOAPlan(ctx, n, terms, gamma, beta, opts, ckptPlan{})
+}
+
+// simulateQAOAPlan is SimulateQAOA threaded through a checkpoint plan:
+// the zero plan is a plain run; SimulateQAOACheckpointed passes a plan
+// that seeds the shards from a snapshot and captures layer boundaries.
+func simulateQAOAPlan(ctx context.Context, n int, terms poly.Terms, gamma, beta []float64, opts Options, plan ckptPlan) (*Result, error) {
 	if err := terms.Validate(n); err != nil {
 		return nil, err
 	}
@@ -266,8 +278,9 @@ func SimulateQAOA(ctx context.Context, n int, terms poly.Terms, gamma, beta []fl
 	if err != nil {
 		return nil, err
 	}
+	g.SetFault(opts.Fault)
 	if opts.Precision == PrecisionFloat32 {
-		return simulateQAOA32(ctx, g, n, k, compiled, edges, gamma, beta, opts)
+		return simulateQAOA32(ctx, g, n, k, compiled, edges, gamma, beta, opts, plan)
 	}
 
 	localN := n - k
@@ -309,16 +322,21 @@ func SimulateQAOA(ctx context.Context, n int, terms poly.Terms, gamma, beta []fl
 			return diag[i]
 		}
 
-		// Local slice of the initial state (|+⟩^n or the Dicke shard).
+		// Local slice of the initial state: |+⟩^n or the Dicke shard, or
+		// the snapshotted mid-run shard when resuming from a checkpoint.
 		local := make(statevec.Vec, localSize)
-		initLocalState(local, n, rank, opts.Mixer, hw)
+		if plan.resume != nil {
+			copy(local, plan.resume.Shards[rank])
+		} else {
+			initLocalState(local, n, rank, opts.Mixer, hw)
+		}
 		var recv, send statevec.Vec
 		if restrict {
 			recv = make(statevec.Vec, localSize)
 			send = make(statevec.Vec, localSize/2)
 		}
 
-		for l := range gamma {
+		for l := plan.start; l < len(gamma); l++ {
 			if quant != nil {
 				quant.PhaseApplyVec(local, gamma[l])
 			} else {
@@ -330,6 +348,11 @@ func SimulateQAOA(ctx context.Context, n int, terms poly.Terms, gamma, beta []fl
 				}
 			} else if err := distributedMixerXY(c, local, recv, send, localN, edges, beta[l]); err != nil {
 				return err
+			}
+			if plan.capture != nil {
+				if err := plan.capture(c, l+1, local); err != nil {
+					return err
+				}
 			}
 		}
 

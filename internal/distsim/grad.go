@@ -145,6 +145,7 @@ func NewGradEngine(n int, terms poly.Terms, opts Options) (*GradEngine, error) {
 		if err != nil {
 			return nil, err
 		}
+		qg.SetFault(opts.Fault)
 		if err := qg.Run(func(c *cluster.Comm) error {
 			shard := make([]float64, localSize)
 			costvec.PrecomputeRange(compiled, uint64(c.Rank())<<uint(localN), shard)
@@ -177,6 +178,7 @@ func (e *GradEngine) newLease() (*gradLease, error) {
 	if err != nil {
 		return nil, err
 	}
+	g.SetFault(e.opts.Fault)
 	localN := e.n - e.k
 	localSize := 1 << uint(localN)
 	l := &gradLease{

@@ -402,6 +402,7 @@ func SimulateQAOAOutputs(ctx context.Context, n int, terms poly.Terms, gamma, be
 	if err != nil {
 		return nil, err
 	}
+	g.SetFault(opts.Fault)
 
 	localN := n - k
 	localSize := 1 << uint(localN)

@@ -192,7 +192,7 @@ func imDotRemotePairs32(lam *statevec.SoA32, psiRe, psiIm []float32, uMask, selM
 // the diagonal stays float64 (as in the single-node SoA32 backend) but
 // the state and every wire format are single precision. Gather is
 // rejected at validation, so there is no assembly branch.
-func simulateQAOA32(ctx context.Context, g *cluster.Group, n, k int, compiled poly.Compiled, edges []graphs.Edge, gamma, beta []float64, opts Options) (*Result, error) {
+func simulateQAOA32(ctx context.Context, g *cluster.Group, n, k int, compiled poly.Compiled, edges []graphs.Edge, gamma, beta []float64, opts Options, plan ckptPlan) (*Result, error) {
 	localN := n - k
 	localSize := 1 << uint(localN)
 	hw := opts.hammingWeight(n)
@@ -208,14 +208,19 @@ func simulateQAOA32(ctx context.Context, g *cluster.Group, n, k int, compiled po
 		costvec.PrecomputeRange(compiled, offset, diag)
 
 		local := statevec.NewSoA32(localN)
-		initLocalState32(local, n, rank, opts.Mixer, hw)
+		if plan.resume != nil {
+			copy(local.Re, plan.resume.Re[rank])
+			copy(local.Im, plan.resume.Im[rank])
+		} else {
+			initLocalState32(local, n, rank, opts.Mixer, hw)
+		}
 		var recv, send f32buf
 		if restrict {
 			recv = newF32buf(localSize)
 			send = newF32buf(localSize / 2)
 		}
 
-		for l := range gamma {
+		for l := plan.start; l < len(gamma); l++ {
 			local.PhaseDiag(serialPool, diag, gamma[l])
 			if opts.Mixer == core.MixerX {
 				if err := distributedMixer32(c, local, n, k, beta[l]); err != nil {
@@ -223,6 +228,11 @@ func simulateQAOA32(ctx context.Context, g *cluster.Group, n, k int, compiled po
 				}
 			} else if err := distributedMixerXY32(c, local, recv, send, localN, edges, beta[l]); err != nil {
 				return err
+			}
+			if plan.capture32 != nil {
+				if err := plan.capture32(c, l+1, local); err != nil {
+					return err
+				}
 			}
 		}
 

@@ -46,6 +46,19 @@ type AdamOptions struct {
 	// Ctx, when non-nil, cancels the optimization: the loop stops at
 	// the next iteration boundary and returns the best iterate so far.
 	Ctx context.Context
+	// Resume, when non-nil, restores a previous run's complete
+	// optimizer state (iterate, moments, bias corrections, iteration
+	// and evaluation counts, best-so-far) and continues from it. Adam
+	// is deterministic, so a run checkpointed at iteration k and
+	// resumed is bit-identical to one that never stopped.
+	Resume *AdamState
+	// Checkpoint, when non-nil, is called after every completed
+	// iteration with a snapshot that fully determines the remaining
+	// trajectory. The snapshot's slices are freshly allocated — the
+	// callback may retain or serialize them. A non-nil return stops
+	// the run and surfaces through AdamResult.Err (a failing objective
+	// uses this to halt instead of iterating on garbage).
+	Checkpoint func(*AdamState) error
 }
 
 // AdamResult reports the optimum found.
@@ -58,6 +71,10 @@ type AdamResult struct {
 	Iters int
 	// Converged is true when TolGrad was reached before MaxIter.
 	Converged bool
+	// Err is non-nil when the run stopped early on a Checkpoint
+	// callback error or an invalid Resume state; X/F still report the
+	// best iterate seen before the stop.
+	Err error
 }
 
 // Adam minimizes f with the Adam update (Kingma & Ba, arXiv:1412.6980)
@@ -91,7 +108,23 @@ func Adam(f FuncGrad, x0 []float64, opt AdamOptions) AdamResult {
 	v := make([]float64, dim)
 	res := AdamResult{X: append([]float64(nil), x0...), F: math.Inf(1)}
 	b1t, b2t := 1.0, 1.0
-	for k := 0; k < opt.MaxIter; k++ {
+	start := 0
+	if st := opt.Resume; st != nil {
+		if err := st.validate(dim); err != nil {
+			res.Err = err
+			return res
+		}
+		copy(x, st.X)
+		copy(m, st.M)
+		copy(v, st.V)
+		b1t, b2t = st.B1t, st.B2t
+		start = st.Iter
+		cf.Calls = st.Evals
+		res.Iters = st.Iter
+		res.F = st.BestF
+		copy(res.X, st.BestX)
+	}
+	for k := start; k < opt.MaxIter; k++ {
 		if ctxDone(opt.Ctx) {
 			break
 		}
@@ -114,6 +147,23 @@ func Adam(f FuncGrad, x0 []float64, opt AdamOptions) AdamResult {
 			vhat := v[j] / (1 - b2t)
 			x[j] -= opt.Step * mhat / (math.Sqrt(vhat) + opt.Eps)
 		}
+		if opt.Checkpoint != nil {
+			st := &AdamState{
+				X:     append([]float64(nil), x...),
+				M:     append([]float64(nil), m...),
+				V:     append([]float64(nil), v...),
+				B1t:   b1t,
+				B2t:   b2t,
+				Iter:  k + 1,
+				BestX: append([]float64(nil), res.X...),
+				BestF: res.F,
+				Evals: cf.Calls,
+			}
+			if err := opt.Checkpoint(st); err != nil {
+				res.Err = err
+				break
+			}
+		}
 	}
 	res.Evals = cf.Calls
 	return res
@@ -132,6 +182,13 @@ type GDOptions struct {
 	// Ctx, when non-nil, cancels the optimization at the next
 	// iteration boundary.
 	Ctx context.Context
+	// Resume restores a checkpointed run; see AdamOptions.Resume. The
+	// decaying step depends only on the iteration index, so a resumed
+	// trajectory is bit-identical to an uninterrupted one.
+	Resume *GDState
+	// Checkpoint is called after every completed iteration; see
+	// AdamOptions.Checkpoint.
+	Checkpoint func(*GDState) error
 }
 
 // GDResult reports the optimum found by gradient descent.
@@ -143,6 +200,9 @@ type GDResult struct {
 	Iters int
 	// Converged is true when TolGrad was reached before MaxIter.
 	Converged bool
+	// Err is non-nil when the run stopped early on a Checkpoint
+	// callback error or an invalid Resume state.
+	Err error
 }
 
 // GradientDescent minimizes f with plain (optionally decaying-step)
@@ -164,7 +224,20 @@ func GradientDescent(f FuncGrad, x0 []float64, opt GDOptions) GDResult {
 	x := append([]float64(nil), x0...)
 	g := make([]float64, dim)
 	res := GDResult{X: append([]float64(nil), x0...), F: math.Inf(1)}
-	for k := 0; k < opt.MaxIter; k++ {
+	start := 0
+	if st := opt.Resume; st != nil {
+		if err := st.validate(dim); err != nil {
+			res.Err = err
+			return res
+		}
+		copy(x, st.X)
+		start = st.Iter
+		cf.Calls = st.Evals
+		res.Iters = st.Iter
+		res.F = st.BestF
+		copy(res.X, st.BestX)
+	}
+	for k := start; k < opt.MaxIter; k++ {
 		if ctxDone(opt.Ctx) {
 			break
 		}
@@ -181,6 +254,19 @@ func GradientDescent(f FuncGrad, x0 []float64, opt GDOptions) GDResult {
 		step := opt.Step / (1 + opt.Decay*float64(k))
 		for j := 0; j < dim; j++ {
 			x[j] -= step * g[j]
+		}
+		if opt.Checkpoint != nil {
+			st := &GDState{
+				X:     append([]float64(nil), x...),
+				Iter:  k + 1,
+				BestX: append([]float64(nil), res.X...),
+				BestF: res.F,
+				Evals: cf.Calls,
+			}
+			if err := opt.Checkpoint(st); err != nil {
+				res.Err = err
+				break
+			}
 		}
 	}
 	res.Evals = cf.Calls

@@ -461,27 +461,37 @@ func (s *Service) push(t *task) error {
 	return nil
 }
 
-// pop blocks for the oldest task; nil means the service closed.
+// pop blocks for the oldest live task; nil means the service closed.
+// Tasks whose context is already cancelled are settled here with the
+// cancellation error and never returned: a queue full of dead requests
+// costs the popping worker a scan, not one worker occupancy per corpse
+// — the request behind them starts immediately.
 func (s *Service) pop() *task {
-	s.mu.Lock()
-	for !s.closed && s.head == len(s.queue) {
-		s.cond.Wait()
-	}
-	if s.head == len(s.queue) {
+	for {
+		s.mu.Lock()
+		for !s.closed && s.head == len(s.queue) {
+			s.cond.Wait()
+		}
+		if s.head == len(s.queue) {
+			s.mu.Unlock()
+			return nil
+		}
+		t := s.queue[s.head]
+		s.queue[s.head] = nil
+		s.head++
+		if s.head == len(s.queue) {
+			// Drained: rewind so the backing array is reused, keeping the
+			// steady-state queue allocation-free.
+			s.queue = s.queue[:0]
+			s.head = 0
+		}
 		s.mu.Unlock()
-		return nil
+		if err := t.ctx.Err(); err != nil {
+			s.finish(t, 0, err)
+			continue
+		}
+		return t
 	}
-	t := s.queue[s.head]
-	s.queue[s.head] = nil
-	s.head++
-	if s.head == len(s.queue) {
-		// Drained: rewind so the backing array is reused, keeping the
-		// steady-state queue allocation-free.
-		s.queue = s.queue[:0]
-		s.head = 0
-	}
-	s.mu.Unlock()
-	return t
 }
 
 // tryRemove withdraws a still-queued task (cancellation of a waiting
