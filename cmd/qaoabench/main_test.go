@@ -32,6 +32,10 @@ func TestRunnersSmoke(t *testing.T) {
 			[]string{"speedup", "gate-based"}},
 		{"landscape", runLandscape, []string{"-n", "8", "-grid", "6"},
 			[]string{"service-batch", "point-at-a-time", "landscape minimum"}},
+		{"opt-lightcone", runOpt, []string{"-backend", "lightcone", "-graphn", "120", "-p", "2", "-evals", "10"},
+			[]string{"qokit-lightcone", "unique classes", "expected cut"}},
+		{"landscape-lightcone", runLandscape, []string{"-backend", "lightcone", "-graphn", "120", "-grid", "6"},
+			[]string{"light-cone MaxCut 120-vertex", "unique classes", "landscape minimum"}},
 		{"memory", runMemory, []string{"-n", "8"},
 			[]string{"12.5%", "uint16 store exact: true"}},
 		{"gates", runGates, []string{"-nmax", "13"},
@@ -72,7 +76,7 @@ func TestRunnersSmoke(t *testing.T) {
 // BENCH_qaoa.json.
 func TestSuiteJSONRoundTrips(t *testing.T) {
 	var out strings.Builder
-	if err := runSuite(&out, []string{"-n", "8", "-p", "2", "-points", "4", "-reps", "1", "-kerneln", "10", "-json"}); err != nil {
+	if err := runSuite(&out, []string{"-n", "8", "-p", "2", "-points", "4", "-reps", "1", "-kerneln", "10", "-lcn", "60", "-json"}); err != nil {
 		t.Fatal(err)
 	}
 	var report suiteReport
@@ -84,6 +88,7 @@ func TestSuiteJSONRoundTrips(t *testing.T) {
 	}
 	want := []string{"forward", "grad", "sweep",
 		"unfused_layer", "fused_layer", "fwht_mixer",
+		"lightcone_energy", "lightcone_grad",
 		"distributed_forward", "distributed_grad",
 		"distributed_forward_float32", "distributed_grad_float32", "distributed_grad_quantized",
 		"distributed_cvar", "distributed_sample"}

@@ -15,6 +15,8 @@ import (
 	"qokit/internal/distsim"
 	"qokit/internal/evaluator"
 	"qokit/internal/grad"
+	"qokit/internal/graphs"
+	"qokit/internal/lightcone"
 	"qokit/internal/optimize"
 	"qokit/internal/problems"
 	"qokit/internal/serve"
@@ -48,6 +50,11 @@ type suiteConfig struct {
 	// state outgrows cache and the rows measure memory traffic, the
 	// regime the fused and FWHT kernels target.
 	KernelN int `json:"kernel_n"`
+	// LightConeN is the vertex count of the light-cone rows
+	// (lightcone_energy, lightcone_grad) — a 3-regular MaxCut instance
+	// far beyond any statevector, whose cost is set by the cone
+	// decomposition rather than 2^n.
+	LightConeN int `json:"lightcone_n"`
 }
 
 type suiteBenchmark struct {
@@ -84,6 +91,7 @@ func runSuite(w io.Writer, args []string) error {
 	n := fs.Int("n", 14, "qubit count (fixed across workloads)")
 	p := fs.Int("p", 6, "QAOA depth")
 	kernelN := fs.Int("kerneln", 20, "qubit count for the kernel-speed rows")
+	lcN := fs.Int("lcn", 1000, "vertex count for the light-cone rows (3-regular MaxCut)")
 	ranks := fs.Int("ranks", 4, "rank count for the distributed workloads")
 	points := fs.Int("points", 64, "batch size for the sweep workload")
 	reps := fs.Int("reps", 3, "timing repetitions (median)")
@@ -101,7 +109,7 @@ func runSuite(w io.Writer, args []string) error {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Config:     suiteConfig{N: *n, P: *p, Ranks: *ranks, Points: *points, Reps: *reps, KernelN: *kernelN},
+		Config:     suiteConfig{N: *n, P: *p, Ranks: *ranks, Points: *points, Reps: *reps, KernelN: *kernelN, LightConeN: *lcN},
 	}
 	terms := problems.LABSTerms(*n)
 	gamma, beta := optimize.TQAInit(*p, 0.75)
@@ -217,6 +225,43 @@ func runSuite(w io.Writer, args []string) error {
 			SecondsPerUnit: tK.Seconds() / float64(*p),
 		})
 	}
+
+	// Light-cone MaxCut: one energy and one p=2 adjoint gradient over a
+	// radius-2 cone decomposition of a 3-regular instance whose vertex
+	// count dwarfs any statevector — the per-op cost is set by the
+	// handful of unique cone classes, not 2^n, so the row stays flat as
+	// -lcn grows. N records the vertex count, not a qubit count.
+	lcGraph, err := graphs.RandomRegular(*lcN, 3, 7)
+	if err != nil {
+		return err
+	}
+	lcEng, err := lightcone.New(lcGraph, lightcone.Options{Radius: 2})
+	if err != nil {
+		return err
+	}
+	lcX := []float64{0.4, 0.2, 0.55, 0.3}
+	lcGrad := make([]float64, len(lcX))
+	if _, err := lcEng.Energy(ctx, lcX); err != nil {
+		return err
+	}
+	tLCE, _ := benchutil.TimeRepeat(*reps, func() {
+		if _, err := lcEng.Energy(ctx, lcX); err != nil {
+			panic(err)
+		}
+	})
+	report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
+		Name: "lightcone_energy", N: *lcN, P: 2, SecondsPerOp: tLCE.Seconds(),
+	})
+	tLCG, _ := benchutil.TimeRepeat(*reps, func() {
+		if _, err := lcEng.EnergyGrad(ctx, lcX, lcGrad); err != nil {
+			panic(err)
+		}
+	})
+	report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
+		Name: "lightcone_grad", N: *lcN, P: 2,
+		SecondsPerOp:   tLCG.Seconds(),
+		SecondsPerUnit: tLCG.Seconds() / float64(len(lcX)),
+	})
 
 	// Distributed forward: full sharded pipeline. Each precision
 	// variant's forward and grad workloads share one Options value, so

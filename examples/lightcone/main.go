@@ -1,0 +1,137 @@
+// Light-cone MaxCut at sizes no statevector can touch: for bounded-
+// degree graphs at small depth p, each edge's cut expectation depends
+// only on its radius-p neighborhood, so the energy decomposes into
+// thousands of tiny independent simulations — and isomorphic
+// neighborhoods (ubiquitous on random-regular graphs) collapse to a
+// handful of unique cones. The example first checks the reduction is
+// exact against the full statevector at an overlapping size, then
+// scales the same workload through 5000 vertices and optimizes a
+// 1000-vertex instance end to end.
+//
+//	go run ./examples/lightcone
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"qokit"
+)
+
+var (
+	checkN     = 16
+	graphSizes = []int{200, 1000, 5000}
+	optN       = 1000
+	depth      = 2
+	evalBudget = 60
+	degree     = 3
+	graphSeed  = int64(7)
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	ctx := context.Background()
+	gamma, beta := qokit.TQAInit(depth, 0.75)
+	x := append(append([]float64{}, gamma...), beta...)
+
+	// Exactness first: at a size the statevector still reaches, the
+	// cone-decomposed energy must match the full 2^n simulation.
+	small, err := qokit.RandomRegular(checkN, degree, graphSeed)
+	if err != nil {
+		return err
+	}
+	full, err := qokit.NewSimulator(checkN, qokit.MaxCutTerms(small), qokit.Options{})
+	if err != nil {
+		return err
+	}
+	res, err := full.SimulateQAOA(gamma, beta)
+	if err != nil {
+		return err
+	}
+	cone, err := qokit.NewLightConeSimulator(small, qokit.LightConeOptions{Radius: depth})
+	if err != nil {
+		return err
+	}
+	coneE, err := cone.Energy(ctx, x)
+	if err != nil {
+		return err
+	}
+	if d := math.Abs(coneE - res.Expectation()); d > 1e-10*math.Max(1, math.Abs(coneE)) {
+		return fmt.Errorf("light-cone energy %v disagrees with statevector %v (|Δ| = %g)", coneE, res.Expectation(), d)
+	}
+	fmt.Fprintf(w, "exactness check, n=%d p=%d: light-cone %.10f vs statevector %.10f ✓\n\n",
+		checkN, depth, coneE, res.Expectation())
+
+	// Scaling: the per-evaluation cost is set by the unique cone classes
+	// (a handful, regardless of size), so wall-clock grows only with the
+	// O(|E|) expectation sum — not with 2^n.
+	fmt.Fprintf(w, "%8s  %7s  %6s  %8s  %9s  %11s\n",
+		"vertices", "edges", "cones", "hit-rate", "energy", "2p-gradient")
+	for _, nv := range graphSizes {
+		g, err := qokit.RandomRegular(nv, degree, graphSeed)
+		if err != nil {
+			return err
+		}
+		eng, err := qokit.NewLightConeSimulator(g, qokit.LightConeOptions{Radius: depth})
+		if err != nil {
+			return err
+		}
+		grad := make([]float64, len(x))
+		if _, err := eng.Energy(ctx, x); err != nil { // warm the cone buffers
+			return err
+		}
+		start := time.Now()
+		if _, err := eng.Energy(ctx, x); err != nil {
+			return err
+		}
+		tE := time.Since(start)
+		start = time.Now()
+		if _, err := eng.EnergyGrad(ctx, x, grad); err != nil {
+			return err
+		}
+		tG := time.Since(start)
+		st := eng.Stats()
+		fmt.Fprintf(w, "%8d  %7d  %6d  %8.3f  %9s  %11s\n",
+			nv, st.Edges, st.UniqueCones, st.HitRate, tE.Round(10*time.Microsecond), tG.Round(10*time.Microsecond))
+	}
+
+	// Optimization at scale: the engine serves the standard evaluator
+	// contract, so the evaluation service and Nelder–Mead drive it
+	// exactly as they drive the statevector path.
+	g, err := qokit.RandomRegular(optN, degree, graphSeed)
+	if err != nil {
+		return err
+	}
+	eng, err := qokit.NewLightConeSimulator(g, qokit.LightConeOptions{Radius: depth})
+	if err != nil {
+		return err
+	}
+	svc, err := qokit.NewService([]qokit.Evaluator{eng}, qokit.ServiceOptions{})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	var simErr error
+	start := time.Now()
+	opt := qokit.NelderMead(svc.Objective(ctx, &simErr), x, qokit.NMOptions{MaxEvals: evalBudget})
+	if simErr != nil {
+		return simErr
+	}
+	st := eng.Stats()
+	// f(x) = Σ (w/2)⟨ZZ⟩ − W/2, so the expected cut is −f.
+	fmt.Fprintf(w, "\noptimized %d-vertex %d-regular MaxCut at p=%d: expected cut %.1f of %d edges (ratio %.4f)\n",
+		optN, degree, depth, -opt.F, st.Edges, -opt.F/float64(st.Edges))
+	fmt.Fprintf(w, "%d evaluations in %s — the statevector path would need a 2^%d-entry state\n",
+		opt.Evals, time.Since(start).Round(time.Millisecond), optN)
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example at a reduced size: clean exit, the
+// exactness check passing, and the expected report markers.
+func TestRun(t *testing.T) {
+	defer func(sizes []int, n, opt, evals int) {
+		graphSizes, checkN, optN, evalBudget = sizes, n, opt, evals
+	}(graphSizes, checkN, optN, evalBudget)
+	graphSizes, checkN, optN, evalBudget = []int{60, 120}, 12, 120, 20
+
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, marker := range []string{
+		"exactness check, n=12 p=2",
+		"hit-rate",
+		"optimized 120-vertex 3-regular MaxCut at p=2",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q\n---\n%s", marker, out)
+		}
+	}
+}

@@ -117,6 +117,17 @@ type Options struct {
 	// construction (observable through Simulator.Workers), never
 	// silently retained.
 	Workers int
+	// AutoWorkers calibrates the pool size per shape instead of taking
+	// Workers or GOMAXPROCS: the first construction of an
+	// (n, backend, precision, fusion) shape times one memory-bound pass
+	// over the cost diagonal per candidate size (1, 2, 4, …,
+	// GOMAXPROCS) and every simulator of that shape uses the winner for
+	// the process lifetime — the RouteAuto calibration pattern applied
+	// to pool sizing. Shapes below n = 16 always resolve to one worker
+	// (cache-resident states; no wall-clock dependence in tests).
+	// Incompatible with an explicit Workers > 0. The resolved size is
+	// observable through Simulator.Workers.
+	AutoWorkers bool
 	// InitialState overrides the default initial state (uniform
 	// superposition for MixerX, a Dicke state for the xy mixers). The
 	// vector is copied; it must have length 2^n.
@@ -244,11 +255,19 @@ func NewFromDiagonal(n int, diag []float64, opts Options) (*Simulator, error) {
 		backend = BackendSoA
 	}
 	workers := opts.Workers
+	if opts.AutoWorkers && workers > 0 {
+		return nil, fmt.Errorf("core: Options.AutoWorkers is incompatible with an explicit Options.Workers=%d — pick one sizing policy", workers)
+	}
 	if backend == BackendSerial {
 		// The serial backend never consults the pool; normalize the
 		// worker count to 1 so Options cannot silently claim parallelism
 		// the engine does not deliver.
 		workers = 1
+	} else if opts.AutoWorkers {
+		workers = autoWorkersFor(workersKey{
+			n: n, backend: backend,
+			single: opts.SinglePrecision, fused: opts.FusedMixer,
+		}, diag)
 	}
 	s := &Simulator{
 		n:         n,

@@ -128,6 +128,58 @@ func (s *Simulator) SimulateQAOAGradIntoCtx(ctx context.Context, w *GradBuffers,
 	return energy, nil
 }
 
+// SimulateQAOAGradObsIntoCtx differentiates the expectation of a
+// caller-supplied diagonal observable instead of the evolution cost:
+// it returns ⟨obs⟩ after evolving under THIS simulator's cost diagonal
+// together with ∂⟨obs⟩/∂γ_ℓ and ∂⟨obs⟩/∂β_ℓ. The reverse pass is the
+// standard adjoint with one change — the bra is seeded λ = obs⊙ψ_p
+// rather than Ĉ|ψ_p⟩; every per-layer reduction still runs against the
+// evolution diagonal, because that is the generator the γ angles
+// multiply. The light-cone backend uses this with obs = Z_uZ_v on a
+// cone's root edge while evolving under the cone's full MaxCut cost.
+// obs must have length 2^n; storage contracts match
+// SimulateQAOAGradIntoCtx.
+func (s *Simulator) SimulateQAOAGradObsIntoCtx(ctx context.Context, w *GradBuffers, gamma, beta, obs, gradGamma, gradBeta []float64) (float64, error) {
+	if len(obs) != 1<<uint(s.n) {
+		return 0, fmt.Errorf("core: observable diagonal length %d, want 2^%d = %d", len(obs), s.n, 1<<uint(s.n))
+	}
+	if len(gamma) != len(beta) {
+		return 0, fmt.Errorf("core: len(gamma)=%d != len(beta)=%d", len(gamma), len(beta))
+	}
+	if len(gradGamma) != len(gamma) || len(gradBeta) != len(beta) {
+		return 0, fmt.Errorf("core: gradient storage lengths (%d, %d) do not match depth p=%d",
+			len(gradGamma), len(gradBeta), len(gamma))
+	}
+	if w == nil || w.psi == nil || w.lam == nil {
+		return 0, fmt.Errorf("core: nil GradBuffers; use NewGradBuffers")
+	}
+	if err := s.SimulateQAOAIntoCtx(ctx, w.psi, gamma, beta); err != nil {
+		return 0, err
+	}
+	if err := s.bindResult(w.lam); err != nil {
+		return 0, err
+	}
+	energy := w.psi.ExpectationOf(obs)
+
+	// Seed the bra side with the observable: λ = obs⊙|ψ_p⟩.
+	s.copyState(w.lam, w.psi)
+	s.mulVec(w.lam, obs)
+
+	for l := len(gamma) - 1; l >= 0; l-- {
+		d, err := s.mixerDerivUndo(ctx, w.lam, w.psi, beta[l])
+		if err != nil {
+			return 0, err
+		}
+		gradBeta[l] = 2 * d
+		gradGamma[l] = 2 * s.imDotDiag(w.lam, w.psi)
+		if l > 0 {
+			s.applyPhase(w.psi, -gamma[l])
+			s.applyPhase(w.lam, -gamma[l])
+		}
+	}
+	return energy, nil
+}
+
 // mixerDerivUndo accumulates Im ⟨λ|∂B/∂β · B†|…⟩ for layer angle beta
 // and rewinds both states through the mixer. For the transverse-field
 // mixer all factors commute with their product, so the reduction runs
@@ -169,16 +221,19 @@ func (s *Simulator) copyState(dst, src *Result) {
 }
 
 // mulDiag multiplies r elementwise by the cost diagonal: r ← Ĉ r.
-func (s *Simulator) mulDiag(r *Result) {
+func (s *Simulator) mulDiag(r *Result) { s.mulVec(r, s.diag) }
+
+// mulVec multiplies r elementwise by an arbitrary real diagonal.
+func (s *Simulator) mulVec(r *Result, diag []float64) {
 	switch {
 	case r.soa32 != nil:
-		r.soa32.MulDiag(s.pool, s.diag)
+		r.soa32.MulDiag(s.pool, diag)
 	case r.soa != nil:
-		r.soa.MulDiag(s.pool, s.diag)
+		r.soa.MulDiag(s.pool, diag)
 	case s.backend == BackendSerial:
-		statevec.MulDiag(r.vec, s.diag)
+		statevec.MulDiag(r.vec, diag)
 	default:
-		s.pool.MulDiag(r.vec, s.diag)
+		s.pool.MulDiag(r.vec, diag)
 	}
 }
 

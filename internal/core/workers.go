@@ -1,0 +1,99 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"qokit/internal/statevec"
+)
+
+// Auto-tuned kernel-pool sizing. More workers is not monotonically
+// better: below a machine-dependent state size the whole vector is
+// cache-resident and goroutine fan-out is pure overhead, while at
+// node-scale states the kernels are memory-bandwidth-bound and saturate
+// before GOMAXPROCS. Options.AutoWorkers picks the pool size the same
+// way RouteAuto picks the mixer route: a one-shot timed calibration per
+// shape, cached process-globally, with a deterministic choice below the
+// calibration threshold so test-sized simulators never depend on
+// wall-clock measurements.
+
+// workersAutoMinQubits is the smallest n AutoWorkers calibrates at.
+// Below it the state fits in cache on any machine this repo targets and
+// one worker always wins (the pooled kernels inline sub-minParallel
+// index spaces anyway), so small shapes resolve deterministically.
+const workersAutoMinQubits = 16
+
+// workersKey identifies one calibration shape: every field that changes
+// how kernel time scales with the pool size.
+type workersKey struct {
+	n       int
+	backend Backend
+	single  bool
+	fused   bool
+}
+
+// workersCache holds one calibrated pool size per shape for the process
+// lifetime (workersKey → *workersDecision). Like the mixer-route cache
+// it is deliberately global: timings are per machine, not per instance.
+var workersCache sync.Map
+
+// workersDecision carries one shape's once-guarded calibration.
+type workersDecision struct {
+	once    sync.Once
+	workers int
+}
+
+// autoWorkersFor returns the calibrated pool size for the shape,
+// measuring on first use. data is a full-size (2^n) traversal target —
+// callers pass the simulator's own cost diagonal, so calibration
+// allocates nothing state-sized.
+func autoWorkersFor(k workersKey, data []float64) int {
+	d, _ := workersCache.LoadOrStore(k, &workersDecision{})
+	dec := d.(*workersDecision)
+	dec.once.Do(func() { dec.workers = measureWorkers(k, data) })
+	return dec.workers
+}
+
+// measureWorkers times one memory-bound pass over data per candidate
+// pool size (1, 2, 4, … and GOMAXPROCS) and returns the fastest. The
+// pass is a chunked sum — the same traversal-per-worker shape as the
+// state kernels, read-only so calibration cannot perturb the diagonal.
+func measureWorkers(k workersKey, data []float64) int {
+	max := runtime.GOMAXPROCS(0)
+	if k.n < workersAutoMinQubits || max <= 1 {
+		return 1
+	}
+	candidates := []int{1}
+	for w := 2; w < max; w *= 2 {
+		candidates = append(candidates, w)
+	}
+	candidates = append(candidates, max)
+	best, bestT := 1, time.Duration(1<<62)
+	var sink float64
+	for _, w := range candidates {
+		pool := statevec.NewPool(w)
+		start := time.Now()
+		sink += pool.Reduce(len(data), func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += data[i]
+			}
+			return s
+		})
+		if el := time.Since(start); el < bestT {
+			best, bestT = w, el
+		}
+	}
+	_ = sink
+	return best
+}
+
+// resetWorkersCacheForTest clears the process-global calibration cache,
+// mirroring resetRouteCacheForTest. Test-only.
+func resetWorkersCacheForTest() {
+	workersCache.Range(func(k, _ any) bool {
+		workersCache.Delete(k)
+		return true
+	})
+}

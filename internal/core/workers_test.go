@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"qokit/internal/problems"
+)
+
+// Below the calibration threshold AutoWorkers must resolve to one
+// worker with no wall-clock dependence at all.
+func TestAutoWorkersSmallNDeterministic(t *testing.T) {
+	resetWorkersCacheForTest()
+	s, err := New(10, problems.LABSTerms(10), Options{AutoWorkers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers() != 1 {
+		t.Errorf("AutoWorkers at n=10 resolved %d workers, want 1 (below calibration threshold)", s.Workers())
+	}
+}
+
+// An explicit Workers alongside AutoWorkers is a contradiction and must
+// be rejected naming both fields, not silently resolved either way.
+func TestAutoWorkersConflictsWithExplicitWorkers(t *testing.T) {
+	_, err := New(8, problems.LABSTerms(8), Options{AutoWorkers: true, Workers: 2})
+	if err == nil {
+		t.Fatal("AutoWorkers with Workers=2 accepted")
+	}
+	if !strings.Contains(err.Error(), "AutoWorkers") || !strings.Contains(err.Error(), "Workers=2") {
+		t.Errorf("error %q does not name both sizing fields", err)
+	}
+}
+
+// The serial backend stays single-threaded under AutoWorkers — the
+// normalization that applies to explicit Workers applies here too.
+func TestAutoWorkersSerialBackend(t *testing.T) {
+	s, err := New(8, problems.LABSTerms(8), Options{AutoWorkers: true, Backend: BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers() != 1 {
+		t.Errorf("serial AutoWorkers resolved %d workers, want 1", s.Workers())
+	}
+}
+
+// At calibration sizes the resolved count must be a sane pool size,
+// identical across simulators of the same shape (the decision is
+// cached), and the calibrated simulator must agree with a fixed-pool
+// one on the physics.
+func TestAutoWorkersCalibratedShape(t *testing.T) {
+	resetWorkersCacheForTest()
+	defer resetWorkersCacheForTest()
+	const n = workersAutoMinQubits
+	terms := problems.LABSTerms(n)
+	a, err := New(n, terms, Options{AutoWorkers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxW := runtime.GOMAXPROCS(0)
+	if w := a.Workers(); w < 1 || w > maxW {
+		t.Fatalf("calibrated %d workers outside [1,%d]", w, maxW)
+	}
+	b, err := New(n, terms, Options{AutoWorkers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Workers() != b.Workers() {
+		t.Errorf("same shape calibrated twice: %d vs %d workers", a.Workers(), b.Workers())
+	}
+
+	fixed, err := New(n, terms, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.4, -0.3, 0.2, 0.6}
+	want, err := fixed.Energy(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Energy(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(got - want); d > 1e-12*math.Max(1, math.Abs(want)) {
+		t.Errorf("calibrated-pool energy %v, fixed-pool %v (diff %g)", got, want, d)
+	}
+}

@@ -508,6 +508,7 @@ func (e *GradEngine) Caps() evaluator.Caps {
 		Ranks:         e.opts.Ranks,
 		StateBytes:    buffers * e.opts.Precision.AmpBytes() << uint(e.n),
 		Outputs:       true,
+		Streaming:     true,
 	}
 }
 

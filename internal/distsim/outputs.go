@@ -559,61 +559,18 @@ func (e *GradEngine) Outputs(ctx context.Context, gamma, beta []float64, spec Ou
 	if spec.Shots > 0 {
 		res.Samples = make([]uint64, spec.Shots)
 	}
-	localN := e.n - e.k
-	localSize := 1 << uint(localN)
-	restrict := e.opts.Mixer != core.MixerX
 	err = lease.group.RunContext(ctx, func(c *cluster.Comm) error {
 		rank := c.Rank()
-		offset := uint64(rank) << uint(localN)
-		view := shardView{size: localSize, localN: localN, offset: offset, restrict: restrict, hw: e.hw}
-		if e.quants != nil {
-			view.cost = e.quants[rank].Value
-		} else {
-			diag := e.diags[rank]
-			view.cost = func(i int) float64 { return diag[i] }
+		view, localE, err := e.evolveView(c, lease, rank, gamma, beta)
+		if err != nil {
+			return err
 		}
-
-		if e.opts.Precision == PrecisionFloat32 {
-			psi := lease.psi32[rank]
-			initLocalState32(psi, e.n, rank, e.opts.Mixer, e.hw)
-			for l := range gamma {
-				psi.PhaseDiag(serialPool, e.diags[rank], gamma[l])
-				if err := e.forwardMixer32(c, lease, psi, rank, beta[l]); err != nil {
-					return err
-				}
-			}
-			eAll, err := c.AllreduceSum(psi.ExpectationDiag(serialPool, e.diags[rank]))
-			if err != nil {
-				return err
-			}
-			if rank == 0 {
-				res.Expectation = eAll
-			}
-			view.prob = func(i int) float64 {
-				r, m := float64(psi.Re[i]), float64(psi.Im[i])
-				return r*r + m*m
-			}
-			return rankOutputs(c, view, spec, res)
-		}
-
-		psi := lease.psi[rank]
-		initLocalState(psi, e.n, rank, e.opts.Mixer, e.hw)
-		for l := range gamma {
-			e.phase(rank, psi, gamma[l])
-			if err := e.forwardMixer(c, lease, psi, rank, beta[l]); err != nil {
-				return err
-			}
-		}
-		eAll, err := c.AllreduceSum(e.expectation(rank, psi))
+		eAll, err := c.AllreduceSum(localE)
 		if err != nil {
 			return err
 		}
 		if rank == 0 {
 			res.Expectation = eAll
-		}
-		view.prob = func(i int) float64 {
-			a := psi[i]
-			return real(a)*real(a) + imag(a)*imag(a)
 		}
 		return rankOutputs(c, view, spec, res)
 	})
@@ -622,6 +579,158 @@ func (e *GradEngine) Outputs(ctx context.Context, gamma, beta []float64, spec Ou
 		return nil, err
 	}
 	return res, nil
+}
+
+// evolveView evolves rank's leased shard at (γ, β) from scratch and
+// returns the output-stage view over it plus the rank-local energy
+// contribution (callers allreduce it if they need the expectation).
+// The shared forward path of Outputs and StreamSamples.
+func (e *GradEngine) evolveView(c *cluster.Comm, lease *gradLease, rank int, gamma, beta []float64) (shardView, float64, error) {
+	localN := e.n - e.k
+	localSize := 1 << uint(localN)
+	offset := uint64(rank) << uint(localN)
+	restrict := e.opts.Mixer != core.MixerX
+	view := shardView{size: localSize, localN: localN, offset: offset, restrict: restrict, hw: e.hw}
+	if e.quants != nil {
+		view.cost = e.quants[rank].Value
+	} else {
+		diag := e.diags[rank]
+		view.cost = func(i int) float64 { return diag[i] }
+	}
+
+	if e.opts.Precision == PrecisionFloat32 {
+		psi := lease.psi32[rank]
+		initLocalState32(psi, e.n, rank, e.opts.Mixer, e.hw)
+		for l := range gamma {
+			psi.PhaseDiag(serialPool, e.diags[rank], gamma[l])
+			if err := e.forwardMixer32(c, lease, psi, rank, beta[l]); err != nil {
+				return shardView{}, 0, err
+			}
+		}
+		view.prob = func(i int) float64 {
+			r, m := float64(psi.Re[i]), float64(psi.Im[i])
+			return r*r + m*m
+		}
+		return view, psi.ExpectationDiag(serialPool, e.diags[rank]), nil
+	}
+
+	psi := lease.psi[rank]
+	initLocalState(psi, e.n, rank, e.opts.Mixer, e.hw)
+	for l := range gamma {
+		e.phase(rank, psi, gamma[l])
+		if err := e.forwardMixer(c, lease, psi, rank, beta[l]); err != nil {
+			return shardView{}, 0, err
+		}
+	}
+	view.prob = func(i int) float64 {
+		a := psi[i]
+		return real(a)*real(a) + imag(a)*imag(a)
+	}
+	return view, e.expectation(rank, psi), nil
+}
+
+// The distributed engine also serves the chunked sampling contract:
+// shot counts beyond MaxShotsPerRequest stream through one
+// SampleChunkSize buffer instead of pinning an O(Shots) slice per
+// request.
+var _ evaluator.SampleStreamer = (*GradEngine)(nil)
+
+// StreamSamples evolves the sharded state at the flat parameter vector
+// once and streams spec.Shots sampled global basis indices to fn in
+// chunks of at most evaluator.SampleChunkSize, drawn by the same
+// two-stage distributed alias scheme as the buffered path: the
+// replicated rank-level sampler (seed spec.Seed) picks each shot's
+// winning rank, the winner draws the local index from its shard
+// sampler (seed spec.Seed+rank+1, advanced only on wins) and writes
+// the chunk slot. The samplers persist across chunks, so the
+// concatenated chunks are exactly the Outputs.Samples sequence
+// EvalOutputs returns for the same spec — chunking never perturbs a
+// shot. Per chunk, one barrier publishes the slots before rank 0
+// delivers the chunk to fn, and a second one holds every rank back
+// until fn returns, since the buffer is reused; fn therefore runs
+// once per chunk on a single rank, and a non-nil fn error aborts all
+// ranks and is returned verbatim.
+func (e *GradEngine) StreamSamples(ctx context.Context, x []float64, spec evaluator.OutputSpec, fn func(chunk []uint64) error) error {
+	gamma, beta, err := evaluator.SplitFlat(x)
+	if err != nil {
+		return err
+	}
+	if err := spec.ValidateStreaming(e.n); err != nil {
+		return err
+	}
+	if spec.Shots == 0 {
+		return nil
+	}
+	lease, err := e.acquire(ctx)
+	if err != nil {
+		return err
+	}
+	chunkLen := evaluator.SampleChunkSize
+	if spec.Shots < chunkLen {
+		chunkLen = spec.Shots
+	}
+	chunk := make([]uint64, chunkLen)
+	var fnErr error // written by rank 0 between the per-chunk barriers
+	err = lease.group.RunContext(ctx, func(c *cluster.Comm) error {
+		rank := c.Rank()
+		view, _, err := e.evolveView(c, lease, rank, gamma, beta)
+		if err != nil {
+			return err
+		}
+		// Stage-1/stage-2 samplers, seeded exactly like rankSample.
+		localProbs := make([]float64, view.size)
+		var mass float64
+		for i := range localProbs {
+			p := view.prob(i)
+			localProbs[i] = p
+			mass += p
+		}
+		masses := make([]float64, c.Size())
+		masses[rank] = mass
+		if err := c.AllreduceSumVec(masses); err != nil {
+			return err
+		}
+		rankSampler, err := sampling.NewSampler(masses, spec.Seed)
+		if err != nil {
+			return fmt.Errorf("distsim: rank-mass distribution: %w", err)
+		}
+		var local *sampling.Sampler
+		if mass > 0 {
+			local, err = sampling.NewSampler(localProbs, spec.Seed+int64(rank)+1)
+			if err != nil {
+				return fmt.Errorf("distsim: rank %d shard distribution: %w", rank, err)
+			}
+		}
+		for drawn := 0; drawn < spec.Shots; {
+			cur := chunk
+			if rem := spec.Shots - drawn; rem < len(cur) {
+				cur = cur[:rem]
+			}
+			for i := range cur {
+				if int(rankSampler.Sample()) == rank {
+					cur[i] = view.offset | local.Sample()
+				}
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if rank == 0 {
+				if err := fn(cur); err != nil {
+					fnErr = err
+				}
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if fnErr != nil {
+				return fnErr
+			}
+			drawn += len(cur)
+		}
+		return nil
+	})
+	e.release(lease, err != nil)
+	return err
 }
 
 // The distributed engine also implements the optional output contract,

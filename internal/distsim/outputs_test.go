@@ -2,6 +2,7 @@ package distsim
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -497,5 +498,149 @@ func TestOutputsValidation(t *testing.T) {
 	}
 	if res.MaxProb <= 0 {
 		t.Error("zero spec skipped always-present outputs")
+	}
+}
+
+// TestStreamSamplesMatchesBuffered: the chunked distributed sample
+// stream must reproduce the buffered Outputs shot sequence exactly —
+// same two-stage samplers, same seeds, chunking invisible — across
+// rank counts, shard representations, and the restricted-subspace
+// mixer. 10 000 shots cross two SampleChunkSize boundaries.
+func TestStreamSamplesMatchesBuffered(t *testing.T) {
+	n := 8
+	ts := problems.LABSTerms(n)
+	gamma := []float64{0.3, -0.2}
+	beta := []float64{0.4, 0.1}
+	x := append(append([]float64{}, gamma...), beta...)
+	const shots = 10_000
+	spec := OutputSpec{Shots: shots, Seed: 11}
+	for _, opts := range []Options{
+		{Ranks: 1},
+		{Ranks: 4},
+		{Ranks: 4, Quantize: true},
+		{Ranks: 4, Precision: PrecisionFloat32},
+		{Ranks: 2, Mixer: core.MixerXYRing},
+	} {
+		e, err := NewGradEngine(n, ts, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Caps().Streaming {
+			t.Errorf("%+v: Caps().Streaming = false", opts)
+		}
+		want, err := e.Outputs(context.Background(), gamma, beta, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]uint64, 0, shots)
+		var sizes []int
+		err = e.StreamSamples(context.Background(), x, spec, func(chunk []uint64) error {
+			sizes = append(sizes, len(chunk))
+			got = append(got, chunk...)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if len(got) != shots {
+			t.Fatalf("%+v: streamed %d shots, want %d", opts, len(got), shots)
+		}
+		for i, s := range sizes {
+			if i < len(sizes)-1 && s != evaluator.SampleChunkSize {
+				t.Errorf("%+v: chunk %d has %d shots, want %d", opts, i, s, evaluator.SampleChunkSize)
+			}
+		}
+		for i := range got {
+			if got[i] != want.Samples[i] {
+				t.Errorf("%+v: shot %d differs: streamed %d, buffered %d", opts, i, got[i], want.Samples[i])
+				break
+			}
+		}
+	}
+}
+
+// TestStreamSamplesLargeShotCount: streaming is exempt from
+// MaxShotsPerRequest (its memory is one chunk, not the shot count), so
+// a shot count the buffered path rejects must stream through.
+func TestStreamSamplesLargeShotCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams over a million shots")
+	}
+	n := 6
+	ts := problems.LABSTerms(n)
+	e, err := NewGradEngine(n, ts, Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, 0.4}
+	spec := OutputSpec{Shots: evaluator.MaxShotsPerRequest + 5, Seed: 7}
+	if _, err := e.EvalOutputs(context.Background(), x, spec); err == nil {
+		t.Error("buffered path accepted Shots beyond MaxShotsPerRequest")
+	}
+	total := 0
+	err = e.StreamSamples(context.Background(), x, spec, func(chunk []uint64) error {
+		total += len(chunk)
+		for _, s := range chunk[:1] { // spot-check indices stay in range
+			if s>>uint(n) != 0 {
+				t.Fatalf("sampled index %d outside the %d-qubit range", s, n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != spec.Shots {
+		t.Errorf("streamed %d shots, want %d", total, spec.Shots)
+	}
+}
+
+// TestStreamSamplesFnError: a non-nil fn error aborts the stream on
+// every rank, comes back verbatim, and leaves the engine serving
+// subsequent requests (the poisoned lease is dropped, not the engine).
+func TestStreamSamplesFnError(t *testing.T) {
+	n := 7
+	ts := problems.LABSTerms(n)
+	e, err := NewGradEngine(n, ts, Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, 0.4}
+	sentinel := errors.New("sink full")
+	calls := 0
+	err = e.StreamSamples(context.Background(), x, OutputSpec{Shots: 3 * evaluator.SampleChunkSize, Seed: 1},
+		func(chunk []uint64) error {
+			calls++
+			if calls == 2 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("StreamSamples error = %v, want the fn sentinel", err)
+	}
+	if calls != 2 {
+		t.Errorf("fn ran %d times after aborting on call 2", calls)
+	}
+	// Zero shots: fn never runs, no error.
+	if err := e.StreamSamples(context.Background(), x, OutputSpec{}, func([]uint64) error {
+		t.Error("fn called with zero shots")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The engine still serves full requests after the aborted stream.
+	if _, err := e.Energy(context.Background(), x); err != nil {
+		t.Fatalf("Energy after aborted stream: %v", err)
+	}
+	got := 0
+	if err := e.StreamSamples(context.Background(), x, OutputSpec{Shots: 100, Seed: 1}, func(chunk []uint64) error {
+		got += len(chunk)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Errorf("stream after abort delivered %d shots, want 100", got)
 	}
 }

@@ -67,6 +67,26 @@ func (g Graph) Validate() error {
 	return nil
 }
 
+// AdjacencyList returns the neighbor lists of every vertex, each
+// sorted ascending — the traversal structure BFS-style algorithms
+// (like light-cone extraction) want, built once per graph instead of
+// once per query.
+func (g Graph) AdjacencyList() [][]int {
+	adj := make([][]int, g.N)
+	deg := g.Degrees()
+	for v := range adj {
+		adj[v] = make([]int, 0, deg[v])
+	}
+	for _, e := range g.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	for v := range adj {
+		sort.Ints(adj[v])
+	}
+	return adj
+}
+
 // CutValue counts edges cut by the bitstring assignment x (vertex i on
 // the side given by bit i).
 func (g Graph) CutValue(x uint64) int {
@@ -131,15 +151,20 @@ func Complete(n int) Graph {
 // are shuffled into a perfect matching and the sample is rejected if it
 // contains self-loops or multi-edges. n·d must be even and d < n.
 // The construction is seeded and deterministic for a given (n, d, seed).
+// Validation errors name the offending parameter: an infeasible request
+// says whether n, d, or their combination is at fault.
 func RandomRegular(n, d int, seed int64) (Graph, error) {
-	if d < 0 || n < 0 {
-		return Graph{}, fmt.Errorf("graphs: negative n=%d or d=%d", n, d)
+	if n < 0 {
+		return Graph{}, fmt.Errorf("graphs: RandomRegular n=%d must be ≥ 0", n)
 	}
-	if d >= n && !(d == 0 && n >= 0) {
-		return Graph{}, fmt.Errorf("graphs: degree d=%d must be < n=%d", d, n)
+	if d < 0 {
+		return Graph{}, fmt.Errorf("graphs: RandomRegular d=%d must be ≥ 0", d)
+	}
+	if d >= n && d != 0 {
+		return Graph{}, fmt.Errorf("graphs: RandomRegular d=%d must be < n=%d (a simple graph has max degree n−1)", d, n)
 	}
 	if n*d%2 != 0 {
-		return Graph{}, fmt.Errorf("graphs: n·d = %d·%d is odd, no d-regular graph exists", n, d)
+		return Graph{}, fmt.Errorf("graphs: RandomRegular n·d = %d·%d is odd, no d-regular graph exists", n, d)
 	}
 	if d == 0 {
 		return Graph{N: n}, nil

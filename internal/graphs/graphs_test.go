@@ -1,6 +1,8 @@
 package graphs
 
 import (
+	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -96,15 +98,62 @@ func TestRandomRegularDeterministic(t *testing.T) {
 	}
 }
 
+// Every infeasible RandomRegular request must be rejected with an
+// error that names the offending parameter, so a caller wiring flags
+// through (qaoasolve -n/-d) sees which one to fix.
 func TestRandomRegularErrors(t *testing.T) {
-	if _, err := RandomRegular(5, 3, 1); err == nil {
-		t.Error("odd n·d accepted")
+	cases := []struct {
+		name string
+		n, d int
+		want string // substring the error must carry
+	}{
+		{"negative n", -1, 2, "n=-1"},
+		{"negative d", 6, -2, "d=-2"},
+		{"d too large", 4, 4, "d=4 must be < n=4"},
+		{"d equal n minus nothing", 5, 5, "d=5 must be < n=5"},
+		{"odd product", 5, 3, "5·3 is odd"},
 	}
-	if _, err := RandomRegular(4, 4, 1); err == nil {
-		t.Error("d >= n accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := RandomRegular(tc.n, tc.d, 1)
+			if err == nil {
+				t.Fatalf("RandomRegular(%d,%d) accepted", tc.n, tc.d)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("RandomRegular(%d,%d) error %q does not name the offending parameter (want substring %q)",
+					tc.n, tc.d, err, tc.want)
+			}
+		})
 	}
-	if _, err := RandomRegular(-1, 2, 1); err == nil {
-		t.Error("negative n accepted")
+	// d = 0 stays feasible for every n ≥ 0, including the empty graph.
+	for _, n := range []int{0, 1, 7} {
+		if _, err := RandomRegular(n, 0, 1); err != nil {
+			t.Errorf("RandomRegular(%d,0): %v", n, err)
+		}
+	}
+}
+
+func TestAdjacencyList(t *testing.T) {
+	g := Petersen()
+	adj := g.AdjacencyList()
+	if len(adj) != g.N {
+		t.Fatalf("AdjacencyList length %d, want %d", len(adj), g.N)
+	}
+	for v, nbrs := range adj {
+		if len(nbrs) != 3 {
+			t.Errorf("vertex %d has %d neighbors, want 3", v, len(nbrs))
+		}
+		if !sort.IntsAreSorted(nbrs) {
+			t.Errorf("vertex %d neighbors %v not sorted", v, nbrs)
+		}
+		for _, u := range nbrs {
+			if !g.HasEdge(u, v) {
+				t.Errorf("adjacency lists edge {%d,%d} absent from graph", u, v)
+			}
+		}
+	}
+	if empty := (Graph{N: 3}).AdjacencyList(); len(empty) != 3 || len(empty[0]) != 0 {
+		t.Errorf("edgeless AdjacencyList = %v", empty)
 	}
 }
 

@@ -1,0 +1,506 @@
+package lightcone
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"qokit/internal/core"
+	"qokit/internal/graphs"
+	"qokit/internal/problems"
+)
+
+func randomAngles(rng *rand.Rand, p int) []float64 {
+	x := make([]float64, 2*p)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	return x
+}
+
+func relClose(a, b, rtol float64) bool {
+	return math.Abs(a-b) <= rtol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestLightConeMatchesStatevector is the differential suite of the
+// acceptance criteria: on sizes where both paths are feasible, the
+// light-cone energy AND gradient must match the full statevector
+// engine to rtol 1e-10, across degrees 3 and 4, depths 1 and 2, and
+// several random parameter points.
+func TestLightConeMatchesStatevector(t *testing.T) {
+	cases := []struct{ n, d int }{{12, 3}, {12, 4}, {16, 3}, {15, 4}}
+	if !testing.Short() {
+		cases = append(cases, struct{ n, d int }{20, 3})
+	}
+	rng := rand.New(rand.NewSource(3))
+	ctx := context.Background()
+	for _, tc := range cases {
+		g, err := graphs.RandomRegular(tc.n, tc.d, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := core.New(tc.n, problems.MaxCutTerms(g), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 2} {
+			eng, err := New(g, Options{Radius: p, Workers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 3; trial++ {
+				x := randomAngles(rng, p)
+
+				want, err := full.Energy(ctx, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.Energy(ctx, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !relClose(got, want, 1e-10) {
+					t.Errorf("n=%d d=%d p=%d: lightcone energy %v, statevector %v", tc.n, tc.d, p, got, want)
+				}
+
+				wantG := make([]float64, 2*p)
+				gotG := make([]float64, 2*p)
+				wantE, err := full.EnergyGrad(ctx, x, wantG)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotE, err := eng.EnergyGrad(ctx, x, gotG)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !relClose(gotE, wantE, 1e-10) {
+					t.Errorf("n=%d d=%d p=%d: grad-path energy %v, want %v", tc.n, tc.d, p, gotE, wantE)
+				}
+				scale := 1.0
+				for _, v := range wantG {
+					if a := math.Abs(v); a > scale {
+						scale = a
+					}
+				}
+				for j := range wantG {
+					if math.Abs(gotG[j]-wantG[j]) > 1e-10*scale {
+						t.Errorf("n=%d d=%d p=%d: grad[%d] = %v, want %v", tc.n, tc.d, p, j, gotG[j], wantG[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLightConeWeightedMatchesStatevector repeats the differential
+// check on weighted MaxCut — distinct weights also exercise the
+// no-dedup path, since almost no two cones are isomorphic once edge
+// weights differ.
+func TestLightConeWeightedMatchesStatevector(t *testing.T) {
+	const n, p = 14, 2
+	g, err := graphs.RandomRegular(n, 3, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wedges := graphs.RandomWeights(g, -1.5, 2.0, 5)
+	full, err := core.New(n, problems.WeightedMaxCutTerms(wedges), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewWeighted(n, wedges, Options{Radius: p, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 3; trial++ {
+		x := randomAngles(rng, p)
+		wantG := make([]float64, 2*p)
+		gotG := make([]float64, 2*p)
+		want, err := full.EnergyGrad(ctx, x, wantG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.EnergyGrad(ctx, x, gotG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relClose(got, want, 1e-10) {
+			t.Errorf("weighted energy %v, want %v", got, want)
+		}
+		for j := range wantG {
+			if !relClose(gotG[j], wantG[j], 1e-10) {
+				t.Errorf("weighted grad[%d] = %v, want %v", j, gotG[j], wantG[j])
+			}
+		}
+	}
+}
+
+// TestLightConeShallowDepthOnDeepRadius: an engine built with Radius 2
+// serves p = 1 calls exactly (cones are supersets of what p = 1
+// needs), so one engine can serve mixed-depth traffic up to its
+// radius.
+func TestLightConeShallowDepthOnDeepRadius(t *testing.T) {
+	g, err := graphs.RandomRegular(14, 3, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.New(14, problems.MaxCutTerms(g), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(g, Options{Radius: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	x := []float64{0.4, -0.7}
+	want, err := full.Energy(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Energy(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(got, want, 1e-10) {
+		t.Errorf("p=1 on radius-2 engine: %v, want %v", got, want)
+	}
+	// p = 0 degenerates to the constant offset −|E|/2.
+	e0, err := eng.Energy(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(e0, -float64(g.NumEdges())/2, 1e-12) {
+		t.Errorf("p=0 energy %v, want %v", e0, -float64(g.NumEdges())/2)
+	}
+}
+
+// TestLightConeHitRate asserts the acceptance criterion: on a
+// 1000-vertex random 3-regular graph at radius 2, cone-isomorphism
+// dedup must serve > 90% of edges from already-simulated classes, and
+// the energy must evaluate quickly enough to be routine (enforced
+// loosely by the test timeout, precisely by the bench suite).
+func TestLightConeHitRate(t *testing.T) {
+	g, err := graphs.RandomRegular(1000, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(g, Options{Radius: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Edges != 1500 {
+		t.Fatalf("3-regular on 1000 vertices should have 1500 edges, got %d", st.Edges)
+	}
+	if st.HitRate <= 0.9 {
+		t.Errorf("hit rate %.3f ≤ 0.9 (unique cones %d of %d edges)", st.HitRate, st.UniqueCones, st.Edges)
+	}
+	if st.MaxConeQubits > 14 {
+		t.Errorf("3-regular radius-2 cone has %d qubits, theoretical max 14", st.MaxConeQubits)
+	}
+	if st.CanonFallbacks != 0 {
+		t.Errorf("%d canonical-form budget fallbacks on a 3-regular graph", st.CanonFallbacks)
+	}
+	if _, err := eng.Energy(context.Background(), []float64{0.3, -0.2, 0.5, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	caps := eng.Caps()
+	if caps.NumQubits != 1000 || !caps.Grad {
+		t.Errorf("Caps = %+v", caps)
+	}
+	// The cost model must reflect cone sizes, not 2^1000: four workers
+	// × two buffers per distinct cone size ≤ a few hundred MB.
+	if caps.StateBytes <= 0 || caps.StateBytes > int64(4)*8*16*(1<<14) {
+		t.Errorf("StateBytes = %d, want cone-scale memory", caps.StateBytes)
+	}
+}
+
+// TestLightConePetersen: every edge of an edge-transitive graph is one
+// isomorphism class.
+func TestLightConePetersen(t *testing.T) {
+	eng, err := New(graphs.Petersen(), Options{Radius: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.UniqueCones != 1 || st.Edges != 15 {
+		t.Errorf("Petersen radius-1: %d unique cones of %d edges, want 1 of 15", st.UniqueCones, st.Edges)
+	}
+	full, err := core.New(10, problems.MaxCutTerms(graphs.Petersen()), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	x := []float64{0.35, -0.6}
+	got, _ := eng.Energy(ctx, x)
+	want, _ := full.Energy(ctx, x)
+	if !relClose(got, want, 1e-10) {
+		t.Errorf("Petersen energy %v, want %v", got, want)
+	}
+}
+
+// TestLightConeAllocs pins the zero-warm-allocation discipline on the
+// inline (Workers = 1) path: after the first evaluation every buffer
+// is pooled, so Energy and EnergyGrad allocate nothing. The strict pin
+// runs on BackendSerial (the pooled backends' kernels heap-allocate
+// small per-call closures — Pool.Run may hand them to goroutines —
+// which the sweep suite pins the same way); the pooled default backend
+// is bounds-tested in bytes below.
+func TestLightConeAllocs(t *testing.T) {
+	g, err := graphs.RandomRegular(60, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(g, Options{Radius: 2, Workers: 1, Backend: core.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	x := []float64{0.3, -0.2, 0.5, 0.1}
+	grad := make([]float64, len(x))
+	if _, err := eng.EnergyGrad(ctx, x, grad); err != nil {
+		t.Fatal(err) // warm-up allocates the pooled buffers
+	}
+	if allocs := testing.AllocsPerRun(5, func() {
+		if _, err := eng.Energy(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("warm Energy allocates %.0f objects per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(5, func() {
+		if _, err := eng.EnergyGrad(ctx, x, grad); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("warm EnergyGrad allocates %.0f objects per call, want 0", allocs)
+	}
+}
+
+// TestLightConeNoPerConeStateAllocations bounds the pooled default
+// backend in bytes: a warmed-up evaluation must never allocate
+// cone-state-sized buffers per cone class (the workspaces are pooled
+// per worker); only the kernels' small per-call closures remain. The
+// bound is 1/8 of one max-size cone state per unique cone. Workers is
+// pinned to 1 so warm-up is deterministic: with several workers each
+// workspace fills its per-size buffers lazily for whichever cones that
+// worker happened to pull, so a single warm-up call may leave another
+// worker to allocate state on the measured call (steady state is still
+// allocation-free; TestLightConeConcurrent covers the parallel path).
+func TestLightConeNoPerConeStateAllocations(t *testing.T) {
+	g, err := graphs.RandomRegular(200, 3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(g, Options{Radius: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	x := []float64{0.3, -0.2, 0.5, 0.1}
+	grad := make([]float64, len(x))
+	if _, err := eng.EnergyGrad(ctx, x, grad); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	stateBytes := uint64(2 * 8 * (1 << st.MaxConeQubits)) // SoA: Re + Im float64
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := eng.EnergyGrad(ctx, x, grad); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	perCone := (after.TotalAlloc - before.TotalAlloc) / uint64(st.UniqueCones)
+	if perCone > stateBytes/8 {
+		t.Errorf("%d bytes allocated per cone class; want ≪ one %d-byte cone state",
+			perCone, stateBytes)
+	}
+}
+
+// TestLightConeConcurrent drives concurrent evaluations (the serve
+// integration pattern) under -race and checks every call agrees with
+// the sequential result bit-for-bit — per-class contributions land in
+// indexed slots and are reduced in class order, so scheduling cannot
+// perturb the sum.
+func TestLightConeConcurrent(t *testing.T) {
+	g, err := graphs.RandomRegular(120, 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(g, Options{Radius: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	x := []float64{0.25, -0.45, 0.15, 0.65}
+	refGrad := make([]float64, len(x))
+	refE, err := eng.EnergyGrad(ctx, x, refGrad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if k%2 == 0 {
+				e, err := eng.Energy(ctx, x)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if e != refE {
+					t.Errorf("concurrent Energy %v != sequential %v", e, refE)
+				}
+				return
+			}
+			gr := make([]float64, len(x))
+			e, err := eng.EnergyGrad(ctx, x, gr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if e != refE {
+				t.Errorf("concurrent EnergyGrad energy %v != %v", e, refE)
+			}
+			for j := range gr {
+				if gr[j] != refGrad[j] {
+					t.Errorf("concurrent grad[%d] %v != %v", j, gr[j], refGrad[j])
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestLightConeValidation: every misuse is rejected with an error
+// naming what to fix.
+func TestLightConeValidation(t *testing.T) {
+	g, err := graphs.RandomRegular(10, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(g, Options{Radius: 0}); err == nil {
+		t.Error("Radius 0 accepted")
+	}
+	if _, err := New(graphs.Graph{N: 5}, Options{Radius: 1}); err == nil {
+		t.Error("edgeless graph accepted")
+	}
+	if _, err := NewWeighted(4, []graphs.WeightedEdge{{U: 2, V: 2, Weight: 1}}, Options{Radius: 1}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	// A complete graph's radius-1 cone is the whole graph: the cone cap
+	// must reject it by naming the offending edge.
+	if _, err := New(graphs.Complete(12), Options{Radius: 1, MaxConeQubits: 8}); err == nil {
+		t.Error("cone over MaxConeQubits accepted")
+	}
+
+	eng, err := New(g, Options{Radius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := eng.Energy(ctx, []float64{0.1}); err == nil {
+		t.Error("odd parameter vector accepted")
+	}
+	if _, err := eng.Energy(ctx, []float64{0.1, 0.2, 0.3, 0.4}); err == nil {
+		t.Error("depth beyond radius accepted")
+	}
+	if _, err := eng.EnergyGrad(ctx, []float64{0.1, 0.2}, make([]float64, 1)); err == nil {
+		t.Error("short gradient storage accepted")
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := eng.Energy(cctx, []float64{0.1, 0.2}); err == nil {
+		t.Error("cancelled context not honored")
+	}
+}
+
+// TestCanonicalKeyInvariance: the canonical form must be invariant
+// under relabeling of non-root vertices (same key) and must separate
+// structurally different cones (different keys).
+func TestCanonicalKeyInvariance(t *testing.T) {
+	// A radius-1 cone: roots 0–1, with 0–2, 1–3 pendant edges.
+	base := localCone{n: 4, edges: []graphs.WeightedEdge{
+		{U: 0, V: 1, Weight: 1}, {U: 0, V: 2, Weight: 1}, {U: 1, V: 3, Weight: 1},
+	}}
+	keyBase, ok := canonicalKey(base)
+	if !ok {
+		t.Fatal("canon budget exceeded on a 4-vertex cone")
+	}
+	// Relabel the non-root vertices (2↔3) and swap which root carries
+	// which pendant — isomorphic under root swap, so the key must agree.
+	relabeled := localCone{n: 4, edges: []graphs.WeightedEdge{
+		{U: 0, V: 1, Weight: 1}, {U: 0, V: 3, Weight: 1}, {U: 1, V: 2, Weight: 1},
+	}}
+	if k, _ := canonicalKey(relabeled); k != keyBase {
+		t.Error("relabeled cone got a different canonical key")
+	}
+	// Structurally different: both pendants on one root.
+	lopsided := localCone{n: 4, edges: []graphs.WeightedEdge{
+		{U: 0, V: 1, Weight: 1}, {U: 0, V: 2, Weight: 1}, {U: 0, V: 3, Weight: 1},
+	}}
+	if k, _ := canonicalKey(lopsided); k == keyBase {
+		t.Error("non-isomorphic cones share a canonical key")
+	}
+	// Same structure, different weight: must not merge.
+	reweighted := localCone{n: 4, edges: []graphs.WeightedEdge{
+		{U: 0, V: 1, Weight: 1}, {U: 0, V: 2, Weight: 2}, {U: 1, V: 3, Weight: 1},
+	}}
+	if k, _ := canonicalKey(reweighted); k == keyBase {
+		t.Error("differently-weighted cones share a canonical key")
+	}
+}
+
+// TestCanonicalKeyRandomRelabeling hammers the completeness claim:
+// random permutations of a random cone's non-root vertices always
+// produce the identical key.
+func TestCanonicalKeyRandomRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g, err := graphs.RandomRegular(40, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wedges := graphs.UniformWeights(g, 1)
+	ex := newExtractor(40, wedges, 2)
+	for trial := 0; trial < 10; trial++ {
+		e := g.Edges[rng.Intn(len(g.Edges))]
+		c := ex.cone(e.U, e.V)
+		key, ok := canonicalKey(c)
+		if !ok {
+			t.Fatalf("canon budget exceeded on a %d-vertex 4-regular cone", c.n)
+		}
+		// Random permutation fixing the roots {0, 1} as a SET (the root
+		// pair may swap; the observable is symmetric).
+		perm := make([]int, c.n)
+		perm[0], perm[1] = 0, 1
+		if rng.Intn(2) == 0 {
+			perm[0], perm[1] = 1, 0
+		}
+		rest := rng.Perm(c.n - 2)
+		for i, r := range rest {
+			perm[i+2] = r + 2
+		}
+		shuf := localCone{n: c.n, edges: make([]graphs.WeightedEdge, len(c.edges))}
+		for i, ce := range c.edges {
+			u, v := perm[ce.U], perm[ce.V]
+			if u > v {
+				u, v = v, u
+			}
+			shuf.edges[i] = graphs.WeightedEdge{U: u, V: v, Weight: ce.Weight}
+		}
+		if k2, _ := canonicalKey(shuf); k2 != key {
+			t.Fatalf("trial %d: permuted cone (n=%d) changed canonical key", trial, c.n)
+		}
+	}
+}
