@@ -10,8 +10,8 @@ import (
 
 // compareBaseline diffs a freshly measured suite report against the
 // committed baseline (BENCH_qaoa.json) and fails on regression — the
-// CI gate the ROADMAP's "Baseline tracking" item asked for. Two kinds
-// of regression are checked per workload, matched by name:
+// CI gate the ROADMAP's "Baseline tracking" item asked for. Three
+// kinds of regression are checked per workload, matched by name:
 //
 //   - Traffic (bytes_per_rank) is machine-independent and exact: any
 //     increase over the baseline fails, because it means a code change
@@ -21,6 +21,8 @@ import (
 //     maxRatio× the baseline — a threshold wide enough for runner
 //     noise but narrow enough to catch an accidental algorithmic
 //     slowdown (a p×-cost regression blows any sane ratio).
+//   - Cone dedup (canon_fallbacks, light-cone rows) is machine-
+//     independent and exact like traffic: any increase fails.
 //
 // Workloads present in only one report are listed but never fail the
 // gate, so adding a benchmark does not break CI against the previous
@@ -80,6 +82,21 @@ func compareBaseline(w io.Writer, fresh suiteReport, path string, maxRatio float
 		case f.BytesPerRank > b.BytesPerRank:
 			regressions = append(regressions, "TRAFFIC REGRESSION")
 			failures = append(failures, fmt.Sprintf("%s: %d bytes/rank vs baseline %d", f.Name, f.BytesPerRank, b.BytesPerRank))
+		}
+		// canon_fallbacks is machine-independent like traffic: any
+		// increase over the baseline means isomorphic cones stopped
+		// deduplicating. A baseline row without the field is reported,
+		// not gated (older schema).
+		if f.CanonFallbacks != nil {
+			switch {
+			case b.CanonFallbacks == nil:
+				if *f.CanonFallbacks > 0 {
+					notes = append(notes, fmt.Sprintf("%d canon fallbacks, no baseline — reported, not gated", *f.CanonFallbacks))
+				}
+			case *f.CanonFallbacks > *b.CanonFallbacks:
+				regressions = append(regressions, "CONE-DEDUP REGRESSION")
+				failures = append(failures, fmt.Sprintf("%s: %d canon fallbacks vs baseline %d", f.Name, *f.CanonFallbacks, *b.CanonFallbacks))
+			}
 		}
 		status := "ok"
 		if len(regressions) > 0 {

@@ -86,7 +86,7 @@ func TestSuiteJSONRoundTrips(t *testing.T) {
 	if report.Schema != "qaoabench/suite/v1" {
 		t.Errorf("schema = %q", report.Schema)
 	}
-	want := []string{"forward", "grad", "sweep",
+	want := []string{"forward", "grad", "sweep", "registry_cache_hit",
 		"unfused_layer", "fused_layer", "fwht_mixer",
 		"lightcone_energy", "lightcone_grad",
 		"distributed_forward", "distributed_grad",
@@ -127,6 +127,18 @@ func TestSuiteJSONRoundTrips(t *testing.T) {
 	if q, f := byName["distributed_grad_quantized"], byName["distributed_grad"]; q.BytesPerRank != f.BytesPerRank {
 		t.Errorf("quantized grad moved %d bytes/rank, float64 moved %d — the diagonal representation must not change wire traffic",
 			q.BytesPerRank, f.BytesPerRank)
+	}
+
+	// The light-cone rows carry the cone-dedup counter (an explicit 0
+	// here — every cone canonicalizes at these sizes) so the baseline
+	// gate can fail on any future increase; other rows omit the field.
+	for _, name := range []string{"lightcone_energy", "lightcone_grad"} {
+		if byName[name].CanonFallbacks == nil {
+			t.Errorf("%s: missing canon_fallbacks", name)
+		}
+	}
+	if byName["forward"].CanonFallbacks != nil {
+		t.Error("forward row carries canon_fallbacks — the field is light-cone-only")
 	}
 
 	// The gather-free output stages are payload-free: CVaR's threshold

@@ -16,6 +16,7 @@ import (
 	"qokit/internal/lightcone"
 	"qokit/internal/optimize"
 	"qokit/internal/problems"
+	"qokit/internal/registry"
 	"qokit/internal/serve"
 	"qokit/internal/statevec"
 	"qokit/internal/sweep"
@@ -54,17 +55,27 @@ func runOpt(w io.Writer, args []string) error {
 	x0 := optimize.JoinAngles(g0, b0)
 	nm := optimize.NMOptions{MaxEvals: *evals}
 
-	// Fast simulator: one construction (includes precompute), then
-	// cheap evaluations through a one-worker evaluation service over a
-	// sweep-engine buffer — the production optimizer path, reusing a
-	// single state vector for the entire optimization.
+	// Fast simulator: register the problem once, then serve cheap
+	// evaluations through a one-worker registry service — the production
+	// optimizer path. The diagonal precompute happens inside the first
+	// objective evaluation (the factory's first build acquires it from
+	// the registry cache), so the timed window still pays it exactly
+	// once, like the old caller-built construction did.
 	startFast := time.Now()
-	sim, err := core.New(*n, terms, core.Options{Backend: core.BackendSoA})
+	reg := registry.New(registry.Options{})
+	key, err := reg.Register(registry.Spec{N: *n, Terms: terms})
 	if err != nil {
 		return err
 	}
-	eng := sweep.New(sim, sweep.Options{Workers: 1})
-	svc, err := serve.New([]evaluator.Evaluator{eng}, serve.Options{WorkersPerEvaluator: 1})
+	cf := core.NewFactory(*n, core.Options{Backend: core.BackendSoA}, func(ctx context.Context) (core.DiagSource, error) {
+		h, err := reg.Acquire(ctx, key)
+		if err != nil {
+			return nil, err
+		}
+		return h, nil
+	})
+	svc, err := serve.NewElastic([]evaluator.Factory{sweep.NewFactory(cf, sweep.Options{Workers: 1})},
+		serve.ElasticOptions{MinWorkers: 1, MaxWorkers: 1})
 	if err != nil {
 		return err
 	}

@@ -19,6 +19,7 @@ import (
 	"qokit/internal/lightcone"
 	"qokit/internal/optimize"
 	"qokit/internal/problems"
+	"qokit/internal/registry"
 	"qokit/internal/serve"
 	"qokit/internal/sweep"
 )
@@ -81,6 +82,13 @@ type suiteBenchmark struct {
 	// BytesPerRank records the distributed workloads' per-rank traffic
 	// — the machine-independent part of the trajectory.
 	BytesPerRank int64 `json:"bytes_per_rank,omitempty"`
+	// CanonFallbacks is set (possibly to an explicit zero) on the
+	// light-cone rows: the count of cones keyed uniquely after a
+	// canonical-form budget blowout. Nonzero means isomorphic cones
+	// stopped deduplicating — a cache-quality regression invisible in
+	// wall time at small radii, so the baseline comparison gates on it
+	// like traffic: machine-independent, any increase fails.
+	CanonFallbacks *int `json:"canon_fallbacks,omitempty"`
 }
 
 // runSuite measures the five benchmark workloads at fixed sizes and
@@ -186,6 +194,48 @@ func runSuite(w io.Writer, args []string) error {
 		SecondsPerUnit: tSweep.Seconds() / float64(*points),
 	})
 
+	// Registry cache hit: the same batch workload through a problem-
+	// registry service. The cold batch pays the single diagonal
+	// precompute; every warm repetition must perform zero precompute
+	// work, asserted in-run against the registry's Precomputes counter —
+	// the tentpole property of the registered-problem layer, gated here
+	// so a regression that silently re-precomputes per build fails the
+	// suite even before timing moves.
+	reg := registry.New(registry.Options{})
+	rkey, err := reg.Register(registry.Spec{N: *n, Terms: terms})
+	if err != nil {
+		return err
+	}
+	rcf := core.NewFactory(*n, core.Options{}, func(ctx context.Context) (core.DiagSource, error) {
+		h, err := reg.Acquire(ctx, rkey)
+		if err != nil {
+			return nil, err
+		}
+		return h, nil
+	})
+	rsvc, err := serve.NewElastic([]evaluator.Factory{sweep.NewFactory(rcf, sweep.Options{})},
+		serve.ElasticOptions{MinWorkers: 1, MaxWorkers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		return err
+	}
+	defer rsvc.Close()
+	if _, err := rsvc.EnergyBatch(ctx, xs, sres); err != nil { // cold: the one precompute
+		return err
+	}
+	tReg, _ := benchutil.TimeRepeat(*reps, func() {
+		if _, err := rsvc.EnergyBatch(ctx, xs, sres); err != nil {
+			panic(err)
+		}
+	})
+	if st := reg.Stats(); st.Precomputes != 1 {
+		return fmt.Errorf("suite: registry_cache_hit ran %d diagonal precomputes across warm repetitions, want exactly 1 (cold)", st.Precomputes)
+	}
+	report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
+		Name: "registry_cache_hit", N: *n, P: *p, Points: *points, Workers: rsvc.LiveWorkers(),
+		SecondsPerOp:   tReg.Seconds(),
+		SecondsPerUnit: tReg.Seconds() / float64(*points),
+	})
+
 	// Kernel speed: one p-layer evolution at the larger kernelN over
 	// the default (SoA) backend — the separate phase + per-qubit sweep
 	// the repository started from, the fused single-pass layer (phase
@@ -249,8 +299,10 @@ func runSuite(w io.Writer, args []string) error {
 			panic(err)
 		}
 	})
+	lcFallbacks := lcEng.Stats().CanonFallbacks
 	report.Benchmarks = append(report.Benchmarks, suiteBenchmark{
 		Name: "lightcone_energy", N: *lcN, P: 2, SecondsPerOp: tLCE.Seconds(),
+		CanonFallbacks: &lcFallbacks,
 	})
 	tLCG, _ := benchutil.TimeRepeat(*reps, func() {
 		if _, err := lcEng.EnergyGrad(ctx, lcX, lcGrad); err != nil {
@@ -261,6 +313,7 @@ func runSuite(w io.Writer, args []string) error {
 		Name: "lightcone_grad", N: *lcN, P: 2,
 		SecondsPerOp:   tLCG.Seconds(),
 		SecondsPerUnit: tLCG.Seconds() / float64(len(lcX)),
+		CanonFallbacks: &lcFallbacks,
 	})
 
 	// Distributed forward: full sharded pipeline. Each precision

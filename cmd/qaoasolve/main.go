@@ -99,8 +99,17 @@ func run(problem string, n, p, d, k, clauses, budget int, seed int64, evals int,
 	}
 
 	fmt.Printf("problem: %s\n", describe)
+
+	// One registry serves both execution paths: the problem is
+	// registered once, and every evaluator build below — single-node or
+	// sharded — acquires the same cached diagonal.
+	reg := qokit.NewProblemRegistry(qokit.RegistryOptions{})
+	key, err := reg.Register(qokit.ProblemSpec{N: n, Terms: terms, Mixer: mixer, HammingWeight: hw})
+	if err != nil {
+		return err
+	}
 	if ranks > 0 {
-		return runDistributed(problem, terms, n, p, hw, seed, evals, ranks, precision, quantize, mixer, checkpoint)
+		return runDistributed(problem, reg, key, n, p, seed, evals, ranks, precision, quantize, checkpoint)
 	}
 
 	be, err := parseBackend(backend)
@@ -108,72 +117,87 @@ func run(problem string, n, p, d, k, clauses, budget int, seed int64, evals int,
 		return err
 	}
 
+	// Acquiring a handle up front pays the one precompute here (so the
+	// setup line still measures it) and pins the diagonal for the
+	// direct spectrum reads at the end; every service build is then a
+	// cache hit.
+	ctx := context.Background()
 	start := time.Now()
-	sim, err := qokit.NewSimulator(n, terms, qokit.Options{Backend: be, Mixer: mixer, HammingWeight: hw})
+	h, err := reg.Acquire(ctx, key)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("precompute + setup: %v (backend %v)\n", time.Since(start).Round(time.Microsecond), sim.Backend())
+	defer h.Release()
+	svc, err := qokit.NewRegistryService(reg, key, qokit.RegistryServiceOptions{
+		Simulator: qokit.Options{Backend: be},
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	fmt.Printf("precompute + setup: %v (via problem registry)\n", time.Since(start).Round(time.Microsecond))
 
 	start = time.Now()
-	var gamma, beta []float64
+	g0, b0 := qokit.TQAInit(p, 0.75)
+	x0 := append(append([]float64{}, g0...), b0...)
+	var x []float64
 	var energy float64
 	var used int
 	if checkpoint != "" {
-		svc, err := qokit.NewLocalService(sim, qokit.ServiceOptions{})
-		if err != nil {
-			return err
-		}
-		defer svc.Close()
-		g0, b0 := qokit.TQAInit(p, 0.75)
-		res, err := svc.OptimizeAdam(context.Background(), append(append([]float64{}, g0...), b0...), qokit.JobOptions{
+		res, err := svc.OptimizeAdam(ctx, x0, qokit.JobOptions{
 			Adam:           qokit.AdamOptions{MaxIter: evals},
 			CheckpointPath: checkpoint,
 		})
 		if err != nil {
 			return fmt.Errorf("durable job (checkpoint %s): %w", checkpoint, err)
 		}
-		gamma, beta = res.X[:p], res.X[p:]
-		energy, used = res.F, res.Evals
+		x, energy, used = res.X, res.F, res.Evals
 	} else {
-		var err error
-		gamma, beta, energy, used, err = qokit.OptimizeParameters(sim, p, qokit.NMOptions{MaxEvals: evals})
-		if err != nil {
-			return err
+		var simErr error
+		res := qokit.NelderMead(svc.Objective(ctx, &simErr), x0, qokit.NMOptions{MaxEvals: evals})
+		if simErr != nil {
+			return simErr
 		}
+		x, energy, used = res.X, res.F, res.Evals
 	}
 	optTime := time.Since(start)
 	fmt.Printf("optimized p=%d parameters: %d objective evaluations in %v (%.3g s/eval)\n",
 		p, used, optTime.Round(time.Millisecond), optTime.Seconds()/float64(used))
 
-	res, err := sim.SimulateQAOA(gamma, beta)
+	outs, err := svc.EvalOutputs(ctx, x, qokit.OutputSpec{Variance: true})
 	if err != nil {
 		return err
 	}
-	best := sim.MinCost()
+	best := outs.MinCost
 	fmt.Printf("best energy found:   %.6f\n", energy)
 	fmt.Printf("true optimum:        %.6f (from the precomputed diagonal)\n", best)
 	if best != 0 {
 		fmt.Printf("ratio to optimum:    %.4f\n", energy/best)
 	}
-	fmt.Printf("ground-state overlap: %.4g (%d optimal states)\n", res.Overlap(), len(sim.GroundStates()))
-
-	probs := res.Probabilities(nil, true)
-	argmax := 0
-	for i, q := range probs {
-		if q > probs[argmax] {
-			argmax = i
+	// The pinned handle reads the same cached spectrum the evaluators
+	// use (feasibility-restricted for the xy mixers' Dicke sector).
+	optimal := 0
+	for i, c := range h.Diag() {
+		if mixer != qokit.MixerX && bits.OnesCount64(uint64(i)) != hw {
+			continue
+		}
+		if c <= best+1e-9 {
+			optimal++
 		}
 	}
+	fmt.Printf("ground-state overlap: %.4g (%d optimal states)\n", outs.Overlap, optimal)
+	fmt.Printf("cost variance:       %.6f (flat ≈ sharp diagnostic at the optimum)\n", outs.Variance)
 	fmt.Printf("most probable outcome: %0*b (p=%.4g, cost %.4f)\n",
-		n, argmax, probs[argmax], sim.CostDiagonal()[argmax])
+		n, outs.MaxProbIndex, outs.MaxProb, h.Diag()[outs.MaxProbIndex])
 	if problem == "labs" {
-		e := qokit.LABSEnergy(uint64(argmax), n)
+		e := qokit.LABSEnergy(outs.MaxProbIndex, n)
 		fmt.Printf("  as LABS sequence: E=%d, merit factor %.3f\n", e, qokit.MeritFactor(n, e))
 	}
 	if problem == "portfolio" {
-		fmt.Printf("  selected %d assets\n", bits.OnesCount(uint(argmax)))
+		fmt.Printf("  selected %d assets\n", bits.OnesCount64(outs.MaxProbIndex))
 	}
+	st := reg.Stats()
+	fmt.Printf("registry: %d precompute, %d cache hits\n", st.Precomputes, st.Hits)
 
 	return nil
 }
@@ -183,7 +207,7 @@ func run(problem string, n, p, d, k, clauses, budget int, seed int64, evals int,
 // warm start, then the final outputs — shots, CVaR, overlap, most
 // probable state — served gather-free on the shards through the same
 // evaluation service that handled the optimizer's requests.
-func runDistributed(problem string, terms qokit.Terms, n, p, hw int, seed int64, evals, ranks int, precision string, quantize bool, mixer qokit.Mixer, checkpoint string) error {
+func runDistributed(problem string, reg *qokit.ProblemRegistry, key qokit.ProblemKey, n, p int, seed int64, evals, ranks int, precision string, quantize bool, checkpoint string) error {
 	prec := qokit.DistFloat64
 	switch precision {
 	case "", "float64":
@@ -192,16 +216,17 @@ func runDistributed(problem string, terms qokit.Terms, n, p, hw int, seed int64,
 	default:
 		return fmt.Errorf("unknown precision %q (float64 | float32)", precision)
 	}
+	// The mixer and Hamming-weight sector come from the registered spec;
+	// each elastic build is one rank-group lease whose diagonal shards
+	// are slices of the registry's cached full diagonal.
 	dopts := qokit.DistOptions{
-		Ranks: ranks, Algo: qokit.Transpose, Mixer: mixer, HammingWeight: hw,
+		Ranks: ranks, Algo: qokit.Transpose,
 		Precision: prec, Quantize: quantize,
 	}
 	start := time.Now()
-	engine, err := qokit.NewDistributedGradEngine(n, terms, dopts)
-	if err != nil {
-		return err
-	}
-	svc, err := qokit.NewService([]qokit.Evaluator{engine}, qokit.ServiceOptions{})
+	svc, err := qokit.NewRegistryService(reg, key, qokit.RegistryServiceOptions{
+		Distributed: &dopts,
+	})
 	if err != nil {
 		return err
 	}
@@ -213,7 +238,7 @@ func runDistributed(problem string, terms qokit.Terms, n, p, hw int, seed int64,
 		rep = "float32"
 	}
 	fmt.Printf("distributed setup: %v (K=%d ranks, %s shards, %d workers)\n",
-		time.Since(start).Round(time.Microsecond), ranks, rep, svc.Workers())
+		time.Since(start).Round(time.Microsecond), ranks, rep, svc.LiveWorkers())
 
 	ctx := context.Background()
 	gamma, beta := qokit.TQAInit(p, 0.75)
@@ -240,7 +265,7 @@ func runDistributed(problem string, terms qokit.Terms, n, p, hw int, seed int64,
 		p, res.Evals, optTime.Round(time.Millisecond), optTime.Seconds()/float64(res.Evals))
 
 	outs, err := svc.EvalOutputs(ctx, res.X, qokit.OutputSpec{
-		CVaRAlphas: []float64{0.1}, Shots: 1024, Seed: seed,
+		CVaRAlphas: []float64{0.1}, Shots: 1024, Seed: seed, Variance: true,
 	})
 	if err != nil {
 		return err
@@ -251,6 +276,7 @@ func runDistributed(problem string, terms qokit.Terms, n, p, hw int, seed int64,
 		fmt.Printf("ratio to optimum:    %.4f\n", res.F/outs.MinCost)
 	}
 	fmt.Printf("CVaR(0.1):           %.6f\n", outs.CVaR[0])
+	fmt.Printf("cost variance:       %.6f (second-moment allreduce on the shards)\n", outs.Variance)
 	fmt.Printf("ground-state overlap: %.4g\n", outs.Overlap)
 	fmt.Printf("most probable outcome: %0*b (p=%.4g)\n", n, outs.MaxProbIndex, outs.MaxProb)
 	if problem == "labs" {
@@ -267,8 +293,8 @@ func runDistributed(problem string, terms qokit.Terms, n, p, hw int, seed int64,
 		}
 	}
 	fmt.Printf("sampled %d shots gather-free: %d hit the most probable state\n", len(outs.Samples), hits)
-	c := engine.Counters()
-	fmt.Printf("communication: %d bytes, %d messages, %d syncs\n", c.BytesSent, c.Messages, c.Syncs)
+	st := reg.Stats()
+	fmt.Printf("registry: %d precompute, %d cache hits\n", st.Precomputes, st.Hits)
 	return nil
 }
 

@@ -177,13 +177,22 @@ func run(w io.Writer) error {
 	fmt.Fprintln(w, "The quantized diagonal is exact by construction (gradients match float64")
 	fmt.Fprintln(w, "to rounding); float32 shards halve bytes/rank and inherit the ~2e-3 band.")
 
-	// Concurrent distributed serving: a two-worker service over the
-	// same sharded substrate runs two optimizations at once — each
-	// evaluation leases its own rank group, so the cluster is no
-	// longer single-flight.
-	svc, err := qokit.NewDistributedService(n, terms, qokit.DistOptions{
-		Ranks: optRanks, Algo: qokit.Transpose,
-	}, qokit.ServiceOptions{WorkersPerEvaluator: 2})
+	// Concurrent distributed serving through the problem registry: the
+	// problem is registered once, and the elastic service builds
+	// rank-group leases on demand — two Adam clients flood the queue, the
+	// pool grows from its one-lease floor to a second lease whose
+	// diagonal shards come from the registry cache (no second
+	// precompute), and the pool decays back after the clients finish.
+	reg := qokit.NewProblemRegistry(qokit.RegistryOptions{})
+	key, err := reg.Register(qokit.ProblemSpec{N: n, Terms: terms})
+	if err != nil {
+		return err
+	}
+	dopts := qokit.DistOptions{Ranks: optRanks, Algo: qokit.Transpose}
+	svc, err := qokit.NewRegistryService(reg, key, qokit.RegistryServiceOptions{
+		Distributed: &dopts,
+		Elastic:     qokit.ElasticOptions{MinWorkers: 1, MaxWorkers: 2},
+	})
 	if err != nil {
 		return err
 	}
@@ -203,15 +212,18 @@ func run(w io.Writer) error {
 		}(i)
 	}
 	wg.Wait()
-	fmt.Fprintf(w, "\nConcurrent sharded serving (K=%d, 2 Adam clients on one service):\n", optRanks)
+	fmt.Fprintf(w, "\nConcurrent sharded serving (K=%d, 2 Adam clients on one elastic service):\n", optRanks)
 	for i, r := range results {
 		if errs[i] != nil {
 			return errs[i]
 		}
 		fmt.Fprintf(w, "  client %d: E = %.6f after %d sharded gradients\n", i, r.F, r.Evals)
 	}
-	fmt.Fprintln(w, "Both clients' evaluations interleaved on leased rank groups through one")
-	fmt.Fprintln(w, "FIFO queue — the request-scheduling story the serving layer adds.")
+	st := reg.Stats()
+	fmt.Fprintf(w, "Both clients' evaluations interleaved on leased rank groups through one\n")
+	fmt.Fprintf(w, "FIFO queue; the pool served them with %d live lease(s), and the registry\n", svc.LiveWorkers())
+	fmt.Fprintf(w, "precomputed the diagonal once for every lease built (%d precompute, %d hits).\n",
+		st.Precomputes, st.Hits)
 
 	// Gather-free outputs: CVaR, sampling, and overlap served directly
 	// on the shards — on the quantized representation, whose whole point
@@ -223,7 +235,7 @@ func run(w io.Writer) error {
 	bestGamma, bestBeta := bestX[:p], bestX[p:]
 	outs, err := qokit.SimulateQAOADistributedOutputs(n, terms, bestGamma, bestBeta,
 		qokit.DistOptions{Ranks: optRanks, Algo: qokit.Transpose, Quantize: true},
-		qokit.OutputSpec{CVaRAlphas: []float64{0.5, 0.1}, Shots: 2000, Seed: 7})
+		qokit.OutputSpec{CVaRAlphas: []float64{0.5, 0.1}, Shots: 2000, Seed: 7, Variance: true})
 	if err != nil {
 		return err
 	}
@@ -241,6 +253,20 @@ func run(w io.Writer) error {
 	if d := math.Abs(outs.Overlap - refBest.Overlap()); d > 1e-9 {
 		return fmt.Errorf("gather-free overlap deviates from single-node by %g", d)
 	}
+	// Var(C) cross-checked against the naive ⟨C²⟩−⟨C⟩² moments on the
+	// single-node distribution — the distributed value comes from
+	// per-rank Welford triples merged by one allreduce.
+	refProbs := refBest.Probabilities(nil, true)
+	refDiag := sim.CostDiagonal()
+	var m1, m2 float64
+	for i, q := range refProbs {
+		m1 += q * refDiag[i]
+		m2 += q * refDiag[i] * refDiag[i]
+	}
+	refVar := m2 - m1*m1
+	if d := math.Abs(outs.Variance - refVar); d > 1e-9*math.Max(1, refVar) {
+		return fmt.Errorf("gather-free variance deviates from single-node by %g", d)
+	}
 	below := 0
 	for _, s := range outs.Samples {
 		if float64(qokit.LABSEnergy(s, n)) <= outs.CVaR[1] {
@@ -251,6 +277,8 @@ func run(w io.Writer) error {
 	fmt.Fprintf(w, "  CVaR(0.5) = %.6f   CVaR(0.1) = %.6f  (single-node match ≤ 1e-9)\n", outs.CVaR[0], outs.CVaR[1])
 	fmt.Fprintf(w, "  ground-state overlap %.4g, most probable state %0*b (p=%.4g)\n",
 		outs.Overlap, n, outs.MaxProbIndex, outs.MaxProb)
+	fmt.Fprintf(w, "  Var(C) = %.6f via second-moment allreduce (single-node match ≤ 1e-9)\n",
+		outs.Variance)
 	fmt.Fprintf(w, "  %d two-stage shots: %d at energy ≤ CVaR(0.1)\n", len(outs.Samples), below)
 	fmt.Fprintln(w, "No rank ever materialized the 2^n state: sampling, CVaR, and overlap ran")
 	fmt.Fprintln(w, "on shard-local alias tables and prefix sums plus scalar all-reduces, so")

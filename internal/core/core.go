@@ -244,6 +244,27 @@ func New(n int, terms poly.Terms, opts Options) (*Simulator, error) {
 // (QOKit's `costs` constructor argument). The diagonal is retained,
 // not copied; callers must not mutate it afterwards.
 func NewFromDiagonal(n int, diag []float64, opts Options) (*Simulator, error) {
+	return newFromDiagonal(n, diag, nil, opts)
+}
+
+// NewFromDiagonalQuantized is NewFromDiagonal for callers that already
+// hold the diagonal's uint16-quantized form (e.g. from a problem
+// registry): the simulator runs quantized without re-paying the
+// O(2^n) quantization pass. Quantize is implied; QuantScale is
+// ignored. The quantized form is retained, not copied.
+func NewFromDiagonalQuantized(n int, diag []float64, q *costvec.Quantized, opts Options) (*Simulator, error) {
+	if q == nil {
+		return nil, fmt.Errorf("core: NewFromDiagonalQuantized requires a non-nil quantized diagonal")
+	}
+	if len(q.Codes) != len(diag) {
+		return nil, fmt.Errorf("core: quantized form has %d codes for a %d-entry diagonal", len(q.Codes), len(diag))
+	}
+	opts.Quantize = true
+	opts.QuantScale = 0
+	return newFromDiagonal(n, diag, q, opts)
+}
+
+func newFromDiagonal(n int, diag []float64, prequant *costvec.Quantized, opts Options) (*Simulator, error) {
 	if n < 1 || n > 34 {
 		return nil, fmt.Errorf("core: n=%d outside practical range [1,34]", n)
 	}
@@ -287,17 +308,21 @@ func NewFromDiagonal(n int, diag []float64, opts Options) (*Simulator, error) {
 		return nil, fmt.Errorf("core: SinglePrecision does not compose with Quantize or RecomputePhase")
 	}
 	if opts.Quantize {
-		var q *costvec.Quantized
-		var err error
-		if opts.QuantScale > 0 {
-			q, err = costvec.Quantize(diag, opts.QuantScale)
+		if prequant != nil {
+			s.quant = prequant
 		} else {
-			q, err = costvec.QuantizeAuto(diag)
+			var q *costvec.Quantized
+			var err error
+			if opts.QuantScale > 0 {
+				q, err = costvec.Quantize(diag, opts.QuantScale)
+			} else {
+				q, err = costvec.QuantizeAuto(diag)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: quantized diagonal requested: %w", err)
+			}
+			s.quant = q
 		}
-		if err != nil {
-			return nil, fmt.Errorf("core: quantized diagonal requested: %w", err)
-		}
-		s.quant = q
 	}
 	switch opts.Mixer {
 	case MixerX:

@@ -60,6 +60,9 @@ func (s *Simulator) EvalOutputs(ctx context.Context, x []float64, spec evaluator
 			out.Probs[i] = probs[q]
 		}
 	}
+	if spec.Variance {
+		out.Variance = costVariance(probs, s.diag)
+	}
 	if spec.Shots > 0 {
 		// Validate bounded Shots by MaxShotsPerRequest, so this is the
 		// largest buffer a request can pin; the draw itself goes through
@@ -105,6 +108,29 @@ func (s *Simulator) StreamSamples(ctx context.Context, x []float64, spec evaluat
 		return err
 	}
 	return sampleInChunks(ctx, r.Probabilities(nil, true), spec.Shots, spec.Seed, fn)
+}
+
+// costVariance computes Var(C) = ⟨C²⟩ − ⟨C⟩² over the measurement
+// distribution with a weighted Welford pass — one accumulation per
+// nonzero probability, no catastrophic ⟨C²⟩ − ⟨C⟩² cancellation. The
+// distributed engine runs the same recurrence per shard and merges the
+// (weight, mean, M2) triples, so the two paths agree to rounding.
+func costVariance(probs, diag []float64) float64 {
+	var w, mean, m2 float64
+	for x, p := range probs {
+		if p == 0 {
+			continue
+		}
+		c := diag[x]
+		w += p
+		delta := c - mean
+		mean += delta * p / w
+		m2 += p * delta * (c - mean)
+	}
+	if w == 0 {
+		return 0
+	}
+	return m2 / w
 }
 
 // sampleInChunks draws shots indices from probs into one reused

@@ -240,6 +240,10 @@ type Result struct {
 	// (ties resolve to the lowest global index).
 	MaxProbIndex uint64
 	MaxProb      float64
+	// Variance is Var(C) over the measurement distribution, filled when
+	// OutputSpec.Variance is set — per-rank Welford triples merged by
+	// one allreduce, matching core's single-pass value to rounding.
+	Variance float64
 	// State is the gathered state vector (nil unless Options.Gather).
 	State statevec.Vec
 	// Comm is the summed traffic with critical-path wall time.

@@ -165,6 +165,16 @@ func rankOutputs(c *cluster.Comm, v shardView, spec OutputSpec, res *Result) err
 		}
 	}
 
+	if spec.Variance {
+		vv, err := rankVariance(c, v)
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			res.Variance = vv
+		}
+	}
+
 	if len(spec.ProbIndices) > 0 {
 		buf := make([]float64, len(spec.ProbIndices))
 		for j, q := range spec.ProbIndices {
@@ -228,6 +238,56 @@ func rankSample(c *cluster.Comm, v shardView, spec OutputSpec, samples []uint64)
 		}
 	}
 	return c.Barrier()
+}
+
+// rankVariance computes Var(C) over the measurement distribution with
+// the distributed second-moment scheme: each rank runs the same
+// weighted Welford recurrence core.costVariance uses over its own
+// shard, the per-rank (weight, mean, M2) triples travel in disjoint
+// slots of one 3K-entry AllreduceSumVec, and every rank folds the K
+// triples in rank order with Chan's pairwise merge
+//
+//	W = Wa + Wb;  δ = mb − ma;  mean = ma + δ·Wb/W
+//	M2 = M2a + M2b + δ²·Wa·Wb/W
+//
+// so all ranks hold the identical value without gathering a single
+// amplitude. The fold order is fixed (rank 0, 1, …), which makes the
+// result deterministic across runs and rank counts up to rounding.
+func rankVariance(c *cluster.Comm, v shardView) (float64, error) {
+	rank, size := c.Rank(), c.Size()
+	var w, mean, m2 float64
+	for i := 0; i < v.size; i++ {
+		p := v.prob(i)
+		if p == 0 {
+			continue
+		}
+		cv := v.cost(i)
+		w += p
+		delta := cv - mean
+		mean += delta * p / w
+		m2 += p * delta * (cv - mean)
+	}
+	triples := make([]float64, 3*size)
+	triples[3*rank], triples[3*rank+1], triples[3*rank+2] = w, mean, m2
+	if err := c.AllreduceSumVec(triples); err != nil {
+		return 0, err
+	}
+	var gw, gmean, gm2 float64
+	for r := 0; r < size; r++ {
+		wb, mb, m2b := triples[3*r], triples[3*r+1], triples[3*r+2]
+		if wb == 0 {
+			continue
+		}
+		wn := gw + wb
+		delta := mb - gmean
+		gmean += delta * wb / wn
+		gm2 += m2b + delta*delta*gw*wb/wn
+		gw = wn
+	}
+	if gw == 0 {
+		return 0, nil
+	}
+	return gm2 / gw, nil
 }
 
 // rankCVaR evaluates CVaR at every requested level via per-rank
@@ -758,5 +818,6 @@ func (e *GradEngine) EvalOutputs(ctx context.Context, x []float64, spec evaluato
 		Probs:        res.Probs,
 		MaxProbIndex: res.MaxProbIndex,
 		MaxProb:      res.MaxProb,
+		Variance:     res.Variance,
 	}, nil
 }

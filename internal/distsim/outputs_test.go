@@ -109,6 +109,97 @@ func TestDistributedCVaROverlapMatchSingleNode(t *testing.T) {
 	}
 }
 
+// TestDistributedVarianceMatchesSingleNode: the Welford second-moment
+// allreduce must reproduce the single-node cost variance to rtol 1e-10
+// over every rank count and shard representation, and must agree with
+// the naive ⟨C²⟩ − ⟨C⟩² computed directly from the gathered reference
+// probabilities. Also covers the engine-resident Outputs/EvalOutputs
+// path.
+func TestDistributedVarianceMatchesSingleNode(t *testing.T) {
+	const rtol = 1e-10
+	rng := rand.New(rand.NewSource(43))
+	n := 8
+	ts := problems.LABSTerms(n)
+	p := 3
+	gamma := make([]float64, p)
+	beta := make([]float64, p)
+	for i := range gamma {
+		gamma[i] = rng.Float64() - 0.5
+		beta[i] = rng.Float64() - 0.5
+	}
+
+	single, err := core.New(n, ts, core.Options{Backend: core.BackendSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := append(append([]float64{}, gamma...), beta...)
+	refOut, err := single.EvalOutputs(context.Background(), x, evaluator.OutputSpec{Variance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent naive check: E[C²] − E[C]² from the gathered state.
+	ref, err := single.SimulateQAOA(gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := ref.Probabilities(nil, true)
+	diag := single.CostDiagonal()
+	var ec, ec2 float64
+	for i, pr := range probs {
+		ec += pr * diag[i]
+		ec2 += pr * diag[i] * diag[i]
+	}
+	if d := rtolDiff(refOut.Variance, ec2-ec*ec); d > 1e-9 {
+		t.Fatalf("single-node Welford variance %v vs naive %v (rtol %g)", refOut.Variance, ec2-ec*ec, d)
+	}
+
+	for _, quantize := range []bool{false, true} {
+		for _, ranks := range []int{1, 2, 4} {
+			res, err := SimulateQAOAOutputs(context.Background(), n, ts, gamma, beta,
+				Options{Ranks: ranks, Quantize: quantize}, OutputSpec{Variance: true})
+			if err != nil {
+				t.Fatalf("quantize=%v K=%d: %v", quantize, ranks, err)
+			}
+			if d := rtolDiff(res.Variance, refOut.Variance); d > rtol {
+				t.Errorf("quantize=%v K=%d: Variance = %v, want %v (rtol %g)",
+					quantize, ranks, res.Variance, refOut.Variance, d)
+			}
+		}
+	}
+
+	// Float32 dynamics carry single-precision error; the variance must
+	// still land within a coarse band of the float64 value.
+	res32, err := SimulateQAOAOutputs(context.Background(), n, ts, gamma, beta,
+		Options{Ranks: 4, Precision: PrecisionFloat32}, OutputSpec{Variance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rtolDiff(res32.Variance, refOut.Variance); d > 1e-4 {
+		t.Errorf("float32 K=4: Variance rtol %g vs float64 reference", d)
+	}
+
+	// Engine-resident path (the one the elastic pool schedules).
+	e, err := NewGradEngine(n, ts, Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := e.EvalOutputs(context.Background(), x, evaluator.OutputSpec{Variance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rtolDiff(outs.Variance, refOut.Variance); d > rtol {
+		t.Errorf("engine EvalOutputs Variance rtol %g", d)
+	}
+	// An unset spec leaves the field zero — no hidden second pass.
+	plain, err := e.EvalOutputs(context.Background(), x, evaluator.OutputSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Variance != 0 {
+		t.Errorf("Variance = %v without OutputSpec.Variance", plain.Variance)
+	}
+}
+
 // TestDistributedOutputsXYMixer covers the restricted-subspace path:
 // CVaR and overlap over a ring-xy evolution must match the single-node
 // values, and the infeasible subspace (exactly-zero amplitudes) must

@@ -31,6 +31,10 @@ type OutputSpec struct {
 	// ProbIndices requests |ψ_x|² at each listed global basis index
 	// (Outputs.Probs holds one entry per index).
 	ProbIndices []uint64
+	// Variance requests the cost variance Var(C) = ⟨C²⟩ − ⟨C⟩² of the
+	// measurement distribution (Outputs.Variance) — the landscape
+	// diagnostic that tells a flat optimum from a sharp one.
+	Variance bool
 }
 
 const (
@@ -101,6 +105,9 @@ type Outputs struct {
 	// state (ties resolve to the lowest index).
 	MaxProbIndex uint64
 	MaxProb      float64
+	// Variance is Var(C) over the measurement distribution, filled when
+	// OutputSpec.Variance is set.
+	Variance float64
 }
 
 // OutputEvaluator is the optional extension implemented by engines

@@ -1,0 +1,59 @@
+package grad
+
+import (
+	"context"
+	"fmt"
+
+	"qokit/internal/core"
+	"qokit/internal/evaluator"
+)
+
+// Factory builds adjoint-gradient engines on demand for an elastic
+// scheduler. Builds share one read-only simulator through the
+// underlying core.Factory; each engine pins at most PoolCap gradient
+// workspaces (two state buffers each).
+type Factory struct {
+	cf      *core.Factory
+	poolCap int
+}
+
+var _ evaluator.Factory = (*Factory)(nil)
+
+// NewFactory wraps a simulator factory. poolCap ≤ 0 defaults to one
+// pooled workspace per build — the finest scheduling granularity.
+func NewFactory(cf *core.Factory, poolCap int) *Factory {
+	if poolCap <= 0 {
+		poolCap = 1
+	}
+	return &Factory{cf: cf, poolCap: poolCap}
+}
+
+// Caps reports per-build metadata: PoolCap concurrent gradient
+// evaluations, each pinning a two-buffer adjoint workspace.
+func (f *Factory) Caps() evaluator.Caps {
+	c := f.cf.Caps()
+	c.MaxConcurrent = f.poolCap
+	c.StateBytes *= 2 * int64(f.poolCap)
+	return c
+}
+
+// New builds one gradient engine over the shared simulator.
+func (f *Factory) New(ctx context.Context) (evaluator.Evaluator, error) {
+	sim, err := f.cf.NewSimulator(ctx)
+	if err != nil {
+		return nil, err
+	}
+	e := New(sim)
+	e.maxPooled = f.poolCap
+	return e, nil
+}
+
+// Retire drops one engine and releases its hold on the shared
+// simulator.
+func (f *Factory) Retire(ev evaluator.Evaluator) error {
+	eng, ok := ev.(*Engine)
+	if !ok {
+		return fmt.Errorf("grad: Retire of a non-grad evaluator %T", ev)
+	}
+	return f.cf.Retire(eng.sim)
+}

@@ -1,0 +1,420 @@
+// Package registry decouples problem definition from evaluator
+// construction: callers register a problem once (terms + qubit count +
+// mixer family) and get back a canonical key; every evaluator factory
+// then acquires the problem's precomputed cost diagonal — float64 and,
+// on demand, quantized — from a byte-budgeted LRU cache instead of
+// re-paying the 2ⁿ precompute per construction. A second EvalBatch for
+// the same graph therefore performs zero diagonal-precompute work,
+// which is the property the registry_cache_hit bench row gates.
+//
+// Entries are refcounted: eviction under budget pressure removes an
+// entry from the LRU immediately, but its diagonal is only reclaimed
+// once the last in-flight acquisition releases it, so an evaluation
+// that is mid-sweep when its problem is evicted keeps reading valid
+// data. An acquire that arrives while an evicted entry is still
+// pinned resurrects it instead of recomputing.
+package registry
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sync"
+
+	"qokit/internal/core"
+	"qokit/internal/costvec"
+	"qokit/internal/poly"
+	"qokit/internal/statevec"
+)
+
+// Spec identifies a problem: the cost polynomial, the qubit count, and
+// the mixer family (which fixes the feasible subspace the diagonal is
+// evaluated against — the diagonal itself depends only on the terms,
+// but evaluators built for different mixers are not interchangeable,
+// so the mixer participates in the canonical key).
+type Spec struct {
+	// N is the number of qubits (1 ≤ N ≤ 34, the core simulator range).
+	N int
+	// Terms is the cost polynomial in the spin convention. It is
+	// canonicalized (duplicate masks merged, zero weights dropped,
+	// sorted) before hashing, so term order does not split the cache.
+	Terms poly.Terms
+	// Mixer is the mixer family the problem will be driven with.
+	Mixer core.Mixer
+	// HammingWeight is the Dicke sector for the xy mixers (≤ 0 means
+	// the N/2 default). Ignored — and normalized to zero in the key —
+	// for MixerX.
+	HammingWeight int
+}
+
+// Key is the canonical problem hash: hex(SHA-256) over the
+// canonicalized terms, N, and the mixer family. Identical problems
+// registered from different term orderings map to the same Key.
+type Key string
+
+// Options configures a Registry.
+type Options struct {
+	// MaxBytes caps the resident bytes of cached diagonals (float64
+	// plus quantized forms, 8·2ⁿ + 2·2ⁿ per fully-materialized entry,
+	// the same byte accounting evaluator Caps().StateBytes uses for
+	// state buffers). 0 means unlimited. Entries pinned by in-flight
+	// acquisitions may hold the cache transiently over budget; they
+	// are reclaimed on final release.
+	MaxBytes int64
+	// PrecomputeWorkers sizes the worker pool used for diagonal
+	// precompute on a cache miss (0 = GOMAXPROCS).
+	PrecomputeWorkers int
+}
+
+// Stats reports registry cache behavior. Precomputes counts actual
+// diagonal evaluations — the counter the warm-path assertions check
+// stays flat across repeated acquisitions.
+type Stats struct {
+	Problems      int   // registered problems
+	Hits          int64 // acquisitions served from cache (incl. resurrections)
+	Misses        int64 // acquisitions that had to precompute
+	Precomputes   int64 // float64 diagonal precomputes actually run
+	Quantizes     int64 // quantized forms actually built
+	Evictions     int64 // LRU evictions under budget pressure
+	ResidentBytes int64 // bytes of cached forms currently in the LRU
+	PinnedBytes   int64 // bytes held by evicted-but-still-referenced entries
+}
+
+// Registry is the problem cache. All methods are safe for concurrent
+// use; diagonal precompute and quantization run outside the registry
+// lock so a large miss does not stall unrelated hits.
+type Registry struct {
+	mu    sync.Mutex
+	opts  Options
+	pool  *statevec.Pool
+	byKey map[Key]*entry
+	// LRU list of resident entries: head = most recent, tail = next
+	// eviction victim.
+	head, tail *entry
+	stats      Stats
+}
+
+type entry struct {
+	key      Key
+	spec     Spec
+	compiled poly.Compiled
+
+	// Cached forms. diag == nil means not materialized (never built,
+	// or reclaimed after eviction). building/quantizing are non-nil
+	// while a build is in flight so concurrent acquirers wait instead
+	// of duplicating the precompute.
+	diag       []float64
+	quant      *costvec.Quantized
+	bytes      int64
+	refs       int
+	evicted    bool
+	building   chan struct{}
+	quantizing chan struct{}
+
+	prev, next *entry
+}
+
+// New builds an empty registry.
+func New(opts Options) *Registry {
+	return &Registry{
+		opts:  opts,
+		pool:  statevec.NewPool(opts.PrecomputeWorkers),
+		byKey: make(map[Key]*entry),
+	}
+}
+
+// KeyFor computes the canonical key of a spec without registering it.
+func KeyFor(spec Spec) (Key, error) {
+	if spec.N < 1 || spec.N > 34 {
+		return "", fmt.Errorf("registry: n=%d outside supported range [1, 34]", spec.N)
+	}
+	canon := spec.Terms.Canonical()
+	for _, t := range canon {
+		if m := t.Mask(); m >= 1<<uint(spec.N) {
+			return "", fmt.Errorf("registry: term %v references a qubit ≥ n=%d", t, spec.N)
+		}
+	}
+	hw := spec.HammingWeight
+	if spec.Mixer == core.MixerX {
+		hw = 0
+	} else if hw <= 0 {
+		hw = spec.N / 2
+	}
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(spec.N))
+	put(uint64(spec.Mixer))
+	put(uint64(hw))
+	for _, t := range canon {
+		put(t.Mask())
+		put(math.Float64bits(t.Weight))
+	}
+	return Key(hex.EncodeToString(h.Sum(nil))), nil
+}
+
+// Register adds a problem (idempotently) and returns its canonical
+// key. Registration is cheap — no precompute happens until the first
+// Acquire.
+func (r *Registry) Register(spec Spec) (Key, error) {
+	key, err := KeyFor(spec)
+	if err != nil {
+		return "", err
+	}
+	canon := spec.Terms.Canonical()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byKey[key]; !ok {
+		norm := spec
+		norm.Terms = canon
+		if norm.Mixer == core.MixerX {
+			norm.HammingWeight = 0
+		} else if norm.HammingWeight <= 0 {
+			norm.HammingWeight = spec.N / 2
+		}
+		r.byKey[key] = &entry{key: key, spec: norm, compiled: poly.Compile(canon)}
+		r.stats.Problems++
+	}
+	return key, nil
+}
+
+// Spec returns the normalized spec of a registered problem.
+func (r *Registry) Spec(key Key) (Spec, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byKey[key]
+	if !ok {
+		return Spec{}, fmt.Errorf("registry: unknown problem key %s", key)
+	}
+	return e.spec, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Handle is one refcounted acquisition of a problem's cached forms.
+// The diagonal it exposes stays valid — even across an eviction —
+// until Release.
+type Handle struct {
+	r        *Registry
+	e        *entry
+	released bool
+}
+
+// Acquire returns a handle on the problem's float64 diagonal,
+// precomputing it on first use. Concurrent acquirers of a cold entry
+// share one precompute. ctx bounds the wait on an in-flight build.
+func (r *Registry) Acquire(ctx context.Context, key Key) (*Handle, error) {
+	for {
+		r.mu.Lock()
+		e, ok := r.byKey[key]
+		if !ok {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("registry: unknown problem key %s", key)
+		}
+		if e.diag != nil {
+			// Hit: resident, or evicted-but-pinned (resurrect).
+			if e.evicted {
+				r.stats.PinnedBytes -= e.bytes
+				r.stats.ResidentBytes += e.bytes
+				e.evicted = false
+				r.pushFront(e)
+				r.evictLocked()
+			} else {
+				r.moveFront(e)
+			}
+			e.refs++
+			r.stats.Hits++
+			r.mu.Unlock()
+			return &Handle{r: r, e: e}, nil
+		}
+		if e.building != nil {
+			done := e.building
+			r.mu.Unlock()
+			select {
+			case <-done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			continue // re-check under the lock
+		}
+		// Miss: this goroutine owns the build.
+		e.building = make(chan struct{})
+		r.stats.Misses++
+		r.stats.Precomputes++
+		r.mu.Unlock()
+
+		diag := costvec.PrecomputePool(r.pool, e.compiled, e.spec.N)
+
+		r.mu.Lock()
+		e.diag = diag
+		e.bytes = int64(8 * len(diag))
+		e.refs++
+		close(e.building)
+		e.building = nil
+		r.stats.ResidentBytes += e.bytes
+		r.pushFront(e)
+		r.evictLocked()
+		r.mu.Unlock()
+		return &Handle{r: r, e: e}, nil
+	}
+}
+
+// evictLocked pops LRU victims until the resident bytes fit the
+// budget. Victims still referenced by in-flight handles move to the
+// pinned account and are reclaimed on final release; unreferenced
+// victims are reclaimed immediately.
+func (r *Registry) evictLocked() {
+	for r.opts.MaxBytes > 0 && r.stats.ResidentBytes > r.opts.MaxBytes && r.tail != nil {
+		e := r.tail
+		r.unlink(e)
+		e.evicted = true
+		r.stats.Evictions++
+		r.stats.ResidentBytes -= e.bytes
+		if e.refs > 0 {
+			r.stats.PinnedBytes += e.bytes
+		} else {
+			reclaim(e)
+		}
+	}
+}
+
+// reclaim drops an entry's cached forms. The float64 diagonal is
+// poisoned with NaN first so any use-after-release — the bug class the
+// refcounting exists to prevent — turns into a loud non-finite energy
+// instead of a silent stale read.
+func reclaim(e *entry) {
+	for i := range e.diag {
+		e.diag[i] = math.NaN()
+	}
+	e.diag = nil
+	e.quant = nil
+	e.bytes = 0
+	e.evicted = false
+}
+
+// Diag returns the cached float64 cost diagonal. Callers must treat it
+// as read-only and must not retain it past Release.
+func (h *Handle) Diag() []float64 { return h.e.diag }
+
+// Key returns the problem key this handle is bound to.
+func (h *Handle) Key() Key { return h.e.key }
+
+// Spec returns the normalized problem spec.
+func (h *Handle) Spec() Spec { return h.e.spec }
+
+// Quantized returns the problem's uint16-quantized diagonal, building
+// and caching it on first use (its 2·2ⁿ bytes join the entry's budget
+// accounting). The quantization is computed once over the full
+// diagonal, so per-rank slices of it are globally consistent without
+// any cross-rank agreement step.
+func (h *Handle) Quantized() (*costvec.Quantized, error) {
+	r, e := h.r, h.e
+	for {
+		r.mu.Lock()
+		if h.released {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("registry: Quantized on released handle for %s", e.key)
+		}
+		if e.quant != nil {
+			q := e.quant
+			r.mu.Unlock()
+			return q, nil
+		}
+		if e.quantizing != nil {
+			done := e.quantizing
+			r.mu.Unlock()
+			<-done
+			continue
+		}
+		e.quantizing = make(chan struct{})
+		diag := e.diag
+		r.stats.Quantizes++
+		r.mu.Unlock()
+
+		q, err := costvec.QuantizeAuto(diag)
+
+		r.mu.Lock()
+		close(e.quantizing)
+		e.quantizing = nil
+		if err != nil {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("registry: quantizing diagonal for %s: %w", e.key, err)
+		}
+		e.quant = q
+		qb := int64(q.MemoryBytes())
+		e.bytes += qb
+		if e.evicted {
+			r.stats.PinnedBytes += qb
+		} else {
+			r.stats.ResidentBytes += qb
+			r.evictLocked()
+		}
+		r.mu.Unlock()
+		return q, nil
+	}
+}
+
+// Release drops the handle's reference. When the last reference to an
+// evicted entry is released, its cached forms are reclaimed; a later
+// Acquire recomputes from scratch.
+func (h *Handle) Release() {
+	r, e := h.r, h.e
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h.released {
+		return
+	}
+	h.released = true
+	e.refs--
+	if e.refs == 0 && e.evicted {
+		r.stats.PinnedBytes -= e.bytes
+		reclaim(e)
+	}
+}
+
+// --- intrusive LRU list (r.mu held) ---
+
+func (r *Registry) pushFront(e *entry) {
+	e.prev = nil
+	e.next = r.head
+	if r.head != nil {
+		r.head.prev = e
+	}
+	r.head = e
+	if r.tail == nil {
+		r.tail = e
+	}
+}
+
+func (r *Registry) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		r.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		r.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (r *Registry) moveFront(e *entry) {
+	if r.head == e {
+		return
+	}
+	r.unlink(e)
+	r.pushFront(e)
+}

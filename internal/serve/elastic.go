@@ -1,0 +1,380 @@
+// Elastic scheduling: the Service's worker pool, fixed at construction
+// since its introduction, here learns to grow and shrink from observed
+// queue depth. Workers are built on demand from evaluator.Factory
+// descriptors — so the pool can pack heterogeneous capacity
+// (float64/float32/quantized simulators, sharded rank groups,
+// light-cone fan-outs) against one memory budget using each factory's
+// up-front Caps().StateBytes cost metadata — and retire back to their
+// factories after sitting idle, returning state-vector-scale memory.
+//
+// The fixed-pool path (New) is untouched: an elastic service is the
+// same Service with the same FIFO queue, task pooling, cancellation
+// and batch semantics; only worker lifetime differs. Scale-up happens
+// at push time (a queued task with no idle worker spawns one, up to
+// MaxWorkers and the budget); scale-down happens at pop time (a worker
+// above the MinWorkers floor that stays idle past IdleDecay exits and,
+// when it was its evaluator's last worker, retires the evaluator).
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"qokit/internal/evaluator"
+)
+
+// ElasticOptions configures an elastic service. The zero value gives a
+// pool with floor 1, a ceiling of the factories' combined preferred
+// capacity, no memory budget, and a 100 ms idle decay.
+type ElasticOptions struct {
+	// MinWorkers is the pool floor (≤ 0 means 1): that many workers
+	// start immediately and never decay, so the degenerate
+	// MinWorkers == MaxWorkers configuration is a fixed pool.
+	MinWorkers int
+	// MaxWorkers caps growth (≤ 0 means the sum of the factories'
+	// per-build MaxConcurrent, with GOMAXPROCS standing in for
+	// unlimited builds).
+	MaxWorkers int
+	// MemoryBudget bounds the summed Caps().StateBytes of built
+	// evaluators (0 = unlimited). Growth that would exceed it binds
+	// spare capacity on existing builds or does not happen; the first
+	// build is always allowed so the floor can serve.
+	MemoryBudget int64
+	// ScaleThreshold is the unserved backlog (queued tasks minus idle
+	// workers) that triggers one spawn at push time (≤ 0 means 1).
+	ScaleThreshold int
+	// IdleDecay is how long a worker above the floor stays parked on an
+	// empty queue before exiting (≤ 0 means 100 ms).
+	IdleDecay time.Duration
+}
+
+func (o ElasticOptions) withDefaults() ElasticOptions {
+	if o.MinWorkers <= 0 {
+		o.MinWorkers = 1
+	}
+	if o.ScaleThreshold <= 0 {
+		o.ScaleThreshold = 1
+	}
+	if o.IdleDecay <= 0 {
+		o.IdleDecay = 100 * time.Millisecond
+	}
+	return o
+}
+
+// elastic is the scale state hanging off a Service. All fields are
+// guarded by Service.mu except opts and slots, which are immutable
+// after construction.
+type elastic struct {
+	opts  ElasticOptions
+	slots []*factorySlot
+
+	live      int   // workers running or starting
+	idle      int   // workers parked waiting for tasks
+	peak      int   // high-water mark of live
+	usedBytes int64 // Σ StateBytes of current builds
+	buildErr  error // latched most-recent factory failure
+}
+
+// factorySlot is one factory plus its current builds.
+type factorySlot struct {
+	f      evaluator.Factory
+	caps   evaluator.Caps
+	builds []*elBuild
+}
+
+// elBuild is one built evaluator and the workers bound to it.
+type elBuild struct {
+	slot     *factorySlot
+	ev       evaluator.Evaluator
+	workers  int
+	capacity int // per-build worker cap (0 = unlimited)
+}
+
+// NewElastic builds an autoscaled service over evaluator factories and
+// starts its floor workers. All factories must be bound to the same
+// qubit count; the aggregate Caps reports Grad/Outputs/Streaming only
+// when every factory's builds support them, MaxConcurrent as the
+// worker ceiling, and StateBytes as the memory bound (the budget when
+// set, else the worst-case packing).
+func NewElastic(factories []evaluator.Factory, opts ElasticOptions) (*Service, error) {
+	if len(factories) == 0 {
+		return nil, fmt.Errorf("serve: no factories")
+	}
+	opts = opts.withDefaults()
+	el := &elastic{opts: opts}
+	caps := factories[0].Caps()
+	caps.MaxConcurrent = 0
+	caps.StateBytes = 0
+	capacity := 0
+	var maxBuild int64
+	for i, f := range factories {
+		c := f.Caps()
+		if c.NumQubits != caps.NumQubits {
+			return nil, fmt.Errorf("serve: factory %d is bound to n=%d, factory 0 to n=%d",
+				i, c.NumQubits, caps.NumQubits)
+		}
+		caps.Grad = caps.Grad && c.Grad
+		caps.Outputs = caps.Outputs && c.Outputs
+		caps.Streaming = caps.Streaming && c.Streaming
+		if c.Ranks > caps.Ranks {
+			caps.Ranks = c.Ranks
+		}
+		pref := c.MaxConcurrent
+		if pref <= 0 {
+			pref = runtime.GOMAXPROCS(0)
+		}
+		capacity += pref
+		if c.StateBytes > maxBuild {
+			maxBuild = c.StateBytes
+		}
+		el.slots = append(el.slots, &factorySlot{f: f, caps: c})
+	}
+	if el.opts.MaxWorkers <= 0 {
+		el.opts.MaxWorkers = capacity
+	}
+	if el.opts.MaxWorkers < el.opts.MinWorkers {
+		el.opts.MaxWorkers = el.opts.MinWorkers
+	}
+	caps.MaxConcurrent = el.opts.MaxWorkers
+	if opts.MemoryBudget > 0 {
+		caps.StateBytes = opts.MemoryBudget
+	} else {
+		caps.StateBytes = int64(el.opts.MaxWorkers) * maxBuild
+	}
+
+	s := &Service{caps: caps, el: el}
+	s.cond = sync.NewCond(&s.mu)
+	s.taskPool.New = func() interface{} {
+		return &task{done: make(chan struct{}, 1)}
+	}
+	s.workers = el.opts.MinWorkers
+	el.live = el.opts.MinWorkers
+	el.peak = el.live
+	for i := 0; i < el.opts.MinWorkers; i++ {
+		s.wg.Add(1)
+		go s.elasticWorker()
+	}
+	return s, nil
+}
+
+// LiveWorkers reports the current worker count of an elastic service
+// (including workers still binding an evaluator); for a fixed pool it
+// equals Workers().
+func (s *Service) LiveWorkers() int {
+	if s.el == nil {
+		return s.workers
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.el.live
+}
+
+// PeakWorkers reports the elastic pool's high-water mark (Workers()
+// for a fixed pool).
+func (s *Service) PeakWorkers() int {
+	if s.el == nil {
+		return s.workers
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.el.peak
+}
+
+// maybeGrowLocked spawns one worker when the unserved backlog crosses
+// the threshold (s.mu held, called from push). The worker binds its
+// evaluator on its own goroutine, so a slow first build never blocks
+// the submitter.
+func (s *Service) maybeGrowLocked() {
+	el := s.el
+	backlog := len(s.queue) - s.head - el.idle
+	if backlog < el.opts.ScaleThreshold || el.live >= el.opts.MaxWorkers {
+		return
+	}
+	el.live++
+	if el.live > el.peak {
+		el.peak = el.live
+	}
+	s.wg.Add(1)
+	go s.elasticWorker()
+}
+
+// elasticWorker binds an evaluator (building one if needed), serves
+// tasks until close or idle decay, then unbinds.
+func (s *Service) elasticWorker() {
+	defer s.wg.Done()
+	b := s.bind()
+	if b == nil {
+		return
+	}
+	for {
+		t := s.popElastic()
+		if t == nil {
+			break
+		}
+		s.serveTask(b.ev, t)
+	}
+	s.unbind(b)
+}
+
+// bind attaches the calling worker to a build with spare capacity, or
+// builds a new evaluator from the cheapest factory that fits the
+// remaining memory budget. A nil return means the worker could not be
+// supplied (budget exhausted with no spare capacity, or the factory
+// failed) and has already been discounted from live.
+func (s *Service) bind() *elBuild {
+	s.mu.Lock()
+	el := s.el
+	// Spare capacity on an existing build is free — prefer it.
+	for _, slot := range el.slots {
+		for _, b := range slot.builds {
+			if b.capacity == 0 || b.workers < b.capacity {
+				b.workers++
+				s.mu.Unlock()
+				return b
+			}
+		}
+	}
+	// Pick the cheapest factory fitting the budget. The first build
+	// ever is exempt so a too-small budget degrades to one evaluator
+	// instead of a pool that can serve nothing.
+	var slot *factorySlot
+	haveAny := false
+	for _, cand := range el.slots {
+		if len(cand.builds) > 0 {
+			haveAny = true
+			break
+		}
+	}
+	for _, cand := range el.slots {
+		if haveAny && el.opts.MemoryBudget > 0 && el.usedBytes+cand.caps.StateBytes > el.opts.MemoryBudget {
+			continue
+		}
+		if slot == nil || cand.caps.StateBytes < slot.caps.StateBytes {
+			slot = cand
+		}
+	}
+	if slot == nil {
+		el.live--
+		s.mu.Unlock()
+		return nil
+	}
+	// Charge the budget while building so concurrent binds cannot
+	// collectively overshoot it.
+	el.usedBytes += slot.caps.StateBytes
+	s.mu.Unlock()
+
+	ev, err := slot.f.New(context.Background())
+
+	s.mu.Lock()
+	if err != nil {
+		el.usedBytes -= slot.caps.StateBytes
+		el.buildErr = err
+		el.live--
+		dead := el.live == 0
+		var stranded []*task
+		if dead {
+			// No worker will ever serve the queue; fail it loudly
+			// rather than hanging submitters.
+			stranded = append(stranded, s.queue[s.head:]...)
+			s.queue = s.queue[:0]
+			s.head = 0
+		}
+		s.mu.Unlock()
+		for _, t := range stranded {
+			s.finish(t, 0, fmt.Errorf("serve: elastic pool has no workers: %w", err))
+		}
+		return nil
+	}
+	b := &elBuild{slot: slot, ev: ev, workers: 1, capacity: slot.caps.MaxConcurrent}
+	slot.builds = append(slot.builds, b)
+	s.mu.Unlock()
+	return b
+}
+
+// unbind detaches a worker from its build; the build's last worker
+// retires the evaluator back to its factory.
+func (s *Service) unbind(b *elBuild) {
+	s.mu.Lock()
+	b.workers--
+	retire := b.workers == 0
+	if retire {
+		builds := b.slot.builds
+		for i, ob := range builds {
+			if ob == b {
+				builds[i] = builds[len(builds)-1]
+				b.slot.builds = builds[:len(builds)-1]
+				break
+			}
+		}
+		s.el.usedBytes -= b.slot.caps.StateBytes
+	}
+	s.mu.Unlock()
+	if retire {
+		// Best-effort: a retire error has no caller to surface to.
+		if err := b.slot.f.Retire(b.ev); err != nil {
+			s.mu.Lock()
+			s.el.buildErr = err
+			s.mu.Unlock()
+		}
+	}
+}
+
+// popElastic is pop with idle decay: a worker above the floor whose
+// wait outlives IdleDecay returns nil (its exit signal) instead of
+// parking forever. Floor workers wait untimed — the steady-state path
+// arms no timers and allocates nothing.
+func (s *Service) popElastic() *task {
+	el := s.el
+	for {
+		s.mu.Lock()
+		var decay *time.Timer
+		expired := false
+		for !s.closed && s.head == len(s.queue) {
+			if expired {
+				if el.live > el.opts.MinWorkers {
+					el.live--
+					s.mu.Unlock()
+					return nil
+				}
+				// The pool shrank to the floor while this worker's timer
+				// ran: it is now a floor worker and parks untimed.
+				expired = false
+				decay = nil
+			}
+			if decay == nil && el.live > el.opts.MinWorkers {
+				decay = time.AfterFunc(el.opts.IdleDecay, func() {
+					s.mu.Lock()
+					expired = true
+					s.mu.Unlock()
+					s.cond.Broadcast()
+				})
+			}
+			el.idle++
+			s.cond.Wait()
+			el.idle--
+		}
+		if decay != nil {
+			decay.Stop()
+		}
+		if s.head == len(s.queue) {
+			s.mu.Unlock()
+			return nil // closed
+		}
+		t := s.queue[s.head]
+		s.queue[s.head] = nil
+		s.head++
+		if s.head == len(s.queue) {
+			s.queue = s.queue[:0]
+			s.head = 0
+		}
+		s.mu.Unlock()
+		if err := t.ctx.Err(); err != nil {
+			s.finish(t, 0, err)
+			continue
+		}
+		return t
+	}
+}

@@ -66,6 +66,10 @@ type Service struct {
 
 	wg       sync.WaitGroup
 	taskPool sync.Pool
+
+	// el is non-nil for services built with NewElastic; the fixed-pool
+	// path never consults it beyond one nil check in push.
+	el *elastic
 }
 
 // task is one unit of work: a point evaluation belonging either to a
@@ -456,6 +460,9 @@ func (s *Service) push(t *task) error {
 		return ErrClosed
 	}
 	s.queue = append(s.queue, t)
+	if s.el != nil {
+		s.maybeGrowLocked()
+	}
 	s.cond.Signal()
 	s.mu.Unlock()
 	return nil
@@ -522,34 +529,40 @@ func (s *Service) worker(ev evaluator.Evaluator) {
 		if t == nil {
 			return
 		}
-		var e float64
-		err := t.ctx.Err()
-		if err == nil && t.tr != nil {
-			// A failed batch abandons its remaining points here — they
-			// settle with the latched error instead of evaluating.
-			err = t.tr.failedErr()
-		}
-		if err == nil {
-			switch {
-			case t.stream != nil:
-				err = t.stream(ev)
-			case t.spec != nil:
-				// Caps().Outputs aggregation guarantees the assertion
-				// holds for every evaluator in a pool that accepted the
-				// request; the guard keeps a mixed pool fail-safe.
-				if oe, ok := ev.(evaluator.OutputEvaluator); ok {
-					t.outs, err = oe.EvalOutputs(t.ctx, t.x, *t.spec)
-				} else {
-					err = fmt.Errorf("serve: evaluator does not implement OutputEvaluator")
-				}
-			case t.grad:
-				e, err = ev.EnergyGrad(t.ctx, t.x, t.g)
-			default:
-				e, err = ev.Energy(t.ctx, t.x)
-			}
-		}
-		s.finish(t, e, err)
+		s.serveTask(ev, t)
 	}
+}
+
+// serveTask evaluates one claimed task against a worker's bound
+// evaluator and settles it.
+func (s *Service) serveTask(ev evaluator.Evaluator, t *task) {
+	var e float64
+	err := t.ctx.Err()
+	if err == nil && t.tr != nil {
+		// A failed batch abandons its remaining points here — they
+		// settle with the latched error instead of evaluating.
+		err = t.tr.failedErr()
+	}
+	if err == nil {
+		switch {
+		case t.stream != nil:
+			err = t.stream(ev)
+		case t.spec != nil:
+			// Caps().Outputs aggregation guarantees the assertion
+			// holds for every evaluator in a pool that accepted the
+			// request; the guard keeps a mixed pool fail-safe.
+			if oe, ok := ev.(evaluator.OutputEvaluator); ok {
+				t.outs, err = oe.EvalOutputs(t.ctx, t.x, *t.spec)
+			} else {
+				err = fmt.Errorf("serve: evaluator does not implement OutputEvaluator")
+			}
+		case t.grad:
+			e, err = ev.EnergyGrad(t.ctx, t.x, t.g)
+		default:
+			e, err = ev.Energy(t.ctx, t.x)
+		}
+	}
+	s.finish(t, e, err)
 }
 
 // finish completes one task: batch tasks report into their tracker

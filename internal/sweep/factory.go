@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"qokit/internal/core"
+	"qokit/internal/evaluator"
+)
+
+// Factory builds pooled sweep engines on demand for an elastic
+// scheduler. Every build wraps the one shared read-only simulator the
+// underlying core.Factory refcounts, so growing the pool by one engine
+// costs only the engine's own state buffers (Workers × state size),
+// never a second diagonal.
+type Factory struct {
+	cf   *core.Factory
+	opts Options
+}
+
+var _ evaluator.Factory = (*Factory)(nil)
+
+// NewFactory wraps a simulator factory. opts.Workers ≤ 0 defaults to
+// one worker per build — the finest scheduling granularity, letting
+// the elastic pool grow capacity one state buffer at a time.
+func NewFactory(cf *core.Factory, opts Options) *Factory {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	return &Factory{cf: cf, opts: opts}
+}
+
+// Caps reports per-build metadata: Workers concurrent evaluations,
+// pinning Workers state buffers.
+func (f *Factory) Caps() evaluator.Caps {
+	c := f.cf.Caps()
+	c.MaxConcurrent = f.opts.Workers
+	c.StateBytes *= int64(f.opts.Workers)
+	return c
+}
+
+// New builds one sweep engine over the shared simulator.
+func (f *Factory) New(ctx context.Context) (evaluator.Evaluator, error) {
+	sim, err := f.cf.NewSimulator(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return New(sim, f.opts), nil
+}
+
+// Retire drops one engine (its pooled buffers become garbage) and
+// releases its hold on the shared simulator.
+func (f *Factory) Retire(ev evaluator.Evaluator) error {
+	eng, ok := ev.(*Engine)
+	if !ok {
+		return fmt.Errorf("sweep: Retire of a non-sweep evaluator %T", ev)
+	}
+	return f.cf.Retire(eng.sim)
+}

@@ -1,0 +1,164 @@
+package qokit
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRegistryServiceOnePrecompute is the tentpole acceptance test at
+// the façade level: constructing several services for one registered
+// problem — and evaluating through all of them — performs exactly one
+// diagonal precompute, and every service matches the direct simulator
+// to rtol 1e-10.
+func TestRegistryServiceOnePrecompute(t *testing.T) {
+	const n, p, rtol = 8, 3, 1e-10
+	terms := LABSTerms(n)
+	ctx := context.Background()
+
+	sim, err := NewSimulator(n, terms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, beta := TQAInit(p, 0.75)
+	x := append(append([]float64(nil), gamma...), beta...)
+	ref, err := sim.Energy(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewProblemRegistry(RegistryOptions{})
+	key, err := reg.Register(ProblemSpec{N: n, Terms: terms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		svc, err := NewRegistryService(reg, key, RegistryServiceOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := svc.EnergyBatch(ctx, [][]float64{x, x}, nil)
+		if err != nil {
+			svc.Close()
+			t.Fatal(err)
+		}
+		for _, e := range es {
+			if d := relDiff(e, ref); d > rtol {
+				svc.Close()
+				t.Fatalf("service %d: energy %v vs direct %v (rtol %g)", i, e, ref, d)
+			}
+		}
+		svc.Close()
+	}
+	st := reg.Stats()
+	if st.Precomputes != 1 {
+		t.Fatalf("3 services × 2 evaluations ran %d precomputes, want exactly 1", st.Precomputes)
+	}
+	if st.Hits < 2 {
+		t.Fatalf("expected the later services' builds to hit the cache, got %d hits", st.Hits)
+	}
+}
+
+// TestRegistryServiceBackends serves one registered MaxCut problem on
+// all three backends NewRegistryService routes to — single-node sweep,
+// ranks=2 distributed, and light-cone — and requires them to agree on
+// the energy to rtol 1e-10.
+func TestRegistryServiceBackends(t *testing.T) {
+	const n, d, p, rtol = 10, 3, 2, 1e-10
+	g, err := RandomRegular(n, d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewProblemRegistry(RegistryOptions{})
+	key, err := reg.Register(ProblemSpec{N: n, Terms: MaxCutTerms(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	gamma, beta := TQAInit(p, 0.75)
+	x := append(append([]float64(nil), gamma...), beta...)
+
+	dopts := DistOptions{Ranks: 2, Algo: Transpose}
+	configs := []struct {
+		name string
+		opts RegistryServiceOptions
+	}{
+		{"sweep", RegistryServiceOptions{}},
+		{"distributed", RegistryServiceOptions{Distributed: &dopts}},
+		{"lightcone", RegistryServiceOptions{LightCone: &LightConeOptions{Radius: p}}},
+	}
+	var ref float64
+	for i, cfg := range configs {
+		svc, err := NewRegistryService(reg, key, cfg.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		var simErr error
+		e := svc.Objective(ctx, &simErr)(x)
+		svc.Close()
+		if simErr != nil {
+			t.Fatalf("%s: %v", cfg.name, simErr)
+		}
+		if i == 0 {
+			ref = e
+			continue
+		}
+		if diff := relDiff(e, ref); diff > rtol {
+			t.Errorf("%s: energy %v vs sweep %v (rtol %g)", cfg.name, e, ref, diff)
+		}
+	}
+	// The light-cone service never acquires a diagonal, so only the
+	// sweep and distributed builds touch the cache — still one
+	// precompute total.
+	if st := reg.Stats(); st.Precomputes != 1 {
+		t.Fatalf("three backends ran %d precomputes, want exactly 1", st.Precomputes)
+	}
+}
+
+// TestRegistryKeyCanonical pins the canonicalization contract at the
+// façade: the same polynomial registered from a different term order
+// maps to the identical key, and a genuinely different problem does
+// not.
+func TestRegistryKeyCanonical(t *testing.T) {
+	terms := LABSTerms(8)
+	shuffled := append(Terms(nil), terms...)
+	for i := len(shuffled) - 1; i > 0; i-- {
+		j := (i * 7) % (i + 1)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	k1, err := ProblemKeyFor(ProblemSpec{N: 8, Terms: terms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ProblemKeyFor(ProblemSpec{N: 8, Terms: shuffled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("term order changed the canonical key: %s vs %s", k1, k2)
+	}
+	k3, err := ProblemKeyFor(ProblemSpec{N: 8, Terms: LABSTerms(8), Mixer: MixerXYRing, HammingWeight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Fatal("mixer family did not enter the canonical key")
+	}
+}
+
+// TestRegistryLightConeRequiresMixerX pins the routing error: the
+// light-cone backend only exists for the transverse-field mixer, and
+// the façade must say so instead of silently mis-serving.
+func TestRegistryLightConeRequiresMixerX(t *testing.T) {
+	g, err := RandomRegular(8, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewProblemRegistry(RegistryOptions{})
+	key, err := reg.Register(ProblemSpec{N: 8, Terms: MaxCutTerms(g), Mixer: MixerXYRing, HammingWeight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLightConeFactory(reg, key, LightConeOptions{Radius: 1}); err == nil {
+		t.Fatal("NewLightConeFactory accepted an xy-mixer problem")
+	}
+}
